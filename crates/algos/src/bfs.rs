@@ -1,0 +1,106 @@
+//! Breadth-first search: minimum hop counts from a source.
+
+use cgraph_core::{VertexInfo, VertexProgram};
+use cgraph_graph::{VertexId, Weight};
+
+/// BFS job: hop distance from `source` along out-edges.
+#[derive(Clone, Copy, Debug)]
+pub struct Bfs {
+    /// Source vertex.
+    pub source: VertexId,
+}
+
+impl Bfs {
+    /// Creates a BFS job from `source`.
+    pub fn new(source: VertexId) -> Self {
+        Bfs { source }
+    }
+}
+
+impl VertexProgram for Bfs {
+    type Value = u32;
+
+    fn name(&self) -> String {
+        "BFS".to_string()
+    }
+
+    fn init(&self, info: &VertexInfo) -> (u32, u32) {
+        if info.vid == self.source {
+            (u32::MAX, 0)
+        } else {
+            (u32::MAX, u32::MAX)
+        }
+    }
+
+    fn identity(&self) -> u32 {
+        u32::MAX
+    }
+
+    fn acc(&self, a: u32, b: u32) -> u32 {
+        a.min(b)
+    }
+
+    fn is_active(&self, value: &u32, delta: &u32) -> bool {
+        delta < value
+    }
+
+    fn compute(&self, _info: &VertexInfo, value: u32, delta: u32) -> (u32, Option<u32>) {
+        if delta < value {
+            (delta, Some(delta))
+        } else {
+            (value, None)
+        }
+    }
+
+    fn edge_contrib(&self, basis: u32, _w: Weight, _info: &VertexInfo) -> u32 {
+        basis.saturating_add(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgraph_core::{Engine, EngineConfig};
+    use cgraph_graph::vertex_cut::VertexCutPartitioner;
+    use cgraph_graph::{generate, Partitioner};
+
+    fn run(el: &cgraph_graph::EdgeList, parts: usize, source: VertexId) -> Vec<u32> {
+        let ps = VertexCutPartitioner::new(parts).partition(el);
+        let mut engine = Engine::from_partitions(ps, EngineConfig::default());
+        let job = engine.submit(Bfs::new(source));
+        assert!(engine.run().completed);
+        engine.results::<Bfs>(job).unwrap()
+    }
+
+    #[test]
+    fn hops_on_grid() {
+        let el = generate::grid(4, 4);
+        let d = run(&el, 4, 0);
+        // Manhattan distance on a right/down grid.
+        for r in 0..4u32 {
+            for c in 0..4u32 {
+                assert_eq!(d[(r * 4 + c) as usize], r + c, "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_rmat() {
+        let el = generate::rmat(8, 5, generate::RmatParams::default(), 31);
+        let d = run(&el, 6, 0);
+        let csr = cgraph_graph::Csr::from_edges(&el);
+        assert_eq!(d, crate::reference::bfs(&csr, 0));
+    }
+
+    #[test]
+    fn source_outside_edges_converges_immediately() {
+        // Source 5 is isolated: only itself reachable.
+        let el = cgraph_graph::EdgeList::from_edges(
+            vec![cgraph_graph::Edge::unit(0, 1)],
+            6,
+        );
+        let d = run(&el, 2, 5);
+        assert_eq!(d[5], 0);
+        assert_eq!(d[0], u32::MAX);
+    }
+}

@@ -1,0 +1,330 @@
+//! Single-threaded reference implementations.
+//!
+//! These are deliberately simple, textbook algorithms on the flat
+//! [`Csr`]/[`EdgeList`] views.  Every engine in the workspace — CGraph and
+//! all baselines — is validated against them in unit and integration tests.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use cgraph_graph::{Csr, EdgeList, VertexId};
+
+/// Reference delta-PageRank to fixpoint (`p = (1-d) + d·Σ p/deg⁺`).
+pub fn pagerank(csr: &Csr, damping: f64, epsilon: f64, max_iters: u64) -> Vec<f64> {
+    let n = csr.num_vertices() as usize;
+    let mut value = vec![0.0f64; n];
+    let mut delta = vec![1.0 - damping; n];
+    for _ in 0..max_iters {
+        if delta.iter().all(|d| d.abs() <= epsilon) {
+            break;
+        }
+        let mut next = vec![0.0f64; n];
+        for v in 0..n {
+            if delta[v].abs() <= epsilon {
+                continue;
+            }
+            value[v] += delta[v];
+            let deg = csr.out_degree(v as VertexId).max(1) as f64;
+            let share = damping * delta[v] / deg;
+            for &t in csr.neighbors(v as VertexId) {
+                next[t as usize] += share;
+            }
+            delta[v] = 0.0;
+        }
+        for v in 0..n {
+            delta[v] += next[v];
+        }
+    }
+    for v in 0..n {
+        value[v] += delta[v];
+    }
+    value
+}
+
+/// Reference Dijkstra (non-negative weights).
+pub fn sssp(csr: &Csr, source: VertexId) -> Vec<f32> {
+    let n = csr.num_vertices() as usize;
+    let mut dist = vec![f32::INFINITY; n];
+    dist[source as usize] = 0.0;
+    let mut heap: BinaryHeap<Reverse<(ordered::F32, VertexId)>> = BinaryHeap::new();
+    heap.push(Reverse((ordered::F32(0.0), source)));
+    while let Some(Reverse((ordered::F32(d), v))) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        for (t, w) in csr.edges_of(v) {
+            let nd = d + w;
+            if nd < dist[t as usize] {
+                dist[t as usize] = nd;
+                heap.push(Reverse((ordered::F32(nd), t)));
+            }
+        }
+    }
+    dist
+}
+
+/// Reference BFS hop counts.
+pub fn bfs(csr: &Csr, source: VertexId) -> Vec<u32> {
+    let n = csr.num_vertices() as usize;
+    let mut dist = vec![u32::MAX; n];
+    dist[source as usize] = 0;
+    let mut frontier = vec![source];
+    let mut level = 0u32;
+    while !frontier.is_empty() {
+        level += 1;
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for &t in csr.neighbors(v) {
+                if dist[t as usize] == u32::MAX {
+                    dist[t as usize] = level;
+                    next.push(t);
+                }
+            }
+        }
+        frontier = next;
+    }
+    dist
+}
+
+/// Reference weakly connected components: each vertex labeled with the
+/// minimum vertex id in its component (isolated vertices label themselves).
+pub fn wcc(edges: &EdgeList) -> Vec<u32> {
+    let n = edges.num_vertices() as usize;
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], v: u32) -> u32 {
+        let mut root = v;
+        while parent[root as usize] != root {
+            root = parent[root as usize];
+        }
+        let mut cur = v;
+        while parent[cur as usize] != root {
+            let next = parent[cur as usize];
+            parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+    for e in edges.edges() {
+        let (a, b) = (find(&mut parent, e.src), find(&mut parent, e.dst));
+        if a != b {
+            // Union by smaller id so the final label is the component min.
+            let (lo, hi) = (a.min(b), a.max(b));
+            parent[hi as usize] = lo;
+        }
+    }
+    (0..n as u32).map(|v| find(&mut parent, v)).collect()
+}
+
+/// Reference SCC via iterative Tarjan; returns a component id per vertex
+/// (ids are arbitrary but consistent).
+pub fn scc(edges: &EdgeList) -> Vec<u32> {
+    let csr = Csr::from_edges(edges);
+    let n = csr.num_vertices() as usize;
+    let mut index = vec![u32::MAX; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![u32::MAX; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut next_comp = 0u32;
+
+    // Explicit DFS frame: (vertex, next-edge cursor).
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+    for start in 0..n as u32 {
+        if index[start as usize] != u32::MAX {
+            continue;
+        }
+        frames.push((start, 0));
+        while let Some(&mut (v, ref mut cursor)) = frames.last_mut() {
+            if *cursor == 0 {
+                index[v as usize] = next_index;
+                low[v as usize] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v as usize] = true;
+            }
+            let neigh = csr.neighbors(v);
+            if *cursor < neigh.len() {
+                let t = neigh[*cursor];
+                *cursor += 1;
+                if index[t as usize] == u32::MAX {
+                    frames.push((t, 0));
+                } else if on_stack[t as usize] {
+                    low[v as usize] = low[v as usize].min(index[t as usize]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&mut (p, _)) = frames.last_mut() {
+                    low[p as usize] = low[p as usize].min(low[v as usize]);
+                }
+                if low[v as usize] == index[v as usize] {
+                    loop {
+                        let w = stack.pop().expect("tarjan stack non-empty");
+                        on_stack[w as usize] = false;
+                        comp[w as usize] = next_comp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+            }
+        }
+    }
+    comp
+}
+
+/// Reference single-source widest paths (max-min Dijkstra variant).
+pub fn sswp(csr: &Csr, source: VertexId) -> Vec<f32> {
+    let n = csr.num_vertices() as usize;
+    let mut width = vec![0.0f32; n];
+    width[source as usize] = f32::INFINITY;
+    let mut heap: BinaryHeap<(ordered::F32, VertexId)> = BinaryHeap::new();
+    heap.push((ordered::F32(f32::INFINITY), source));
+    while let Some((ordered::F32(w), v)) = heap.pop() {
+        if w < width[v as usize] {
+            continue;
+        }
+        for (t, cap) in csr.edges_of(v) {
+            let nw = w.min(cap);
+            if nw > width[t as usize] {
+                width[t as usize] = nw;
+                heap.push((ordered::F32(nw), t));
+            }
+        }
+    }
+    width
+}
+
+/// Reference Katz centrality.
+pub fn katz(csr: &Csr, alpha: f64, epsilon: f64, max_iters: u64) -> Vec<f64> {
+    let n = csr.num_vertices() as usize;
+    let mut value = vec![0.0f64; n];
+    let mut delta = vec![1.0f64; n];
+    for _ in 0..max_iters {
+        if delta.iter().all(|d| d.abs() <= epsilon) {
+            break;
+        }
+        let mut next = vec![0.0f64; n];
+        for v in 0..n {
+            if delta[v].abs() <= epsilon {
+                continue;
+            }
+            value[v] += delta[v];
+            for &t in csr.neighbors(v as VertexId) {
+                next[t as usize] += alpha * delta[v];
+            }
+            delta[v] = 0.0;
+        }
+        for v in 0..n {
+            delta[v] += next[v];
+        }
+    }
+    for v in 0..n {
+        value[v] += delta[v];
+    }
+    value
+}
+
+/// Total-ordering wrapper for finite-or-infinite `f32` heap keys.
+mod ordered {
+    /// An `f32` with total ordering (NaN-free by construction).
+    #[derive(Clone, Copy, PartialEq)]
+    pub struct F32(pub f32);
+
+    impl Eq for F32 {}
+
+    impl PartialOrd for F32 {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    impl Ord for F32 {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.total_cmp(&other.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgraph_graph::{generate, GraphBuilder};
+
+    #[test]
+    fn pagerank_cycle_uniform() {
+        let csr = Csr::from_edges(&generate::cycle(5));
+        let pr = pagerank(&csr, 0.85, 1e-10, 10_000);
+        for p in pr {
+            assert!((p - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn dijkstra_diamond() {
+        let el = GraphBuilder::new(4)
+            .weighted_edge(0, 1, 1.0)
+            .weighted_edge(0, 2, 4.0)
+            .weighted_edge(1, 3, 1.0)
+            .weighted_edge(2, 3, 1.0)
+            .build();
+        let d = sssp(&Csr::from_edges(&el), 0);
+        assert_eq!(d, vec![0.0, 1.0, 4.0, 2.0]);
+    }
+
+    #[test]
+    fn bfs_levels() {
+        let csr = Csr::from_edges(&generate::path(4));
+        assert_eq!(bfs(&csr, 0), vec![0, 1, 2, 3]);
+        assert_eq!(bfs(&csr, 2), vec![u32::MAX, u32::MAX, 0, 1]);
+    }
+
+    #[test]
+    fn wcc_components() {
+        let el = GraphBuilder::new(5).edges([(0, 1), (3, 2)]).build();
+        assert_eq!(wcc(&el), vec![0, 0, 2, 2, 4]);
+    }
+
+    #[test]
+    fn tarjan_on_two_cycles() {
+        let el = GraphBuilder::new(5)
+            .edges([(0, 1), (1, 0), (2, 3), (3, 4), (4, 2), (1, 2)])
+            .build();
+        let c = scc(&el);
+        assert_eq!(c[0], c[1]);
+        assert_eq!(c[2], c[3]);
+        assert_eq!(c[3], c[4]);
+        assert_ne!(c[0], c[2]);
+    }
+
+    #[test]
+    fn tarjan_handles_deep_paths_iteratively() {
+        // A 50k-vertex path would overflow a recursive Tarjan's stack.
+        let el = generate::path(50_000);
+        let c = scc(&el);
+        let mut sorted = c.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 50_000, "all singletons");
+    }
+
+    #[test]
+    fn sswp_diamond() {
+        let el = GraphBuilder::new(4)
+            .weighted_edge(0, 1, 3.0)
+            .weighted_edge(1, 3, 3.0)
+            .weighted_edge(0, 2, 9.0)
+            .weighted_edge(2, 3, 1.0)
+            .build();
+        let w = sswp(&Csr::from_edges(&el), 0);
+        assert_eq!(w[3], 3.0);
+    }
+
+    #[test]
+    fn katz_path_monotone() {
+        let csr = Csr::from_edges(&generate::path(4));
+        let k = katz(&csr, 0.1, 1e-12, 1000);
+        assert!(k[3] > k[2] && k[2] > k[1] && k[1] > k[0]);
+    }
+}

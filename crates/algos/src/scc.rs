@@ -1,0 +1,370 @@
+//! Strongly connected components as concurrent engine phases.
+//!
+//! The paper benchmarks SCC (citing Hong et al.'s trim + forward/backward
+//! method) as one of the four CGP jobs.  Here SCC is a *driver* that
+//! repeatedly submits two vertex-program phases to the engine — so its
+//! partition accesses share the cache with whatever other jobs are running,
+//! exactly like any other CGP job:
+//!
+//! 1. [`Coloring`] — forward max-color propagation over the unassigned
+//!    subgraph: `color(v) = 1 + max{u : u reaches v}`.
+//! 2. [`BackwardMatch`] — from each color root (the vertex whose id names
+//!    its color), propagate backward through same-colored vertices; the
+//!    matched set is one SCC.
+//!
+//! Between rounds the driver *trims* trivially-singleton vertices (no
+//! unassigned predecessors or successors) host-side, the standard
+//! acceleration from the literature.
+
+use std::sync::Arc;
+
+use cgraph_core::{EdgeDirection, JobEngine, JobId, VertexInfo, VertexProgram};
+use cgraph_graph::{EdgeList, VertexId, Weight};
+
+/// Phase 1: forward color propagation over unassigned vertices.
+///
+/// Colors are `vid + 1` so that 0 can be the max-accumulator identity.
+#[derive(Clone, Debug)]
+pub struct Coloring {
+    /// Vertices already assigned to an SCC (inert in this phase).
+    pub assigned: Arc<Vec<bool>>,
+}
+
+impl VertexProgram for Coloring {
+    type Value = u32;
+
+    fn name(&self) -> String {
+        "SCC/color".to_string()
+    }
+
+    fn init(&self, info: &VertexInfo) -> (u32, u32) {
+        if self.assigned[info.vid as usize] {
+            (u32::MAX, 0)
+        } else {
+            (0, info.vid + 1)
+        }
+    }
+
+    fn identity(&self) -> u32 {
+        0
+    }
+
+    fn acc(&self, a: u32, b: u32) -> u32 {
+        a.max(b)
+    }
+
+    fn is_active(&self, value: &u32, delta: &u32) -> bool {
+        delta > value
+    }
+
+    fn compute(&self, _info: &VertexInfo, value: u32, delta: u32) -> (u32, Option<u32>) {
+        if delta > value {
+            (delta, Some(delta))
+        } else {
+            (value, None)
+        }
+    }
+
+    fn edge_contrib(&self, basis: u32, _w: Weight, _info: &VertexInfo) -> u32 {
+        basis
+    }
+}
+
+/// Phase 2: backward matching within one color class.
+///
+/// Value is `(color, matched)`; deltas are colors accumulated with `min`
+/// (arrivals at a vertex always carry colors ≥ its own, so `min` preserves
+/// the own-color arrival).
+#[derive(Clone, Debug)]
+pub struct BackwardMatch {
+    /// Colors from the preceding [`Coloring`] phase.
+    pub colors: Arc<Vec<u32>>,
+    /// Vertices already assigned to an SCC (inert).
+    pub assigned: Arc<Vec<bool>>,
+}
+
+impl VertexProgram for BackwardMatch {
+    type Value = (u32, bool);
+
+    fn name(&self) -> String {
+        "SCC/match".to_string()
+    }
+
+    fn direction(&self) -> EdgeDirection {
+        EdgeDirection::In
+    }
+
+    fn init(&self, info: &VertexInfo) -> ((u32, bool), (u32, bool)) {
+        let v = info.vid as usize;
+        if self.assigned[v] {
+            return ((0, true), (u32::MAX, false));
+        }
+        let c = self.colors[v];
+        if c == info.vid + 1 {
+            // Color root: seed the backward wave at itself.
+            ((c, false), (c, false))
+        } else {
+            ((c, false), (u32::MAX, false))
+        }
+    }
+
+    fn identity(&self) -> (u32, bool) {
+        (u32::MAX, false)
+    }
+
+    fn acc(&self, a: (u32, bool), b: (u32, bool)) -> (u32, bool) {
+        (a.0.min(b.0), false)
+    }
+
+    fn is_active(&self, value: &(u32, bool), delta: &(u32, bool)) -> bool {
+        delta.0 == value.0 && !value.1
+    }
+
+    fn compute(
+        &self,
+        _info: &VertexInfo,
+        value: (u32, bool),
+        _delta: (u32, bool),
+    ) -> ((u32, bool), Option<(u32, bool)>) {
+        ((value.0, true), Some((value.0, false)))
+    }
+
+    fn edge_contrib(
+        &self,
+        basis: (u32, bool),
+        _w: Weight,
+        _info: &VertexInfo,
+    ) -> (u32, bool) {
+        basis
+    }
+
+    fn finalize(
+        &self,
+        _info: &VertexInfo,
+        value: (u32, bool),
+        delta: (u32, bool),
+    ) -> (u32, bool) {
+        // Only an own-color arrival may mark a match; foreign residual
+        // deltas must not (they are merely unconsumed noise).
+        if delta.0 == value.0 && !value.1 {
+            (value.0, true)
+        } else {
+            value
+        }
+    }
+}
+
+/// The SCC driver: trims, colors, matches, repeats.
+#[derive(Debug)]
+pub struct SccDriver {
+    n: usize,
+    out_adj: Vec<Vec<VertexId>>,
+    in_adj: Vec<Vec<VertexId>>,
+    scc: Vec<Option<VertexId>>,
+    rounds: u64,
+    phase_jobs: Vec<JobId>,
+}
+
+impl SccDriver {
+    /// Builds the driver's host-side adjacency from an edge list (used only
+    /// for trimming and progress bookkeeping — all propagation runs on the
+    /// engine's shared partitions).
+    pub fn new(edges: &EdgeList) -> Self {
+        let n = edges.num_vertices() as usize;
+        let mut out_adj = vec![Vec::new(); n];
+        let mut in_adj = vec![Vec::new(); n];
+        for e in edges.edges() {
+            if e.src != e.dst {
+                out_adj[e.src as usize].push(e.dst);
+                in_adj[e.dst as usize].push(e.src);
+            }
+        }
+        SccDriver { n, out_adj, in_adj, scc: vec![None; n], rounds: 0, phase_jobs: Vec::new() }
+    }
+
+    /// Number of color/match rounds run so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Ids of every phase job the driver submitted (for metric
+    /// aggregation: the "SCC job" is the sum of its phases).
+    pub fn phase_jobs(&self) -> &[JobId] {
+        &self.phase_jobs
+    }
+
+    /// Peels unassigned vertices with no unassigned predecessors or no
+    /// unassigned successors — they are singleton SCCs.
+    fn trim(&mut self) {
+        let mut out_cnt: Vec<u32> = vec![0; self.n];
+        let mut in_cnt: Vec<u32> = vec![0; self.n];
+        for v in 0..self.n {
+            if self.scc[v].is_some() {
+                continue;
+            }
+            out_cnt[v] = self.out_adj[v]
+                .iter()
+                .filter(|&&t| self.scc[t as usize].is_none())
+                .count() as u32;
+            in_cnt[v] = self.in_adj[v]
+                .iter()
+                .filter(|&&s| self.scc[s as usize].is_none())
+                .count() as u32;
+        }
+        let mut queue: Vec<usize> = (0..self.n)
+            .filter(|&v| self.scc[v].is_none() && (out_cnt[v] == 0 || in_cnt[v] == 0))
+            .collect();
+        while let Some(v) = queue.pop() {
+            if self.scc[v].is_some() {
+                continue;
+            }
+            self.scc[v] = Some(v as VertexId);
+            for &t in &self.out_adj[v] {
+                let t = t as usize;
+                if self.scc[t].is_none() {
+                    in_cnt[t] = in_cnt[t].saturating_sub(1);
+                    if in_cnt[t] == 0 {
+                        queue.push(t);
+                    }
+                }
+            }
+            for &s in &self.in_adj[v] {
+                let s = s as usize;
+                if self.scc[s].is_none() {
+                    out_cnt[s] = out_cnt[s].saturating_sub(1);
+                    if out_cnt[s] == 0 {
+                        queue.push(s);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs to completion on `engine`, returning each vertex's SCC id (the
+    /// id of one representative member).
+    ///
+    /// Other jobs already submitted to the engine keep executing
+    /// concurrently with each phase — that is the point.
+    pub fn run<E: JobEngine>(&mut self, engine: &mut E) -> Vec<VertexId> {
+        let ts = engine.snapshot_store().latest_timestamp();
+        self.run_at(engine, ts)
+    }
+
+    /// Like [`run`](Self::run), but every phase job arrives at time `ts`,
+    /// binding the matching snapshot (the driver must have been built from
+    /// that snapshot's edges).
+    pub fn run_at<E: JobEngine>(&mut self, engine: &mut E, ts: u64) -> Vec<VertexId> {
+        self.trim();
+        while self.scc.iter().any(|s| s.is_none()) {
+            let assigned: Arc<Vec<bool>> =
+                Arc::new(self.scc.iter().map(|s| s.is_some()).collect());
+            let cjob =
+                engine.submit_program_at(Coloring { assigned: Arc::clone(&assigned) }, ts);
+            self.phase_jobs.push(cjob);
+            engine.run_jobs();
+            let colors = engine
+                .typed_results::<Coloring>(cjob)
+                .expect("coloring job typed results");
+            let mjob = engine.submit_program_at(
+                BackwardMatch {
+                    colors: Arc::new(colors.clone()),
+                    assigned: Arc::clone(&assigned),
+                },
+                ts,
+            );
+            self.phase_jobs.push(mjob);
+            engine.run_jobs();
+            let matched = engine
+                .typed_results::<BackwardMatch>(mjob)
+                .expect("match job typed results");
+            let mut progress = false;
+            for v in 0..self.n {
+                if self.scc[v].is_none() && matched[v].1 {
+                    self.scc[v] = Some(colors[v] - 1);
+                    progress = true;
+                }
+            }
+            assert!(progress, "SCC round made no progress");
+            self.rounds += 1;
+            self.trim();
+        }
+        self.scc.iter().map(|s| s.expect("all assigned")).collect()
+    }
+}
+
+/// Convenience entry point: runs SCC on the engine's latest snapshot.
+pub fn run_scc<E: JobEngine>(engine: &mut E) -> Vec<VertexId> {
+    let edges = engine.snapshot_store().latest().edges_global();
+    SccDriver::new(&edges).run(engine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgraph_core::EngineConfig;
+    use cgraph_graph::vertex_cut::VertexCutPartitioner;
+    use cgraph_graph::{generate, GraphBuilder, Partitioner};
+
+    fn canonical(ids: &[VertexId]) -> Vec<VertexId> {
+        // Relabel each component by its minimum member for comparison.
+        let n = ids.len();
+        let mut min_of = std::collections::HashMap::new();
+        for v in 0..n {
+            let e = min_of.entry(ids[v]).or_insert(v as VertexId);
+            *e = (*e).min(v as VertexId);
+        }
+        (0..n).map(|v| min_of[&ids[v]]).collect()
+    }
+
+    fn run_on(el: &cgraph_graph::EdgeList, parts: usize) -> Vec<VertexId> {
+        let ps = VertexCutPartitioner::new(parts).partition(el);
+        let mut engine = cgraph_core::Engine::from_partitions(ps, EngineConfig::default());
+        run_scc(&mut engine)
+    }
+
+    #[test]
+    fn two_cycles_and_a_bridge() {
+        // SCCs: {0,1,2}, {3,4}, plus 2->3 bridge.
+        let el = GraphBuilder::new(5)
+            .edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3)])
+            .build();
+        let got = canonical(&run_on(&el, 2));
+        assert_eq!(got, vec![0, 0, 0, 3, 3]);
+    }
+
+    #[test]
+    fn dag_is_all_singletons() {
+        let el = generate::grid(3, 3);
+        let got = canonical(&run_on(&el, 3));
+        let expect: Vec<VertexId> = (0..9).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn full_cycle_is_one_component() {
+        let el = generate::cycle(7);
+        let got = canonical(&run_on(&el, 3));
+        assert_eq!(got, vec![0; 7]);
+    }
+
+    #[test]
+    fn matches_tarjan_on_rmat() {
+        let el = generate::rmat(7, 4, generate::RmatParams::default(), 71);
+        let got = canonical(&run_on(&el, 6));
+        let expect = canonical(&crate::reference::scc(&el));
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn reverse_path_trims_in_one_shot() {
+        let el = GraphBuilder::new(6)
+            .edges([(5, 4), (4, 3), (3, 2), (2, 1), (1, 0)])
+            .build();
+        let ps = VertexCutPartitioner::new(2).partition(&el);
+        let mut engine = cgraph_core::Engine::from_partitions(ps, EngineConfig::default());
+        let mut driver = SccDriver::new(&el);
+        let got = canonical(&driver.run(&mut engine));
+        assert_eq!(got, (0..6).collect::<Vec<_>>());
+        assert_eq!(driver.rounds(), 0, "trim should fully peel a DAG");
+    }
+}

@@ -1,0 +1,113 @@
+//! Single-source shortest paths (the paper's Fig. 7(b) instantiation).
+
+use cgraph_core::{VertexInfo, VertexProgram};
+use cgraph_graph::{VertexId, Weight};
+
+/// SSSP job: min-plus relaxation from a source vertex.
+///
+/// Edge weights are interpreted as non-negative distances.
+#[derive(Clone, Copy, Debug)]
+pub struct Sssp {
+    /// Source vertex.
+    pub source: VertexId,
+}
+
+impl Sssp {
+    /// Creates an SSSP job from `source`.
+    pub fn new(source: VertexId) -> Self {
+        Sssp { source }
+    }
+}
+
+impl VertexProgram for Sssp {
+    type Value = f32;
+
+    fn name(&self) -> String {
+        "SSSP".to_string()
+    }
+
+    fn init(&self, info: &VertexInfo) -> (f32, f32) {
+        if info.vid == self.source {
+            (f32::INFINITY, 0.0)
+        } else {
+            (f32::INFINITY, f32::INFINITY)
+        }
+    }
+
+    fn identity(&self) -> f32 {
+        f32::INFINITY
+    }
+
+    fn acc(&self, a: f32, b: f32) -> f32 {
+        a.min(b)
+    }
+
+    fn is_active(&self, value: &f32, delta: &f32) -> bool {
+        delta < value
+    }
+
+    fn compute(&self, _info: &VertexInfo, value: f32, delta: f32) -> (f32, Option<f32>) {
+        if delta < value {
+            (delta, Some(delta))
+        } else {
+            (value, None)
+        }
+    }
+
+    fn edge_contrib(&self, basis: f32, weight: Weight, _info: &VertexInfo) -> f32 {
+        basis + weight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgraph_core::{Engine, EngineConfig};
+    use cgraph_graph::vertex_cut::VertexCutPartitioner;
+    use cgraph_graph::{generate, GraphBuilder, Partitioner};
+
+    fn run(el: &cgraph_graph::EdgeList, parts: usize, source: VertexId) -> Vec<f32> {
+        let ps = VertexCutPartitioner::new(parts).partition(el);
+        let mut engine = Engine::from_partitions(ps, EngineConfig::default());
+        let job = engine.submit(Sssp::new(source));
+        assert!(engine.run().completed);
+        engine.results::<Sssp>(job).unwrap()
+    }
+
+    #[test]
+    fn weighted_diamond_picks_short_side() {
+        let el = GraphBuilder::new(4)
+            .weighted_edge(0, 1, 1.0)
+            .weighted_edge(0, 2, 5.0)
+            .weighted_edge(1, 3, 1.0)
+            .weighted_edge(2, 3, 1.0)
+            .build();
+        let d = run(&el, 2, 0);
+        assert_eq!(d[0], 0.0);
+        assert_eq!(d[1], 1.0);
+        assert_eq!(d[2], 5.0);
+        assert_eq!(d[3], 2.0);
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let el = GraphBuilder::new(3).edge(0, 1).build();
+        let d = run(&el, 2, 0);
+        assert!(d[2].is_infinite());
+    }
+
+    #[test]
+    fn matches_dijkstra_on_rmat() {
+        let el = generate::rmat(8, 6, generate::RmatParams::default(), 23);
+        let d = run(&el, 8, 0);
+        let csr = cgraph_graph::Csr::from_edges(&el);
+        let rf = crate::reference::sssp(&csr, 0);
+        for v in 0..el.num_vertices() as usize {
+            let (a, b) = (d[v], rf[v]);
+            assert!(
+                (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-3,
+                "v{v}: engine {a} vs dijkstra {b}"
+            );
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Single-source widest paths (max-min capacity).
+
+use cgraph_core::{VertexInfo, VertexProgram};
+use cgraph_graph::{VertexId, Weight};
+
+/// SSWP job: the widest-path capacity from `source` to every vertex, where
+/// edge weights are capacities and a path's width is its minimum edge.
+#[derive(Clone, Copy, Debug)]
+pub struct Sswp {
+    /// Source vertex.
+    pub source: VertexId,
+}
+
+impl Sswp {
+    /// Creates an SSWP job from `source`.
+    pub fn new(source: VertexId) -> Self {
+        Sswp { source }
+    }
+}
+
+impl VertexProgram for Sswp {
+    type Value = f32;
+
+    fn name(&self) -> String {
+        "SSWP".to_string()
+    }
+
+    fn init(&self, info: &VertexInfo) -> (f32, f32) {
+        if info.vid == self.source {
+            (0.0, f32::INFINITY)
+        } else {
+            (0.0, 0.0)
+        }
+    }
+
+    fn identity(&self) -> f32 {
+        0.0
+    }
+
+    fn acc(&self, a: f32, b: f32) -> f32 {
+        a.max(b)
+    }
+
+    fn is_active(&self, value: &f32, delta: &f32) -> bool {
+        delta > value
+    }
+
+    fn compute(&self, _info: &VertexInfo, value: f32, delta: f32) -> (f32, Option<f32>) {
+        if delta > value {
+            (delta, Some(delta))
+        } else {
+            (value, None)
+        }
+    }
+
+    fn edge_contrib(&self, basis: f32, weight: Weight, _info: &VertexInfo) -> f32 {
+        basis.min(weight)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgraph_core::{Engine, EngineConfig};
+    use cgraph_graph::vertex_cut::VertexCutPartitioner;
+    use cgraph_graph::{generate, GraphBuilder, Partitioner};
+
+    fn run(el: &cgraph_graph::EdgeList, parts: usize, source: VertexId) -> Vec<f32> {
+        let ps = VertexCutPartitioner::new(parts).partition(el);
+        let mut engine = Engine::from_partitions(ps, EngineConfig::default());
+        let job = engine.submit(Sswp::new(source));
+        assert!(engine.run().completed);
+        engine.results::<Sswp>(job).unwrap()
+    }
+
+    #[test]
+    fn picks_widest_of_two_paths() {
+        // 0 -(3)-> 1 -(3)-> 3 is wider than 0 -(9)-> 2 -(1)-> 3.
+        let el = GraphBuilder::new(4)
+            .weighted_edge(0, 1, 3.0)
+            .weighted_edge(1, 3, 3.0)
+            .weighted_edge(0, 2, 9.0)
+            .weighted_edge(2, 3, 1.0)
+            .build();
+        let w = run(&el, 2, 0);
+        assert_eq!(w[3], 3.0);
+        assert_eq!(w[2], 9.0);
+        assert!(w[0].is_infinite());
+    }
+
+    #[test]
+    fn unreachable_width_zero() {
+        let el = GraphBuilder::new(3).weighted_edge(0, 1, 2.0).build();
+        let w = run(&el, 2, 0);
+        assert_eq!(w[2], 0.0);
+    }
+
+    #[test]
+    fn matches_reference_on_rmat() {
+        let el = generate::rmat(8, 5, generate::RmatParams::default(), 53);
+        let w = run(&el, 8, 0);
+        let csr = cgraph_graph::Csr::from_edges(&el);
+        let rf = crate::reference::sswp(&csr, 0);
+        for v in 0..el.num_vertices() as usize {
+            let (a, b) = (w[v], rf[v]);
+            assert!(
+                (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-3,
+                "v{v}: engine {a} vs reference {b}"
+            );
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Weakly connected components via undirected min-label propagation.
+
+use cgraph_core::{EdgeDirection, VertexInfo, VertexProgram};
+use cgraph_graph::Weight;
+
+/// WCC job: every vertex converges to the minimum vertex id in its weakly
+/// connected component.
+///
+/// Uses [`EdgeDirection::Both`], so labels flow across edges in both
+/// orientations of the shared partitions' local CSRs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Wcc;
+
+impl VertexProgram for Wcc {
+    type Value = u32;
+
+    fn name(&self) -> String {
+        "WCC".to_string()
+    }
+
+    fn direction(&self) -> EdgeDirection {
+        EdgeDirection::Both
+    }
+
+    fn init(&self, info: &VertexInfo) -> (u32, u32) {
+        (u32::MAX, info.vid)
+    }
+
+    fn identity(&self) -> u32 {
+        u32::MAX
+    }
+
+    fn acc(&self, a: u32, b: u32) -> u32 {
+        a.min(b)
+    }
+
+    fn is_active(&self, value: &u32, delta: &u32) -> bool {
+        delta < value
+    }
+
+    fn compute(&self, _info: &VertexInfo, value: u32, delta: u32) -> (u32, Option<u32>) {
+        if delta < value {
+            (delta, Some(delta))
+        } else {
+            (value, None)
+        }
+    }
+
+    fn edge_contrib(&self, basis: u32, _w: Weight, _info: &VertexInfo) -> u32 {
+        basis
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgraph_core::{Engine, EngineConfig};
+    use cgraph_graph::vertex_cut::VertexCutPartitioner;
+    use cgraph_graph::{generate, GraphBuilder, Partitioner};
+
+    fn run(el: &cgraph_graph::EdgeList, parts: usize) -> Vec<u32> {
+        let ps = VertexCutPartitioner::new(parts).partition(el);
+        let mut engine = Engine::from_partitions(ps, EngineConfig::default());
+        let job = engine.submit(Wcc);
+        assert!(engine.run().completed);
+        engine.results::<Wcc>(job).unwrap()
+    }
+
+    #[test]
+    fn two_components() {
+        let el = GraphBuilder::new(6)
+            .edges([(0, 1), (1, 2), (4, 3), (5, 4)])
+            .build();
+        let labels = run(&el, 3);
+        assert_eq!(&labels[0..3], &[0, 0, 0]);
+        assert_eq!(&labels[3..6], &[3, 3, 3]);
+    }
+
+    #[test]
+    fn direction_is_ignored_for_weak_connectivity() {
+        // 2 -> 0 and 2 -> 1: all three are weakly connected.
+        let el = GraphBuilder::new(3).edges([(2, 0), (2, 1)]).build();
+        assert_eq!(run(&el, 2), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn matches_union_find_on_rmat() {
+        let el = generate::rmat(8, 3, generate::RmatParams::default(), 41);
+        let got = run(&el, 8);
+        let expect = crate::reference::wcc(&el);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn isolated_vertices_are_singletons() {
+        let el = cgraph_graph::EdgeList::from_edges(
+            vec![cgraph_graph::Edge::unit(0, 1)],
+            4,
+        );
+        let labels = run(&el, 2);
+        assert_eq!(labels, vec![0, 0, 2, 3]);
+    }
+}

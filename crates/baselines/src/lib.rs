@@ -1,0 +1,28 @@
+//! Baseline engines for the CGraph evaluation (paper §4).
+//!
+//! CLIP, Nxgraph, Seraph and Seraph-VT are closed or unavailable, so this
+//! crate re-implements *models* of each system's data-access discipline —
+//! the property the paper's evaluation actually measures — on top of the
+//! same substrate and the same [`cgraph_core::JobRuntime`] job state.
+//! Because every engine executes identical vertex programs through
+//! identical runtimes, their final results are equal by construction; only
+//! **when and for whom** partitions move through the simulated memory
+//! hierarchy differs:
+//!
+//! | Engine | Structure copies | Traversal order | Extras |
+//! |--------|------------------|-----------------|--------|
+//! | [`BaselinePreset::Sequential`] | shared (one job at a time) | ascending | — |
+//! | [`BaselinePreset::Clip`]       | per job (cache *and* memory) | per-job rotated | data re-entry |
+//! | [`BaselinePreset::Nxgraph`]    | per job | per-job rotated | dst-sorted shards (partition-local sync) |
+//! | [`BaselinePreset::Seraph`]     | one in-memory copy | per-job rotated, uncoordinated | full per-snapshot copies |
+//! | [`BaselinePreset::SeraphVt`]   | one in-memory copy | per-job rotated, uncoordinated | incremental snapshot versions |
+//!
+//! The CGraph engine itself lives in `cgraph-core`; its difference from
+//! Seraph is precisely the paper's thesis: one *cache-level* load serves
+//! every interested job, in one common, correlations-aware order.
+
+pub mod preset;
+pub mod stream;
+
+pub use preset::BaselinePreset;
+pub use stream::{Interleave, StreamConfig, StreamEngine, StructureSharing};

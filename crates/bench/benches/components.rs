@@ -1,0 +1,164 @@
+//! Component micro-benchmarks: partitioners, push strategies, straggler
+//! splitting, scheduler picking, LRU operations, and single algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cgraph_algos::{Bfs, PageRank, Sssp, Wcc};
+use cgraph_core::scheduler::{OrderScheduler, PriorityScheduler, Scheduler, SlotInfo};
+use cgraph_core::{Engine, EngineConfig, SyncStrategy};
+use cgraph_graph::core_subgraph::{CoreSubgraphPartitioner, CoreThreshold};
+use cgraph_graph::vertex_cut::VertexCutPartitioner;
+use cgraph_graph::{generate, EdgeList, Partitioner};
+use cgraph_memsim::{CacheObject, LruCache};
+
+fn graph() -> EdgeList {
+    generate::rmat(12, 8, generate::RmatParams::default(), 1)
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    let el = graph();
+    let mut group = c.benchmark_group("partitioner");
+    group.sample_size(10);
+    group.bench_function("vertex_cut/32", |b| {
+        b.iter(|| VertexCutPartitioner::new(32).partition(&el))
+    });
+    group.bench_function("core_subgraph/32", |b| {
+        b.iter(|| {
+            CoreSubgraphPartitioner::new(32, CoreThreshold::TopFraction(0.05)).partition(&el)
+        })
+    });
+    group.finish();
+}
+
+fn bench_push_strategies(c: &mut Criterion) {
+    let el = generate::rmat(11, 6, generate::RmatParams::default(), 2);
+    let ps = VertexCutPartitioner::new(24).partition(&el);
+    let mut group = c.benchmark_group("push_strategy");
+    group.sample_size(10);
+    for (name, sync) in [
+        ("batched_sorted", SyncStrategy::BatchedSorted),
+        ("immediate", SyncStrategy::Immediate),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut e = Engine::from_partitions(
+                    ps.clone(),
+                    EngineConfig { sync, workers: 2, ..EngineConfig::default() },
+                );
+                e.submit(PageRank::new(0.85, 1e-4));
+                e.submit(Sssp::new(0));
+                e.run()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_straggler_split(c: &mut Criterion) {
+    let el = generate::rmat(11, 6, generate::RmatParams::default(), 3);
+    let ps = VertexCutPartitioner::new(24).partition(&el);
+    let mut group = c.benchmark_group("straggler_split");
+    group.sample_size(10);
+    for (name, split) in [("on", true), ("off", false)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut e = Engine::from_partitions(
+                    ps.clone(),
+                    EngineConfig {
+                        straggler_split: split,
+                        workers: 2,
+                        ..EngineConfig::default()
+                    },
+                );
+                e.submit(PageRank::new(0.85, 1e-4));
+                e.submit(Bfs::new(0));
+                e.run()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scheduler_pick(c: &mut Criterion) {
+    let slots: Vec<SlotInfo> = (0..256)
+        .map(|i| SlotInfo {
+            pid: i,
+            version: 0,
+            num_jobs: (i as usize * 7) % 9 + 1,
+            avg_degree: (i as f64 * 1.37) % 40.0,
+            avg_change: (i as f64 * 0.11) % 3.0,
+        })
+        .collect();
+    let mut group = c.benchmark_group("scheduler_pick_256_slots");
+    group.bench_function("priority", |b| {
+        let mut s = PriorityScheduler::new(0.5);
+        b.iter(|| s.pick(&slots))
+    });
+    group.bench_function("fixed_order", |b| {
+        let mut s = OrderScheduler;
+        b.iter(|| s.pick(&slots))
+    });
+    group.finish();
+}
+
+fn bench_lru(c: &mut Criterion) {
+    c.bench_function("lru_access_mixed", |b| {
+        b.iter(|| {
+            let mut cache = LruCache::new(1 << 16);
+            for i in 0..2048u32 {
+                cache.insert(
+                    CacheObject::Structure { pid: i % 96, version: 0 },
+                    1024,
+                );
+            }
+            cache.used()
+        })
+    });
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let el = generate::rmat(11, 8, generate::RmatParams::default(), 4);
+    let ps = VertexCutPartitioner::new(24).partition(&el);
+    let mut group = c.benchmark_group("single_job");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("pagerank", "rmat11"), &ps, |b, ps| {
+        b.iter(|| {
+            let mut e = Engine::from_partitions(ps.clone(), EngineConfig::default());
+            e.submit(PageRank::new(0.85, 1e-3));
+            e.run()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("sssp", "rmat11"), &ps, |b, ps| {
+        b.iter(|| {
+            let mut e = Engine::from_partitions(ps.clone(), EngineConfig::default());
+            e.submit(Sssp::new(0));
+            e.run()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("bfs", "rmat11"), &ps, |b, ps| {
+        b.iter(|| {
+            let mut e = Engine::from_partitions(ps.clone(), EngineConfig::default());
+            e.submit(Bfs::new(0));
+            e.run()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("wcc", "rmat11"), &ps, |b, ps| {
+        b.iter(|| {
+            let mut e = Engine::from_partitions(ps.clone(), EngineConfig::default());
+            e.submit(Wcc);
+            e.run()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_partitioners,
+    bench_push_strategies,
+    bench_straggler_split,
+    bench_scheduler_pick,
+    bench_lru,
+    bench_algorithms
+);
+criterion_main!(benches);

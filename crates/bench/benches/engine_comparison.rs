@@ -1,0 +1,52 @@
+//! Wall-clock Criterion benchmarks of the engine zoo on the paper's
+//! four-job mix (the real-time companion to the modeled Fig. 9).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cgraph_bench::{
+    hierarchy_for, paper_mix, partitions_for, run_engine, EngineKind, Scale,
+};
+use cgraph_graph::generate::Dataset;
+use cgraph_graph::snapshot::SnapshotStore;
+
+fn bench_four_job_mix(c: &mut Criterion) {
+    let scale = Scale { shrink: 7 };
+    let mut group = c.benchmark_group("four_job_mix");
+    group.sample_size(10);
+    for ds in [Dataset::TwitterSim, Dataset::Uk2007Sim] {
+        let ps = partitions_for(ds, scale);
+        let h = hierarchy_for(ds, &ps);
+        let store = Arc::new(SnapshotStore::new(ps));
+        for kind in EngineKind::COMPARISON {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), ds.name()),
+                &kind,
+                |b, &kind| {
+                    b.iter(|| run_engine(kind, &store, 2, h, &paper_mix()));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_scheduler_ablation(c: &mut Criterion) {
+    let scale = Scale { shrink: 7 };
+    let ds = Dataset::FriendsterSim;
+    let ps = partitions_for(ds, scale);
+    let h = hierarchy_for(ds, &ps);
+    let store = Arc::new(SnapshotStore::new(ps));
+    let mut group = c.benchmark_group("scheduler_ablation");
+    group.sample_size(10);
+    for kind in [EngineKind::CGraph, EngineKind::CGraphWithout] {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| run_engine(kind, &store, 2, h, &paper_mix()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_four_job_mix, bench_scheduler_ablation);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figure 18: LLC miss rate vs number of jobs on hyperlink14-sim
+//! snapshots (5% change).
+
+use cgraph_bench::{
+    evolving_store, fmt_pct, hierarchy_for, partition_edges, print_table, run_engine,
+    BenchmarkJob, EngineKind, Scale,
+};
+use cgraph_graph::generate::Dataset;
+
+fn main() {
+    let scale = Scale::from_args();
+    let ds = Dataset::Hyperlink14Sim;
+    let h = hierarchy_for(ds, &partition_edges(&ds.generate(scale.shrink)));
+
+    let mut rows = Vec::new();
+    for njobs in [1usize, 2, 4, 8] {
+        let store = evolving_store(ds, scale, njobs, 0.05);
+        let mix: Vec<(BenchmarkJob, u64)> = (0..njobs)
+            .map(|i| (BenchmarkJob::ALL[i % 4], (i as u64 + 1) * 10))
+            .collect();
+        let mut row = vec![format!("{njobs}")];
+        for kind in EngineKind::EVOLVING {
+            let out = run_engine(kind, &store, 4, h, &mix);
+            row.push(fmt_pct(out.metrics.cache_miss_rate()));
+        }
+        rows.push(row);
+    }
+    let headers: Vec<&str> = std::iter::once("jobs")
+        .chain(EngineKind::EVOLVING.iter().map(|k| k.name()))
+        .collect();
+    print_table(
+        &format!("Fig. 18: LLC miss rate on {} snapshots vs job count", ds.name()),
+        &headers,
+        &rows,
+    );
+    println!(
+        "\npaper: CGraph's miss rate at 8 jobs is only 32.8% of its 1-job value —\n\
+         cached partitions are reused across jobs — while the baselines' rates rise."
+    );
+}

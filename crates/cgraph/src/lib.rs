@@ -1,0 +1,56 @@
+//! # CGraph: correlations-aware concurrent iterative graph processing
+//!
+//! A from-scratch Rust reproduction of *"CGraph: A Correlations-aware
+//! Approach for Efficient Concurrent Iterative Graph Processing"*
+//! (Zhang et al., USENIX ATC 2018).
+//!
+//! Many iterative analytics jobs (PageRank, SSSP, SCC, BFS, …) often run
+//! *concurrently over the same graph*.  CGraph decouples the shared graph
+//! structure from per-job vertex state and streams structure partitions
+//! through the cache **once per round for all jobs** (the LTP —
+//! Load-Trigger-Push — model), ordered by a correlations-aware scheduler.
+//! The result is a much lower data-access-to-compute ratio and, in the
+//! paper, up to 2.31× higher throughput than the best prior system.
+//!
+//! This facade re-exports the whole workspace:
+//!
+//! * [`graph`] — CSR, vertex-cut + core-subgraph partitioning, generators,
+//!   I/O, evolving-graph snapshots.
+//! * [`memsim`] — the partition-granular memory-hierarchy simulator and
+//!   cost model behind every reproducible "time"/"miss rate" figure.
+//! * [`core`] — the LTP engine, scheduler, and vertex-program API.
+//! * [`algos`] — eight algorithms expressed as vertex programs, plus
+//!   single-threaded references.
+//! * [`baselines`] — access-discipline models of CLIP, Nxgraph, Seraph,
+//!   Seraph-VT and sequential execution.
+//! * [`trace`] — synthetic CGP workload traces (the paper's Fig. 1).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cgraph::core::{Engine, EngineConfig, JobEngine};
+//! use cgraph::algos::{Bfs, PageRank};
+//! use cgraph::graph::vertex_cut::VertexCutPartitioner;
+//! use cgraph::graph::{generate, Partitioner};
+//!
+//! // Build and partition a graph once...
+//! let edges = generate::rmat(10, 8, generate::RmatParams::default(), 42);
+//! let parts = VertexCutPartitioner::new(16).partition(&edges);
+//!
+//! // ...then run any number of jobs concurrently over it.
+//! let mut engine = Engine::from_partitions(parts, EngineConfig::default());
+//! let pr = engine.submit(PageRank::default());
+//! let bfs = engine.submit(Bfs::new(0));
+//! let report = engine.run();
+//! assert!(report.completed);
+//! let ranks = engine.results::<PageRank>(pr).unwrap();
+//! let hops = engine.results::<Bfs>(bfs).unwrap();
+//! assert_eq!(ranks.len(), hops.len());
+//! ```
+
+pub use cgraph_algos as algos;
+pub use cgraph_baselines as baselines;
+pub use cgraph_core as core;
+pub use cgraph_graph as graph;
+pub use cgraph_memsim as memsim;
+pub use cgraph_trace as trace;

@@ -1,0 +1,133 @@
+//! A common capability trait over every engine in the workspace.
+//!
+//! The CGraph engine ([`crate::Engine`]) and the baseline streaming engines
+//! (`cgraph-baselines`) expose the same submit/run/results surface through
+//! [`JobEngine`], so multi-phase drivers (SCC) and the experiment harness
+//! are engine-agnostic.
+
+use cgraph_memsim::{CostModel, JobMetrics, Metrics};
+
+use crate::job::JobId;
+use crate::program::VertexProgram;
+use crate::RunReport;
+
+/// Engine-agnostic submit/run/inspect interface.
+pub trait JobEngine {
+    /// Submits a job bound to the newest snapshot.
+    fn submit_program<P: VertexProgram>(&mut self, program: P) -> JobId;
+
+    /// Submits a job arriving at `ts` (binds the newest snapshot ≤ `ts`).
+    fn submit_program_at<P: VertexProgram>(&mut self, program: P, ts: u64) -> JobId;
+
+    /// Runs all submitted jobs to convergence.
+    fn run_jobs(&mut self) -> RunReport;
+
+    /// Typed results of a job.
+    fn typed_results<P: VertexProgram>(&self, job: JobId) -> Option<Vec<P::Value>>;
+
+    /// Per-job attributed metrics.
+    fn job_metrics_of(&self, job: JobId) -> JobMetrics;
+
+    /// Global counters accumulated so far.
+    fn global_metrics(&self) -> Metrics;
+
+    /// The engine's cost model.
+    fn cost(&self) -> CostModel;
+
+    /// Worker count.
+    fn workers(&self) -> usize;
+
+    /// Whether submitted jobs execute concurrently (contending for the
+    /// data-access channel) rather than one after another.
+    fn is_concurrent(&self) -> bool {
+        true
+    }
+
+    /// The snapshot store the engine executes over.
+    fn snapshot_store(&self) -> &std::sync::Arc<cgraph_graph::snapshot::SnapshotStore>;
+}
+
+impl JobEngine for crate::Engine {
+    fn submit_program<P: VertexProgram>(&mut self, program: P) -> JobId {
+        self.submit(program)
+    }
+
+    fn submit_program_at<P: VertexProgram>(&mut self, program: P, ts: u64) -> JobId {
+        self.submit_at(program, ts)
+    }
+
+    fn run_jobs(&mut self) -> RunReport {
+        self.run()
+    }
+
+    fn typed_results<P: VertexProgram>(&self, job: JobId) -> Option<Vec<P::Value>> {
+        self.results::<P>(job)
+    }
+
+    fn job_metrics_of(&self, job: JobId) -> JobMetrics {
+        self.job_metrics(job)
+    }
+
+    fn global_metrics(&self) -> Metrics {
+        *self.metrics()
+    }
+
+    fn cost(&self) -> CostModel {
+        *self.cost_model()
+    }
+
+    fn workers(&self) -> usize {
+        self.config().workers
+    }
+
+    fn snapshot_store(&self) -> &std::sync::Arc<cgraph_graph::snapshot::SnapshotStore> {
+        self.store()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Engine, EngineConfig};
+    use cgraph_graph::vertex_cut::VertexCutPartitioner;
+    use cgraph_graph::{generate, Partitioner};
+
+    /// Exercise the trait through a generic function.
+    fn count_jobs<E: JobEngine>(engine: &mut E) -> usize {
+        struct Noop;
+        impl VertexProgram for Noop {
+            type Value = u32;
+            fn init(&self, _: &crate::VertexInfo) -> (u32, u32) {
+                (0, 0)
+            }
+            fn identity(&self) -> u32 {
+                0
+            }
+            fn acc(&self, a: u32, b: u32) -> u32 {
+                a.max(b)
+            }
+            fn is_active(&self, _: &u32, _: &u32) -> bool {
+                false
+            }
+            fn compute(&self, _: &crate::VertexInfo, v: u32, _: u32) -> (u32, Option<u32>) {
+                (v, None)
+            }
+            fn edge_contrib(&self, b: u32, _: f32, _: &crate::VertexInfo) -> u32 {
+                b
+            }
+        }
+        let id = engine.submit_program(Noop);
+        let report = engine.run_jobs();
+        assert!(report.completed);
+        assert!(engine.typed_results::<Noop>(id).is_some());
+        id as usize + 1
+    }
+
+    #[test]
+    fn engine_implements_job_engine() {
+        let ps = VertexCutPartitioner::new(2).partition(&generate::cycle(8));
+        let mut engine = Engine::from_partitions(ps, EngineConfig::default());
+        assert_eq!(count_jobs(&mut engine), 1);
+        assert_eq!(engine.workers(), EngineConfig::default().workers);
+    }
+}

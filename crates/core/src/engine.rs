@@ -1,0 +1,460 @@
+//! The CGraph executor (paper Alg. 3): Load — Trigger — Push.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use cgraph_graph::snapshot::SnapshotStore;
+use cgraph_graph::{PartitionId, PartitionSet, VersionId};
+use cgraph_memsim::{
+    CacheObject, CostModel, HierarchyConfig, JobMetrics, MemoryHierarchy, Metrics,
+};
+
+use crate::job::{JobId, JobRuntime, PushStats, TypedJob};
+use crate::program::VertexProgram;
+use crate::scheduler::{OrderScheduler, PriorityScheduler, Scheduler, SlotInfo};
+use crate::workers::{plan_chunks, run_chunk_tasks};
+
+/// How Push charges vertex-state synchronization to the memory hierarchy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncStrategy {
+    /// The paper's batched sorted push (Alg. 2): records are sorted by
+    /// destination partition, so each private-table partition is loaded
+    /// once per push.
+    BatchedSorted,
+    /// The naive alternative: every record individually touches its
+    /// destination partition (the ablation for design decision D4).
+    Immediate,
+}
+
+/// Which scheduler drives partition loading.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SchedulerKind {
+    /// The paper's `Pri(P) = N(P) + θ·D(P)·C(P)` (Eq. 1); `theta` is the
+    /// fraction of the admissible θ range.
+    Priority {
+        /// Fraction of the admissible θ range, in `[0, 1)`.
+        theta: f64,
+    },
+    /// Fixed partition-id order: the `CGraph-without` ablation (Fig. 8).
+    FixedOrder,
+}
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Trigger-stage worker threads (the paper's per-core workers); also
+    /// the job batch size when more jobs share a partition than workers.
+    pub workers: usize,
+    /// Simulated cache/memory capacities.
+    pub hierarchy: HierarchyConfig,
+    /// Cost model for modeled time.
+    pub cost: CostModel,
+    /// Push charging strategy.
+    pub sync: SyncStrategy,
+    /// Whether to split the straggler job's vertices across free cores.
+    pub straggler_split: bool,
+    /// Partition-loading scheduler.
+    pub scheduler: SchedulerKind,
+    /// Safety valve: abort `run` after this many partition loads.
+    pub max_loads: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 4,
+            hierarchy: HierarchyConfig::default(),
+            cost: CostModel::default(),
+            sync: SyncStrategy::BatchedSorted,
+            straggler_split: true,
+            scheduler: SchedulerKind::Priority { theta: 0.5 },
+            max_loads: u64::MAX,
+        }
+    }
+}
+
+/// Summary of one [`Engine::run`] call.
+#[derive(Clone, Copy, Debug)]
+pub struct RunReport {
+    /// Partition loads performed.
+    pub loads: u64,
+    /// Counter deltas accumulated during this run.
+    pub metrics: Metrics,
+    /// Modeled makespan of this run under the engine's cost model.
+    pub modeled_seconds: f64,
+    /// `false` if the run stopped at `max_loads` before all jobs converged.
+    pub completed: bool,
+}
+
+struct JobEntry {
+    runtime: Box<dyn JobRuntime>,
+    done: bool,
+}
+
+/// The concurrent iterative graph-processing engine.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use cgraph_core::{Engine, EngineConfig};
+/// use cgraph_graph::snapshot::SnapshotStore;
+/// use cgraph_graph::vertex_cut::VertexCutPartitioner;
+/// use cgraph_graph::{generate, Partitioner};
+///
+/// let edges = generate::cycle(64);
+/// let parts = VertexCutPartitioner::new(4).partition(&edges);
+/// let mut engine = Engine::new(
+///     Arc::new(SnapshotStore::new(parts)),
+///     EngineConfig::default(),
+/// );
+/// // Programs live in `cgraph-algos`; see that crate for submissions.
+/// let report = engine.run();
+/// assert!(report.completed);
+/// ```
+pub struct Engine {
+    config: EngineConfig,
+    store: Arc<SnapshotStore>,
+    hierarchy: MemoryHierarchy,
+    scheduler: Box<dyn Scheduler>,
+    jobs: Vec<JobEntry>,
+    job_metrics: Vec<JobMetrics>,
+    loads: u64,
+}
+
+impl Engine {
+    /// Creates an engine over a snapshot store.
+    pub fn new(store: Arc<SnapshotStore>, config: EngineConfig) -> Self {
+        let scheduler: Box<dyn Scheduler> = match config.scheduler {
+            SchedulerKind::Priority { theta } => Box::new(PriorityScheduler::new(theta)),
+            SchedulerKind::FixedOrder => Box::new(OrderScheduler),
+        };
+        Engine {
+            config,
+            store,
+            hierarchy: MemoryHierarchy::new(config.hierarchy),
+            scheduler,
+            jobs: Vec::new(),
+            job_metrics: Vec::new(),
+            loads: 0,
+        }
+    }
+
+    /// Convenience constructor for a static (single-snapshot) graph.
+    pub fn from_partitions(parts: PartitionSet, config: EngineConfig) -> Self {
+        Engine::new(Arc::new(SnapshotStore::new(parts)), config)
+    }
+
+    /// Submits a job bound to the newest snapshot. Returns its id.
+    pub fn submit<P: VertexProgram>(&mut self, program: P) -> JobId {
+        let ts = self.store.latest_timestamp();
+        self.submit_at(program, ts)
+    }
+
+    /// Submits a job arriving at time `ts`: it binds to the newest snapshot
+    /// whose timestamp does not exceed `ts` (paper §3.2.1, Fig. 5).
+    pub fn submit_at<P: VertexProgram>(&mut self, program: P, ts: u64) -> JobId {
+        let id = self.jobs.len() as JobId;
+        let view = self.store.view_at(ts);
+        let runtime = TypedJob::new(id, program, view);
+        let done = runtime.is_converged();
+        self.jobs.push(JobEntry { runtime: Box::new(runtime), done });
+        self.job_metrics.push(JobMetrics::default());
+        id
+    }
+
+    /// Runs all submitted jobs to convergence (Alg. 3).
+    ///
+    /// Jobs submitted after a `run` returns are picked up by the next call,
+    /// matching the paper's runtime registration of new jobs.
+    pub fn run(&mut self) -> RunReport {
+        let start_metrics = *self.hierarchy.metrics();
+        let start_loads = self.loads;
+        let mut completed = true;
+        loop {
+            for entry in &mut self.jobs {
+                if !entry.done && entry.runtime.is_converged() {
+                    entry.done = true;
+                }
+            }
+            let slots = self.collect_slots();
+            if slots.is_empty() {
+                break;
+            }
+            if self.loads - start_loads >= self.config.max_loads {
+                completed = false;
+                break;
+            }
+            let infos = self.slot_infos(&slots);
+            let pick = self.scheduler.pick(&infos);
+            let (&(pid, version), job_idxs) =
+                slots.iter().nth(pick).expect("pick within slot range");
+            let job_idxs = job_idxs.clone();
+            self.load_and_trigger(pid, version, &job_idxs);
+            self.push_completed(&job_idxs);
+            self.loads += 1;
+        }
+        let metrics = self.hierarchy.metrics().since(&start_metrics);
+        RunReport {
+            loads: self.loads - start_loads,
+            metrics,
+            modeled_seconds: self.config.cost.total_seconds(&metrics, self.config.workers),
+            completed,
+        }
+    }
+
+    /// All `(partition, version)` slots needed by at least one job, with
+    /// the interested jobs.
+    fn collect_slots(&self) -> BTreeMap<(PartitionId, VersionId), Vec<usize>> {
+        let mut slots: BTreeMap<(PartitionId, VersionId), Vec<usize>> = BTreeMap::new();
+        for (idx, entry) in self.jobs.iter().enumerate() {
+            if entry.done {
+                continue;
+            }
+            let view = entry.runtime.view();
+            for pid in entry.runtime.pending() {
+                slots
+                    .entry((pid, view.version_of(pid)))
+                    .or_default()
+                    .push(idx);
+            }
+        }
+        slots
+    }
+
+    fn slot_infos(
+        &self,
+        slots: &BTreeMap<(PartitionId, VersionId), Vec<usize>>,
+    ) -> Vec<SlotInfo> {
+        slots
+            .iter()
+            .map(|(&(pid, version), jobs)| {
+                let part = self.jobs[jobs[0]].runtime.view().partition(pid);
+                let avg_change = jobs
+                    .iter()
+                    .map(|&j| self.jobs[j].runtime.partition_change(pid))
+                    .sum::<f64>()
+                    / jobs.len() as f64;
+                SlotInfo {
+                    pid,
+                    version,
+                    num_jobs: jobs.len(),
+                    avg_degree: part.avg_degree(),
+                    avg_change,
+                }
+            })
+            .collect()
+    }
+
+    /// Load + Trigger for one slot: the first job's access loads the
+    /// shared structure partition; it is then pinned, so every further
+    /// job's access — the reads that per-job engines turn into fresh loads
+    /// — hits the cache.  This is exactly the amortization behind the
+    /// paper's Fig. 11/12.
+    fn load_and_trigger(&mut self, pid: PartitionId, version: VersionId, job_idxs: &[usize]) {
+        let structure = CacheObject::Structure { pid, version };
+        let sbytes = self.jobs[job_idxs[0]]
+            .runtime
+            .view()
+            .partition(pid)
+            .structure_bytes();
+        let mut pinned = false;
+        let batch_size = self.config.workers.max(1);
+        for batch in job_idxs.chunks(batch_size) {
+            // Each job in the batch touches the structure partition; after
+            // the first touch it is pinned resident for the whole slot.
+            for &j in batch {
+                let outcome = self.hierarchy.access(structure, sbytes);
+                if !pinned {
+                    self.hierarchy.pin(&structure);
+                    pinned = true;
+                }
+                let jm = &mut self.job_metrics[j];
+                jm.attributed_accesses += 1.0;
+                if !outcome.cache_hit {
+                    jm.attributed_misses += 1.0;
+                    jm.attributed_bytes += sbytes as f64;
+                }
+            }
+            // Load the batch's private tables (structure stays pinned;
+            // only job-specific tables rotate, §3.2.3).
+            for &j in batch {
+                let tbytes = self.jobs[j].runtime.private_table_bytes(pid);
+                let outcome = self
+                    .hierarchy
+                    .access(CacheObject::PrivateTable { job: j as u32, pid }, tbytes);
+                let jm = &mut self.job_metrics[j];
+                jm.attributed_accesses += 1.0;
+                if !outcome.cache_hit {
+                    jm.attributed_misses += 1.0;
+                    jm.attributed_bytes += tbytes as f64;
+                }
+            }
+
+            let unprocessed: Vec<u64> = batch
+                .iter()
+                .map(|&j| self.jobs[j].runtime.unprocessed_vertices(pid))
+                .collect();
+            let tasks = plan_chunks(
+                pid,
+                &unprocessed,
+                self.config.workers.max(batch.len()),
+                self.config.straggler_split,
+            );
+            let runtimes: Vec<&dyn JobRuntime> =
+                batch.iter().map(|&j| &*self.jobs[j].runtime).collect();
+            let stats = run_chunk_tasks(self.config.workers, &runtimes, &tasks);
+            drop(runtimes);
+            for (slot, &j) in batch.iter().enumerate() {
+                let s = stats[slot];
+                self.jobs[j].runtime.mark_processed(pid);
+                let jm = &mut self.job_metrics[j];
+                jm.vertex_ops += s.vertex_ops;
+                jm.edge_ops += s.edge_ops;
+                let m = self.hierarchy.metrics_mut();
+                m.vertex_ops += s.vertex_ops;
+                m.edge_ops += s.edge_ops;
+            }
+        }
+        self.hierarchy.unpin(&structure);
+    }
+
+    /// Push for every job that just finished its iteration.
+    fn push_completed(&mut self, job_idxs: &[usize]) {
+        for &j in job_idxs {
+            if self.jobs[j].done
+                || self.jobs[j].runtime.is_converged()
+                || !self.jobs[j].runtime.iteration_complete()
+            {
+                if self.jobs[j].runtime.is_converged() {
+                    self.finish_job(j);
+                }
+                continue;
+            }
+            let stats = self.jobs[j].runtime.push_and_advance();
+            self.charge_push(j, &stats);
+            self.job_metrics[j].iterations += 1;
+            if stats.converged {
+                self.finish_job(j);
+            }
+        }
+    }
+
+    fn charge_push(&mut self, j: usize, stats: &PushStats) {
+        self.hierarchy.metrics_mut().sync_ops += stats.sync_records;
+        self.job_metrics[j].sync_ops += stats.sync_records;
+        let touched = stats
+            .touched_master_parts
+            .iter()
+            .chain(stats.touched_mirror_parts.iter());
+        for &(pid, records) in touched {
+            let tbytes = self.jobs[j].runtime.private_table_bytes(pid);
+            let times = match self.config.sync {
+                SyncStrategy::BatchedSorted => 1,
+                SyncStrategy::Immediate => records.max(1),
+            };
+            for _ in 0..times {
+                let outcome = self
+                    .hierarchy
+                    .access(CacheObject::PrivateTable { job: j as u32, pid }, tbytes);
+                let jm = &mut self.job_metrics[j];
+                jm.attributed_accesses += 1.0;
+                if !outcome.cache_hit {
+                    jm.attributed_misses += 1.0;
+                    jm.attributed_bytes += tbytes as f64;
+                }
+            }
+        }
+    }
+
+    fn finish_job(&mut self, j: usize) {
+        if !self.jobs[j].done {
+            self.jobs[j].done = true;
+            self.hierarchy.evict_job(j as u32);
+        }
+    }
+
+    /// Typed results of a finished (or running) job; `None` if `job` is
+    /// unknown or was submitted with a different program type.
+    pub fn results<P: VertexProgram>(&self, job: JobId) -> Option<Vec<P::Value>> {
+        let entry = self.jobs.get(job as usize)?;
+        entry
+            .runtime
+            .as_any()
+            .downcast_ref::<TypedJob<P>>()
+            .map(|t| t.extract())
+    }
+
+    /// The job's display name.
+    pub fn job_name(&self, job: JobId) -> Option<String> {
+        self.jobs.get(job as usize).map(|e| e.runtime.name())
+    }
+
+    /// Whether the job has converged.
+    pub fn job_done(&self, job: JobId) -> bool {
+        self.jobs
+            .get(job as usize)
+            .map(|e| e.done)
+            .unwrap_or(false)
+    }
+
+    /// Iterations the job ran (counted as Push stages).
+    pub fn job_iterations(&self, job: JobId) -> u64 {
+        self.job_metrics
+            .get(job as usize)
+            .map(|m| m.iterations)
+            .unwrap_or(0)
+    }
+
+    /// Per-job attributed metrics.
+    pub fn job_metrics(&self, job: JobId) -> JobMetrics {
+        self.job_metrics
+            .get(job as usize)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Number of submitted jobs.
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Accumulated global counters.
+    pub fn metrics(&self) -> &Metrics {
+        self.hierarchy.metrics()
+    }
+
+    /// The engine's cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.config.cost
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The underlying snapshot store.
+    pub fn store(&self) -> &Arc<SnapshotStore> {
+        &self.store
+    }
+
+    /// Total partition loads since construction.
+    pub fn total_loads(&self) -> u64 {
+        self.loads
+    }
+
+    /// Modeled makespan of everything run so far.
+    pub fn modeled_seconds(&self) -> f64 {
+        self.config
+            .cost
+            .total_seconds(self.hierarchy.metrics(), self.config.workers)
+    }
+
+    /// Modeled CPU utilization of everything run so far (Fig. 15).
+    pub fn utilization(&self) -> f64 {
+        self.config
+            .cost
+            .utilization(self.hierarchy.metrics(), self.config.workers)
+    }
+}

@@ -1,0 +1,37 @@
+//! The CGraph LTP (Load–Trigger–Push) execution engine.
+//!
+//! This crate is the paper's primary contribution: an execution model that
+//! lets many **C**oncurrent iterative **G**raph **P**rocessing jobs share
+//! the graph-structure data — and the *accesses* to it — by exploiting the
+//! spatial and temporal correlations between their data accesses.
+//!
+//! * [`VertexProgram`] — the three-function user API
+//!   (`IsNotConvergent` / `Compute` / `Acc`, paper §3.4) expressed as a
+//!   typed delta-accumulator program.
+//! * [`TypedJob`] / [`JobRuntime`] — one running job: private state tables
+//!   decoupled from the shared structure (§3.1), Trigger (Alg. 1) and the
+//!   batched sorted Push (Alg. 2).
+//! * [`Engine`] — the executor (Alg. 3): loads each needed structure
+//!   partition once per round through the simulated memory hierarchy,
+//!   triggers every interested job (in batches, with straggler splitting),
+//!   then runs each finishing job's Push.
+//! * [`scheduler`] — the correlations-aware priority scheduler
+//!   (`Pri(P) = N(P) + θ·D(P)·C(P)`, Eq. 1) and the fixed-order ablation.
+//!
+//! Concrete algorithms (PageRank, SSSP, BFS, WCC, SCC, …) live in
+//! `cgraph-algos`; baseline engines that drive the *same* job runtimes with
+//! per-job access patterns live in `cgraph-baselines`.
+
+pub mod api;
+pub mod engine;
+pub mod job;
+pub mod program;
+pub mod scheduler;
+pub mod state;
+pub mod workers;
+
+pub use api::JobEngine;
+pub use engine::{Engine, EngineConfig, RunReport, SchedulerKind, SyncStrategy};
+pub use job::{JobId, JobRuntime, ProcessStats, PushStats, TypedJob};
+pub use program::{EdgeDirection, VertexInfo, VertexProgram};
+pub use scheduler::{OrderScheduler, PriorityScheduler, Scheduler, SlotInfo};

@@ -1,0 +1,178 @@
+//! The user-facing vertex-program abstraction.
+//!
+//! The paper's programming interface is three functions —
+//! `IsNotConvergent()`, `Compute()` and `Acc()` (§3.4, Fig. 7).  This trait
+//! is the same contract factored for a typed engine: `Compute()` splits
+//! into its value-update half ([`VertexProgram::compute`]) and its per-edge
+//! half ([`VertexProgram::edge_contrib`]) so the engine can parallelize the
+//! scatter without re-entering user code for bookkeeping.
+
+use cgraph_graph::{VertexId, Weight};
+
+/// Which adjacency a program traverses when scattering contributions.
+///
+/// Every structure partition stores both CSR orientations over its edge
+/// share, so backward-traversing phases (e.g. SCC's backward reachability)
+/// run on the *same* shared partitions as forward jobs — no second graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeDirection {
+    /// Scatter along out-edges (source → destination).
+    Out,
+    /// Scatter along in-edges (destination → source).
+    In,
+    /// Scatter along both orientations (undirected semantics, e.g. WCC).
+    Both,
+}
+
+/// Static per-vertex information available to a program.
+#[derive(Clone, Copy, Debug)]
+pub struct VertexInfo {
+    /// Global vertex id.
+    pub vid: VertexId,
+    /// Whole-graph out-degree.
+    pub out_degree: u32,
+    /// Whole-graph in-degree.
+    pub in_degree: u32,
+}
+
+/// A delta-accumulator vertex program (one CGP job's logic).
+///
+/// # Semantics
+///
+/// Each vertex carries a `(value, delta)` pair of type
+/// [`Value`](VertexProgram::Value).  Within an iteration, for every vertex
+/// whose pending delta is *active* ([`is_active`](VertexProgram::is_active)
+/// — the paper's `IsNotConvergent`), the engine:
+///
+/// 1. calls [`compute`](VertexProgram::compute) to fold the delta into the
+///    value and obtain an optional *scatter basis*;
+/// 2. for each local edge, calls [`edge_contrib`](VertexProgram::edge_contrib)
+///    and accumulates the contribution into the neighbor's incoming delta
+///    with [`acc`](VertexProgram::acc) (the paper's `Acc`).
+///
+/// New deltas become visible at the next iteration, after the Push stage
+/// synchronizes replicas.  `acc` must be commutative and associative and
+/// [`identity`](VertexProgram::identity) must be its identity element —
+/// results are then independent of partition processing order.
+pub trait VertexProgram: Send + Sync + 'static {
+    /// The per-vertex state (and delta) type.
+    type Value: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static;
+
+    /// Human-readable job name for reports.
+    fn name(&self) -> String {
+        "job".to_string()
+    }
+
+    /// Traversal direction (default forward).
+    fn direction(&self) -> EdgeDirection {
+        EdgeDirection::Out
+    }
+
+    /// Initial `(value, delta)` for a vertex.
+    fn init(&self, info: &VertexInfo) -> (Self::Value, Self::Value);
+
+    /// The identity element of [`acc`](Self::acc); a delta equal to this is
+    /// "no pending work".
+    fn identity(&self) -> Self::Value;
+
+    /// Commutative, associative accumulation of two deltas.
+    fn acc(&self, a: Self::Value, b: Self::Value) -> Self::Value;
+
+    /// The paper's `IsNotConvergent`: must the vertex be processed given
+    /// its current value and pending delta?
+    fn is_active(&self, value: &Self::Value, delta: &Self::Value) -> bool;
+
+    /// Folds a pending delta into the value.
+    ///
+    /// Returns the new value and, if the change must propagate, the scatter
+    /// basis passed to [`edge_contrib`](Self::edge_contrib).
+    fn compute(
+        &self,
+        info: &VertexInfo,
+        value: Self::Value,
+        delta: Self::Value,
+    ) -> (Self::Value, Option<Self::Value>);
+
+    /// The contribution this vertex sends a neighbor over one edge.
+    fn edge_contrib(&self, basis: Self::Value, weight: Weight, info: &VertexInfo) -> Self::Value;
+
+    /// Magnitude of a delta, used by the scheduler's `C(P)` term (Eq. 1).
+    /// The default treats every activation as magnitude 1.
+    fn delta_magnitude(&self, _delta: &Self::Value) -> f64 {
+        1.0
+    }
+
+    /// Final readout: fold any residual (inactive) delta into the value.
+    /// The default re-uses [`compute`](Self::compute).
+    fn finalize(&self, info: &VertexInfo, value: Self::Value, delta: Self::Value) -> Self::Value {
+        if delta == self.identity() {
+            value
+        } else {
+            self.compute(info, value, delta).0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal min-propagation program for trait-default tests.
+    struct MinProg;
+
+    impl VertexProgram for MinProg {
+        type Value = u32;
+
+        fn init(&self, info: &VertexInfo) -> (u32, u32) {
+            if info.vid == 0 {
+                (u32::MAX, 0)
+            } else {
+                (u32::MAX, u32::MAX)
+            }
+        }
+
+        fn identity(&self) -> u32 {
+            u32::MAX
+        }
+
+        fn acc(&self, a: u32, b: u32) -> u32 {
+            a.min(b)
+        }
+
+        fn is_active(&self, value: &u32, delta: &u32) -> bool {
+            delta < value
+        }
+
+        fn compute(&self, _info: &VertexInfo, value: u32, delta: u32) -> (u32, Option<u32>) {
+            if delta < value {
+                (delta, Some(delta))
+            } else {
+                (value, None)
+            }
+        }
+
+        fn edge_contrib(&self, basis: u32, _w: Weight, _info: &VertexInfo) -> u32 {
+            basis.saturating_add(1)
+        }
+    }
+
+    #[test]
+    fn default_name_and_direction() {
+        let p = MinProg;
+        assert_eq!(p.name(), "job");
+        assert_eq!(p.direction(), EdgeDirection::Out);
+    }
+
+    #[test]
+    fn finalize_folds_residual_delta() {
+        let p = MinProg;
+        let info = VertexInfo { vid: 1, out_degree: 0, in_degree: 0 };
+        assert_eq!(p.finalize(&info, 10, 3), 3);
+        assert_eq!(p.finalize(&info, 10, u32::MAX), 10);
+    }
+
+    #[test]
+    fn default_magnitude_is_one() {
+        assert_eq!(MinProg.delta_magnitude(&5), 1.0);
+    }
+}

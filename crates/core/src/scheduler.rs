@@ -1,0 +1,168 @@
+//! Partition-loading schedulers (paper §3.3, Eq. 1).
+
+use cgraph_graph::{PartitionId, VersionId};
+
+/// Everything the scheduler may consider about one loadable slot — a
+/// `(partition, snapshot version)` pair needed by at least one job.
+#[derive(Clone, Copy, Debug)]
+pub struct SlotInfo {
+    /// Partition id.
+    pub pid: PartitionId,
+    /// Snapshot version of the partition.
+    pub version: VersionId,
+    /// `N(P)`: jobs that will process this slot now (temporal correlation).
+    pub num_jobs: usize,
+    /// `D(P)`: average whole-graph degree of the partition's replicas.
+    pub avg_degree: f64,
+    /// `C(P)`: average state-change magnitude at the previous iteration,
+    /// averaged over the interested jobs.
+    pub avg_change: f64,
+}
+
+/// Chooses which pending slot to load next.
+pub trait Scheduler: Send {
+    /// Returns the index of the chosen slot.  `slots` is never empty.
+    fn pick(&mut self, slots: &[SlotInfo]) -> usize;
+
+    /// Scheduler name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's correlations-aware priority scheduler:
+/// `Pri(P) = N(P) + θ·D(P)·C(P)` with `0 ≤ θ < 1/(Dmax·Cmax)` so the
+/// job-count term dominates and the degree/change product breaks ties.
+///
+/// `theta` here is the *fraction* of the admissible range: the effective
+/// θ is `theta / (Dmax·Cmax)`, re-derived from the live slot set exactly as
+/// the paper's runtime system derives it from profiled maxima.
+#[derive(Clone, Copy, Debug)]
+pub struct PriorityScheduler {
+    /// Fraction of the admissible θ range, in `[0, 1)`.
+    pub theta: f64,
+}
+
+impl PriorityScheduler {
+    /// Creates a scheduler with the given θ fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta` is outside `[0, 1)`.
+    pub fn new(theta: f64) -> Self {
+        assert!((0.0..1.0).contains(&theta), "theta fraction must be in [0, 1)");
+        PriorityScheduler { theta }
+    }
+
+    /// The priority of a slot given the live maxima.
+    pub fn priority(&self, slot: &SlotInfo, dmax: f64, cmax: f64) -> f64 {
+        let scale = dmax * cmax;
+        let theta_eff = if scale > 0.0 { self.theta / scale } else { 0.0 };
+        slot.num_jobs as f64 + theta_eff * slot.avg_degree * slot.avg_change
+    }
+}
+
+impl Scheduler for PriorityScheduler {
+    fn pick(&mut self, slots: &[SlotInfo]) -> usize {
+        let dmax = slots.iter().map(|s| s.avg_degree).fold(0.0, f64::max);
+        let cmax = slots.iter().map(|s| s.avg_change).fold(0.0, f64::max);
+        let mut best = 0;
+        let mut best_pri = f64::NEG_INFINITY;
+        for (i, s) in slots.iter().enumerate() {
+            let pri = self.priority(s, dmax, cmax);
+            // Strict `>` keeps the lowest (pid, version) on ties because
+            // the engine presents slots in sorted order.
+            if pri > best_pri {
+                best_pri = pri;
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn name(&self) -> &'static str {
+        "priority"
+    }
+}
+
+/// Fixed-order loading (lowest partition id first): the `CGraph-without`
+/// ablation of the paper's Fig. 8 — the LTP sharing remains, the
+/// correlations-aware ordering does not.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OrderScheduler;
+
+impl Scheduler for OrderScheduler {
+    fn pick(&mut self, slots: &[SlotInfo]) -> usize {
+        let mut best = 0;
+        for (i, s) in slots.iter().enumerate() {
+            if (s.pid, s.version) < (slots[best].pid, slots[best].version) {
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed-order"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slot(pid: u32, jobs: usize, deg: f64, chg: f64) -> SlotInfo {
+        SlotInfo { pid, version: 0, num_jobs: jobs, avg_degree: deg, avg_change: chg }
+    }
+
+    #[test]
+    fn job_count_dominates_priority() {
+        let mut s = PriorityScheduler::new(0.9);
+        // Slot 1 has one more job but minimal degree/change; it must win
+        // regardless of slot 0's huge degree.
+        let slots = [slot(0, 2, 1000.0, 1000.0), slot(1, 3, 0.1, 0.1)];
+        assert_eq!(s.pick(&slots), 1);
+    }
+
+    #[test]
+    fn degree_change_product_breaks_ties() {
+        let mut s = PriorityScheduler::new(0.5);
+        let slots = [slot(0, 2, 5.0, 1.0), slot(1, 2, 50.0, 1.0)];
+        assert_eq!(s.pick(&slots), 1);
+    }
+
+    #[test]
+    fn theta_zero_reduces_to_job_count() {
+        let mut s = PriorityScheduler::new(0.0);
+        let slots = [slot(0, 2, 1.0, 1.0), slot(1, 2, 99.0, 99.0)];
+        // Equal N, theta 0: first (lowest pid) wins.
+        assert_eq!(s.pick(&slots), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta fraction")]
+    fn theta_out_of_range_rejected() {
+        PriorityScheduler::new(1.0);
+    }
+
+    #[test]
+    fn order_scheduler_ignores_priorities() {
+        let mut s = OrderScheduler;
+        let slots = [slot(3, 9, 9.0, 9.0), slot(1, 1, 0.0, 0.0)];
+        assert_eq!(s.pick(&slots), 1);
+    }
+
+    #[test]
+    fn priority_value_matches_formula() {
+        let s = PriorityScheduler::new(0.5);
+        let sl = slot(0, 4, 10.0, 2.0);
+        // dmax=10, cmax=2 -> theta_eff = 0.5/20; pri = 4 + 0.025*20 = 4.5.
+        let pri = s.priority(&sl, 10.0, 2.0);
+        assert!((pri - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_maxima_safe() {
+        let s = PriorityScheduler::new(0.5);
+        let sl = slot(0, 1, 0.0, 0.0);
+        assert_eq!(s.priority(&sl, 0.0, 0.0), 1.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! The trigger-stage worker pool.
+//!
+//! For each loaded partition the engine builds one chunk-task per (job,
+//! chunk) pair and drains them over a shared queue with `workers` scoped
+//! threads.  Straggler splitting (paper §3.2.3, Fig. 6) falls out of the
+//! task list: the job with the most unprocessed vertices contributes more
+//! chunks, so free cores naturally assist it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use cgraph_graph::PartitionId;
+
+use crate::job::{JobRuntime, ProcessStats};
+
+/// One unit of trigger work: chunk `chunk` of `nchunks` of partition `pid`
+/// for the job at `job_slot` (an index into the batch's job list).
+#[derive(Clone, Copy, Debug)]
+pub struct ChunkTask {
+    /// Index into the job slice handed to [`run_chunk_tasks`].
+    pub job_slot: usize,
+    /// Partition to process.
+    pub pid: PartitionId,
+    /// Chunk index.
+    pub chunk: usize,
+    /// Total chunks this job's partition was split into.
+    pub nchunks: usize,
+}
+
+/// Executes the tasks on up to `workers` threads and returns per-job-slot
+/// accumulated compute statistics.
+pub fn run_chunk_tasks(
+    workers: usize,
+    jobs: &[&dyn JobRuntime],
+    tasks: &[ChunkTask],
+) -> Vec<ProcessStats> {
+    let mut totals = vec![ProcessStats::default(); jobs.len()];
+    if tasks.is_empty() {
+        return totals;
+    }
+    let threads = workers.max(1).min(tasks.len());
+    if threads == 1 {
+        for t in tasks {
+            let s = jobs[t.job_slot].process_chunk(t.pid, t.chunk, t.nchunks);
+            totals[t.job_slot].vertex_ops += s.vertex_ops;
+            totals[t.job_slot].edge_ops += s.edge_ops;
+        }
+        return totals;
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, ProcessStats)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, ProcessStats)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= tasks.len() {
+                        break;
+                    }
+                    let t = tasks[i];
+                    let s = jobs[t.job_slot].process_chunk(t.pid, t.chunk, t.nchunks);
+                    local.push((t.job_slot, s));
+                }
+                collected.lock().extend(local);
+            });
+        }
+    });
+    for (slot, s) in collected.into_inner() {
+        totals[slot].vertex_ops += s.vertex_ops;
+        totals[slot].edge_ops += s.edge_ops;
+    }
+    totals
+}
+
+/// Builds the chunk-task list for one batch of jobs processing `pid`.
+///
+/// Every job gets one chunk; when `straggler_split` is on and cores remain
+/// (`budget > jobs`), the job with the most unprocessed vertices is divided
+/// into the leftover chunks.
+pub fn plan_chunks(
+    pid: PartitionId,
+    unprocessed: &[u64],
+    budget: usize,
+    straggler_split: bool,
+) -> Vec<ChunkTask> {
+    let njobs = unprocessed.len();
+    let mut nchunks = vec![1usize; njobs];
+    if straggler_split && budget > njobs && njobs > 0 {
+        let straggler = unprocessed
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, _)| i)
+            .expect("non-empty batch");
+        nchunks[straggler] += budget - njobs;
+    }
+    let mut tasks = Vec::new();
+    for (slot, &n) in nchunks.iter().enumerate() {
+        for chunk in 0..n {
+            tasks.push(ChunkTask { job_slot: slot, pid, chunk, nchunks: n });
+        }
+    }
+    tasks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_without_split_gives_one_chunk_each() {
+        let tasks = plan_chunks(0, &[10, 20, 5], 8, false);
+        assert_eq!(tasks.len(), 3);
+        assert!(tasks.iter().all(|t| t.nchunks == 1));
+    }
+
+    #[test]
+    fn plan_with_split_boosts_straggler() {
+        let tasks = plan_chunks(0, &[10, 100, 5], 6, true);
+        // Job 1 is the straggler: 1 + (6 - 3) = 4 chunks.
+        let straggler_chunks = tasks.iter().filter(|t| t.job_slot == 1).count();
+        assert_eq!(straggler_chunks, 4);
+        assert_eq!(tasks.len(), 6);
+    }
+
+    #[test]
+    fn plan_with_no_spare_budget_is_plain() {
+        let tasks = plan_chunks(0, &[10, 100], 2, true);
+        assert_eq!(tasks.len(), 2);
+        assert!(tasks.iter().all(|t| t.nchunks == 1));
+    }
+
+    #[test]
+    fn chunk_indices_cover_range() {
+        let tasks = plan_chunks(3, &[50], 4, true);
+        let mut chunks: Vec<usize> = tasks.iter().map(|t| t.chunk).collect();
+        chunks.sort_unstable();
+        assert_eq!(chunks, vec![0, 1, 2, 3]);
+        assert!(tasks.iter().all(|t| t.pid == 3 && t.nchunks == 4));
+    }
+}

@@ -1,0 +1,120 @@
+//! Incremental construction of edge lists with validation.
+
+use crate::edge::{Edge, EdgeList};
+use crate::types::{VertexId, Weight};
+
+/// A convenience builder that validates and normalizes edges before they
+/// reach a partitioner.
+///
+/// # Examples
+///
+/// ```
+/// use cgraph_graph::GraphBuilder;
+///
+/// let edges = GraphBuilder::new(4)
+///     .edge(0, 1)
+///     .edge(1, 2)
+///     .weighted_edge(2, 3, 4.5)
+///     .build();
+/// assert_eq!(edges.len(), 3);
+/// assert_eq!(edges.num_vertices(), 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    edges: EdgeList,
+    allow_self_loops: bool,
+    dedup: bool,
+}
+
+impl GraphBuilder {
+    /// Starts building a graph over `num_vertices` vertices.
+    pub fn new(num_vertices: VertexId) -> Self {
+        GraphBuilder {
+            edges: EdgeList::new(num_vertices),
+            allow_self_loops: false,
+            dedup: true,
+        }
+    }
+
+    /// Permits self loops (dropped by default, as in the paper's
+    /// preprocessing of the web/social graphs).
+    pub fn allow_self_loops(mut self, allow: bool) -> Self {
+        self.allow_self_loops = allow;
+        self
+    }
+
+    /// Controls whether duplicate `(src, dst)` pairs are collapsed at
+    /// [`build`](Self::build) time (default `true`).
+    pub fn dedup(mut self, dedup: bool) -> Self {
+        self.dedup = dedup;
+        self
+    }
+
+    /// Adds an unweighted (weight `1.0`) edge.
+    pub fn edge(self, src: VertexId, dst: VertexId) -> Self {
+        self.weighted_edge(src, dst, 1.0)
+    }
+
+    /// Adds a weighted edge; silently drops disallowed self loops.
+    pub fn weighted_edge(mut self, src: VertexId, dst: VertexId, weight: Weight) -> Self {
+        if src == dst && !self.allow_self_loops {
+            return self;
+        }
+        self.edges.push(Edge::weighted(src, dst, weight));
+        self
+    }
+
+    /// Adds every edge from an iterator of `(src, dst)` pairs.
+    pub fn edges<I: IntoIterator<Item = (VertexId, VertexId)>>(mut self, iter: I) -> Self {
+        for (s, d) in iter {
+            self = self.edge(s, d);
+        }
+        self
+    }
+
+    /// Finalizes the edge list (sorted, optionally deduplicated).
+    pub fn build(mut self) -> EdgeList {
+        if self.dedup {
+            self.edges.sort_and_dedup();
+        }
+        self.edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_loops_dropped_by_default() {
+        let el = GraphBuilder::new(3).edge(1, 1).edge(0, 1).build();
+        assert_eq!(el.len(), 1);
+    }
+
+    #[test]
+    fn self_loops_kept_when_allowed() {
+        let el = GraphBuilder::new(3)
+            .allow_self_loops(true)
+            .edge(1, 1)
+            .build();
+        assert_eq!(el.len(), 1);
+    }
+
+    #[test]
+    fn duplicates_collapsed() {
+        let el = GraphBuilder::new(3).edge(0, 1).edge(0, 1).build();
+        assert_eq!(el.len(), 1);
+    }
+
+    #[test]
+    fn duplicates_kept_when_dedup_disabled() {
+        let el = GraphBuilder::new(3).dedup(false).edge(0, 1).edge(0, 1).build();
+        assert_eq!(el.len(), 2);
+    }
+
+    #[test]
+    fn edges_iterator_form() {
+        let el = GraphBuilder::new(4).edges([(0, 1), (1, 2), (2, 3)]).build();
+        assert_eq!(el.len(), 3);
+    }
+}

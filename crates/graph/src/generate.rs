@@ -1,0 +1,265 @@
+//! Deterministic synthetic graph generators.
+//!
+//! The paper evaluates on Twitter, Friendster, uk2007, uk-union and
+//! hyperlink14 (Table 1) — hundreds of gigabytes of proprietary-hosted web
+//! crawls.  These generators produce seeded, reproducible stand-ins: R-MAT
+//! graphs share the power-law degree skew that drives the paper's partition
+//! popularity and convergence effects, at sizes that keep the whole
+//! evaluation runnable on one machine (see `Dataset`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::edge::{Edge, EdgeList};
+use crate::types::VertexId;
+
+/// R-MAT quadrant probabilities.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatParams {
+    /// Probability of the top-left quadrant (hubs attach to hubs).
+    pub a: f64,
+    /// Top-right quadrant.
+    pub b: f64,
+    /// Bottom-left quadrant.
+    pub c: f64,
+}
+
+impl Default for RmatParams {
+    /// The Graph500 defaults `(0.57, 0.19, 0.19, 0.05)`.
+    fn default() -> Self {
+        RmatParams { a: 0.57, b: 0.19, c: 0.19 }
+    }
+}
+
+/// Generates an R-MAT graph with `2^scale` vertices and
+/// `edge_factor * 2^scale` edges (weights uniform in `[1, 10)`).
+///
+/// Self loops are redirected and duplicates kept (real web crawls contain
+/// parallel links too); callers wanting a simple graph can
+/// [`EdgeList::sort_and_dedup`].
+pub fn rmat(scale: u32, edge_factor: u32, params: RmatParams, seed: u64) -> EdgeList {
+    let n: u64 = 1 << scale;
+    let m = n * edge_factor as u64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m as usize);
+    for _ in 0..m {
+        let (mut src, mut dst) = (0u64, 0u64);
+        for _ in 0..scale {
+            let r: f64 = rng.gen();
+            let (si, di) = if r < params.a {
+                (0, 0)
+            } else if r < params.a + params.b {
+                (0, 1)
+            } else if r < params.a + params.b + params.c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            src = (src << 1) | si;
+            dst = (dst << 1) | di;
+        }
+        if src == dst {
+            dst = (dst + 1) % n;
+        }
+        let w = rng.gen_range(1.0..10.0);
+        edges.push(Edge::weighted(src as VertexId, dst as VertexId, w));
+    }
+    EdgeList::from_edges(edges, n as VertexId)
+}
+
+/// Generates a uniform random (Erdős–Rényi `G(n, m)`) graph.
+pub fn erdos_renyi(n: VertexId, m: u64, seed: u64) -> EdgeList {
+    assert!(n >= 2, "need at least two vertices");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m as usize);
+    for _ in 0..m {
+        let src = rng.gen_range(0..n);
+        let mut dst = rng.gen_range(0..n);
+        if dst == src {
+            dst = (dst + 1) % n;
+        }
+        let w = rng.gen_range(1.0..10.0);
+        edges.push(Edge::weighted(src, dst, w));
+    }
+    EdgeList::from_edges(edges, n)
+}
+
+/// Generates a directed 2-D grid (`rows × cols`, edges right and down) —
+/// a worst case for power-law-oriented scheduling, used in ablation tests.
+pub fn grid(rows: u32, cols: u32) -> EdgeList {
+    let id = |r: u32, c: u32| r * cols + c;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push(Edge::unit(id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push(Edge::unit(id(r, c), id(r + 1, c)));
+            }
+        }
+    }
+    EdgeList::from_edges(edges, rows * cols)
+}
+
+/// Generates a directed path `0 -> 1 -> … -> n-1`.
+pub fn path(n: VertexId) -> EdgeList {
+    EdgeList::from_edges((0..n.saturating_sub(1)).map(|i| Edge::unit(i, i + 1)).collect(), n)
+}
+
+/// Generates a directed cycle over `n` vertices.
+pub fn cycle(n: VertexId) -> EdgeList {
+    EdgeList::from_edges((0..n).map(|i| Edge::unit(i, (i + 1) % n)).collect(), n)
+}
+
+/// Generates a star: hub `0` with spokes both ways.
+pub fn star(n: VertexId) -> EdgeList {
+    let mut edges = Vec::new();
+    for i in 1..n {
+        edges.push(Edge::unit(0, i));
+        edges.push(Edge::unit(i, 0));
+    }
+    EdgeList::from_edges(edges, n)
+}
+
+/// The paper's Table 1 datasets, reproduced as scaled-down R-MAT graphs.
+///
+/// Relative size ordering matches the paper (Twitter < Friendster < uk2007
+/// < uk-union < hyperlink14); absolute sizes are shrunk so the whole
+/// evaluation runs on one machine, and the simulated LLC shrinks with them
+/// (see `cgraph-memsim`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Stand-in for Twitter (41.7 M vertices, 1.4 B edges).
+    TwitterSim,
+    /// Stand-in for Friendster (65 M vertices, 1.8 B edges).
+    FriendsterSim,
+    /// Stand-in for uk2007 (105.9 M vertices, 3.7 B edges).
+    Uk2007Sim,
+    /// Stand-in for uk-union (133.6 M vertices, 5.5 B edges).
+    UkUnionSim,
+    /// Stand-in for hyperlink14 (1.7 B vertices, 64.4 B edges).
+    Hyperlink14Sim,
+}
+
+impl Dataset {
+    /// All five datasets in the paper's Table 1 order.
+    pub const ALL: [Dataset; 5] = [
+        Dataset::TwitterSim,
+        Dataset::FriendsterSim,
+        Dataset::Uk2007Sim,
+        Dataset::UkUnionSim,
+        Dataset::Hyperlink14Sim,
+    ];
+
+    /// Display name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::TwitterSim => "twitter-sim",
+            Dataset::FriendsterSim => "friendster-sim",
+            Dataset::Uk2007Sim => "uk2007-sim",
+            Dataset::UkUnionSim => "ukunion-sim",
+            Dataset::Hyperlink14Sim => "hyperlink14-sim",
+        }
+    }
+
+    /// `(rmat scale, edge factor)` at the given shrink level; `shrink`
+    /// subtracts from the scale to cut generation time in quick runs.
+    pub fn shape(self, shrink: u32) -> (u32, u32) {
+        let (scale, ef): (u32, u32) = match self {
+            Dataset::TwitterSim => (16, 20),
+            Dataset::FriendsterSim => (17, 13),
+            Dataset::Uk2007Sim => (17, 26),
+            Dataset::UkUnionSim => (18, 20),
+            Dataset::Hyperlink14Sim => (19, 30),
+        };
+        (scale.saturating_sub(shrink).max(8), ef)
+    }
+
+    /// Generates the dataset deterministically at the given shrink level.
+    pub fn generate(self, shrink: u32) -> EdgeList {
+        let (scale, ef) = self.shape(shrink);
+        let seed = 0xC6_2A_11 + self as u64;
+        rmat(scale, ef, RmatParams::default(), seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmat_size_and_determinism() {
+        let a = rmat(8, 4, RmatParams::default(), 7);
+        let b = rmat(8, 4, RmatParams::default(), 7);
+        assert_eq!(a.len(), 4 * 256);
+        assert_eq!(a.num_vertices(), 256);
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn rmat_seeds_differ() {
+        let a = rmat(8, 4, RmatParams::default(), 1);
+        let b = rmat(8, 4, RmatParams::default(), 2);
+        assert_ne!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let el = rmat(10, 8, RmatParams::default(), 3);
+        let deg = el.out_degrees();
+        let max = *deg.iter().max().unwrap() as f64;
+        let avg = el.len() as f64 / el.num_vertices() as f64;
+        assert!(max > 8.0 * avg, "max {max} should dwarf avg {avg}");
+    }
+
+    #[test]
+    fn rmat_has_no_self_loops() {
+        let el = rmat(8, 8, RmatParams::default(), 9);
+        assert!(el.edges().iter().all(|e| e.src != e.dst));
+    }
+
+    #[test]
+    fn erdos_renyi_shape() {
+        let el = erdos_renyi(100, 500, 11);
+        assert_eq!(el.len(), 500);
+        assert!(el.num_vertices() >= 100);
+        assert!(el.edges().iter().all(|e| e.src != e.dst));
+    }
+
+    #[test]
+    fn grid_edge_count() {
+        let el = grid(3, 4);
+        // Right edges: 3*3 = 9; down edges: 2*4 = 8.
+        assert_eq!(el.len(), 17);
+        assert_eq!(el.num_vertices(), 12);
+    }
+
+    #[test]
+    fn path_cycle_star_shapes() {
+        assert_eq!(path(5).len(), 4);
+        assert_eq!(cycle(5).len(), 5);
+        assert_eq!(star(5).len(), 8);
+    }
+
+    #[test]
+    fn datasets_ordered_by_size() {
+        let sizes: Vec<u64> = Dataset::ALL
+            .iter()
+            .map(|d| {
+                let (s, ef) = d.shape(4);
+                (1u64 << s) * ef as u64
+            })
+            .collect();
+        for w in sizes.windows(2) {
+            assert!(w[0] < w[1], "sizes must increase: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn dataset_generation_is_deterministic() {
+        let a = Dataset::TwitterSim.generate(6);
+        let b = Dataset::TwitterSim.generate(6);
+        assert_eq!(a.edges(), b.edges());
+    }
+}

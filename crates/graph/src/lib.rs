@@ -1,0 +1,64 @@
+//! Graph substrate for the CGraph reproduction.
+//!
+//! This crate provides everything below the execution engine:
+//!
+//! * [`Edge`] / [`EdgeList`] — weighted directed edges and bulk edge storage.
+//! * [`Csr`] — a whole-graph compressed-sparse-row view used by the
+//!   partitioners and by single-threaded reference algorithms.
+//! * [`Partition`] / [`PartitionSet`] — the vertex-cut partitioned
+//!   representation the CGraph engine executes over.  Each partition owns an
+//!   equal share of the edges and a bidirectional local CSR; vertices
+//!   spanning partitions have one *master* replica and any number of
+//!   *mirror* replicas (paper §3.2.1, Fig. 4).
+//! * [`vertex_cut`] / [`core_subgraph`] — the two partitioning strategies
+//!   (plain equal-edge vertex cut, and the paper's core-subgraph packing
+//!   from §3.3).
+//! * [`generate`] — deterministic synthetic graph generators (R-MAT,
+//!   Erdős–Rényi, grids, …) plus the scaled-down stand-ins for the paper's
+//!   Table 1 datasets.
+//! * [`io`] — plain-text and binary edge-list round-tripping.
+//! * [`snapshot`] — the incremental snapshot store for evolving graphs
+//!   (paper §3.2.1, Fig. 5).
+//!
+//! # Examples
+//!
+//! ```
+//! use cgraph_graph::{generate, vertex_cut::VertexCutPartitioner, Partitioner};
+//!
+//! let edges = generate::rmat(10, 8, generate::RmatParams::default(), 42);
+//! let parts = VertexCutPartitioner::new(16).partition(&edges);
+//! assert_eq!(parts.num_partitions(), 16);
+//! assert_eq!(parts.num_edges(), edges.len() as u64);
+//! ```
+
+pub mod builder;
+pub mod core_subgraph;
+pub mod csr;
+pub mod edge;
+pub mod generate;
+pub mod io;
+pub mod partition;
+pub mod snapshot;
+pub mod stats;
+pub mod types;
+pub mod vertex_cut;
+
+pub use builder::GraphBuilder;
+pub use csr::Csr;
+pub use edge::{Edge, EdgeList};
+pub use partition::{Partition, PartitionSet, VertexMeta};
+pub use snapshot::{GraphDelta, GraphView, SnapshotStore};
+pub use types::{LocalId, PartitionId, VersionId, VertexId, Weight, NO_PARTITION};
+
+/// A strategy that turns an edge list into a [`PartitionSet`].
+///
+/// Both the plain equal-edge vertex cut
+/// ([`vertex_cut::VertexCutPartitioner`]) and the core-subgraph packing
+/// partitioner ([`core_subgraph::CoreSubgraphPartitioner`]) implement this.
+pub trait Partitioner {
+    /// Splits `edges` into partitions and builds the replica tables.
+    fn partition(&self, edges: &EdgeList) -> PartitionSet;
+
+    /// A short human-readable name for reports and benchmarks.
+    fn name(&self) -> &'static str;
+}

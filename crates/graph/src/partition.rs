@@ -1,0 +1,539 @@
+//! Vertex-cut partitioned graph representation (paper §3.2.1, Fig. 4).
+//!
+//! The shared graph `G = ∪ᵢ Gᵢ` is split into partitions holding an equal
+//! number of edges.  A vertex incident to edges in several partitions has a
+//! replica in each; exactly one replica is the *master*, the rest are
+//! *mirrors*.  Computation on a loaded partition touches only local state —
+//! cross-partition synchronization happens in the engine's Push stage by
+//! routing mirror deltas to masters and master state back to mirrors.
+
+use std::sync::Arc;
+
+use crate::edge::Edge;
+use crate::types::{LocalId, PartitionId, VertexId, Weight, NO_PARTITION};
+
+/// Per-replica metadata stored inside a [`Partition`]
+/// (the "Flag" and "Master Location" columns of the paper's Fig. 4(b)).
+#[derive(Clone, Copy, Debug)]
+pub struct VertexMeta {
+    /// The global vertex id of this replica.
+    pub vid: VertexId,
+    /// Whether this replica is the master.
+    pub is_master: bool,
+    /// Partition holding the master replica.
+    pub master_partition: PartitionId,
+    /// Out-degree of the vertex in the *whole* graph (PageRank divides
+    /// contributions by this, not by the partition-local degree).
+    pub global_out_degree: u32,
+    /// In-degree of the vertex in the whole graph.
+    pub global_in_degree: u32,
+}
+
+/// One graph-structure partition: a bidirectional local CSR over its edge
+/// share, plus replica metadata.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    id: PartitionId,
+    /// Sorted global ids of all replicas (masters and mirrors) present here.
+    vertices: Vec<VertexId>,
+    meta: Vec<VertexMeta>,
+    out_offsets: Vec<u32>,
+    out_targets: Vec<LocalId>,
+    out_weights: Vec<Weight>,
+    in_offsets: Vec<u32>,
+    in_sources: Vec<LocalId>,
+    in_weights: Vec<Weight>,
+    avg_degree: f64,
+}
+
+impl Partition {
+    /// Builds a partition from its share of edges.
+    ///
+    /// `global_out`/`global_in` are whole-graph degree tables indexed by
+    /// global vertex id; master assignment is patched in later by
+    /// [`PartitionSet::assemble`].
+    fn from_edges(
+        id: PartitionId,
+        edges: &[Edge],
+        global_out: &[u32],
+        global_in: &[u32],
+    ) -> Self {
+        Partition::from_edges_with(id, edges, &|vid| {
+            (global_out[vid as usize], global_in[vid as usize])
+        })
+    }
+
+    /// Builds a partition with a caller-supplied global-degree lookup.
+    ///
+    /// Used when the snapshot store rebuilds individual partitions after a
+    /// [`crate::snapshot::GraphDelta`], where degrees come from the
+    /// snapshot's override chain instead of flat tables.
+    pub(crate) fn from_edges_with(
+        id: PartitionId,
+        edges: &[Edge],
+        degree_of: &dyn Fn(VertexId) -> (u32, u32),
+    ) -> Self {
+        // Collect the replica set: every endpoint of a local edge.
+        let mut vertices: Vec<VertexId> = Vec::with_capacity(edges.len() * 2);
+        for e in edges {
+            vertices.push(e.src);
+            vertices.push(e.dst);
+        }
+        vertices.sort_unstable();
+        vertices.dedup();
+
+        let nv = vertices.len();
+        let local = |vid: VertexId| -> LocalId {
+            vertices.binary_search(&vid).expect("endpoint must be a replica") as LocalId
+        };
+
+        // Out CSR.
+        let mut out_counts = vec![0u32; nv + 1];
+        for e in edges {
+            out_counts[local(e.src) as usize + 1] += 1;
+        }
+        for i in 0..nv {
+            out_counts[i + 1] += out_counts[i];
+        }
+        let out_offsets = out_counts.clone();
+        let mut cursor = out_counts;
+        let mut out_targets = vec![0 as LocalId; edges.len()];
+        let mut out_weights = vec![0.0 as Weight; edges.len()];
+        for e in edges {
+            let s = local(e.src) as usize;
+            let slot = cursor[s] as usize;
+            out_targets[slot] = local(e.dst);
+            out_weights[slot] = e.weight;
+            cursor[s] += 1;
+        }
+
+        // In CSR over the same edge set.
+        let mut in_counts = vec![0u32; nv + 1];
+        for e in edges {
+            in_counts[local(e.dst) as usize + 1] += 1;
+        }
+        for i in 0..nv {
+            in_counts[i + 1] += in_counts[i];
+        }
+        let in_offsets = in_counts.clone();
+        let mut cursor = in_counts;
+        let mut in_sources = vec![0 as LocalId; edges.len()];
+        let mut in_weights = vec![0.0 as Weight; edges.len()];
+        for e in edges {
+            let d = local(e.dst) as usize;
+            let slot = cursor[d] as usize;
+            in_sources[slot] = local(e.src);
+            in_weights[slot] = e.weight;
+            cursor[d] += 1;
+        }
+
+        let mut degree_sum = 0u64;
+        let meta = vertices
+            .iter()
+            .map(|&vid| {
+                let (od, id_) = degree_of(vid);
+                degree_sum += (od + id_) as u64;
+                VertexMeta {
+                    vid,
+                    is_master: false,
+                    master_partition: NO_PARTITION,
+                    global_out_degree: od,
+                    global_in_degree: id_,
+                }
+            })
+            .collect();
+        let avg_degree = if nv == 0 { 0.0 } else { degree_sum as f64 / nv as f64 };
+
+        Partition {
+            id,
+            vertices,
+            meta,
+            out_offsets,
+            out_targets,
+            out_weights,
+            in_offsets,
+            in_sources,
+            in_weights,
+            avg_degree,
+        }
+    }
+
+    /// The partition id.
+    pub fn id(&self) -> PartitionId {
+        self.id
+    }
+
+    /// Number of replicas (local vertices).
+    pub fn num_local_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of edges assigned to this partition.
+    pub fn num_edges(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Sorted global ids of all replicas.
+    pub fn vertex_ids(&self) -> &[VertexId] {
+        &self.vertices
+    }
+
+    /// Replica metadata, parallel to [`vertex_ids`](Self::vertex_ids).
+    pub fn meta(&self) -> &[VertexMeta] {
+        &self.meta
+    }
+
+    /// Local index of a global vertex id, if it has a replica here.
+    pub fn local_of(&self, vid: VertexId) -> Option<LocalId> {
+        self.vertices.binary_search(&vid).ok().map(|i| i as LocalId)
+    }
+
+    /// Global id of a local vertex.
+    pub fn global_of(&self, local: LocalId) -> VertexId {
+        self.vertices[local as usize]
+    }
+
+    /// Local out-degree of a local vertex.
+    pub fn local_out_degree(&self, local: LocalId) -> u32 {
+        self.out_offsets[local as usize + 1] - self.out_offsets[local as usize]
+    }
+
+    /// Local out-edges of `local`: `(target local id, weight)` pairs.
+    pub fn out_edges(&self, local: LocalId) -> impl Iterator<Item = (LocalId, Weight)> + '_ {
+        let lo = self.out_offsets[local as usize] as usize;
+        let hi = self.out_offsets[local as usize + 1] as usize;
+        self.out_targets[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.out_weights[lo..hi].iter().copied())
+    }
+
+    /// Local in-edges of `local`: `(source local id, weight)` pairs.
+    ///
+    /// The in-CSR covers the same edge set as the out-CSR; it exists so
+    /// backward-traversing programs (SCC phases) run on the same shared
+    /// structure partitions instead of a second reversed graph.
+    pub fn in_edges(&self, local: LocalId) -> impl Iterator<Item = (LocalId, Weight)> + '_ {
+        let lo = self.in_offsets[local as usize] as usize;
+        let hi = self.in_offsets[local as usize + 1] as usize;
+        self.in_sources[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.in_weights[lo..hi].iter().copied())
+    }
+
+    /// Average whole-graph degree (in + out) of the replicas here —
+    /// the `D(P)` term of the paper's Eq. 1.
+    pub fn avg_degree(&self) -> f64 {
+        self.avg_degree
+    }
+
+    /// Materializes this partition's edge share with global vertex ids
+    /// (used by the snapshot store to rebuild a partition after a delta,
+    /// and by callers needing a flat view of one partition).
+    pub fn edges_global(&self) -> Vec<Edge> {
+        let mut out = Vec::with_capacity(self.num_edges());
+        for li in 0..self.vertices.len() as LocalId {
+            let src = self.global_of(li);
+            for (t, w) in self.out_edges(li) {
+                out.push(Edge::weighted(src, self.global_of(t), w));
+            }
+        }
+        out
+    }
+
+    /// Re-stamps every replica's master location from a lookup.
+    pub(crate) fn patch_masters(&mut self, master_of: &dyn Fn(VertexId) -> PartitionId) {
+        let pid = self.id;
+        for meta in &mut self.meta {
+            let mp = master_of(meta.vid);
+            meta.master_partition = mp;
+            meta.is_master = mp == pid;
+        }
+    }
+
+    /// Approximate in-memory footprint of the *structure* data in bytes
+    /// (what the memory simulator charges when the partition is loaded).
+    pub fn structure_bytes(&self) -> u64 {
+        let per_vertex = std::mem::size_of::<VertexMeta>() + std::mem::size_of::<VertexId>();
+        let per_edge = 2 * (std::mem::size_of::<LocalId>() + std::mem::size_of::<Weight>());
+        (self.vertices.len() * per_vertex + self.num_edges() * per_edge + 64) as u64
+    }
+}
+
+/// The complete partitioned graph: partitions plus global replica tables.
+#[derive(Clone, Debug)]
+pub struct PartitionSet {
+    partitions: Vec<Arc<Partition>>,
+    num_vertices: VertexId,
+    num_edges: u64,
+    /// Master partition per global vertex (`NO_PARTITION` for isolated
+    /// vertices, which have no replicas anywhere).
+    master_of: Vec<PartitionId>,
+    /// CSR map vertex -> replica partitions.
+    replica_offsets: Vec<u32>,
+    replica_parts: Vec<PartitionId>,
+}
+
+impl PartitionSet {
+    /// Assembles a partition set from per-partition edge shares.
+    ///
+    /// This is the common back-end of both partitioners: it builds each
+    /// partition's local CSRs, elects masters (the replica in the partition
+    /// with the most incident local edges; ties go to the lowest partition
+    /// id), and records replica locations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge references a vertex `>= num_vertices`.
+    pub fn assemble(chunks: Vec<Vec<Edge>>, num_vertices: VertexId) -> Self {
+        let mut global_out = vec![0u32; num_vertices as usize];
+        let mut global_in = vec![0u32; num_vertices as usize];
+        let mut num_edges = 0u64;
+        for chunk in &chunks {
+            for e in chunk {
+                assert!(
+                    e.src < num_vertices && e.dst < num_vertices,
+                    "edge ({}, {}) outside vertex universe of {}",
+                    e.src,
+                    e.dst,
+                    num_vertices
+                );
+                global_out[e.src as usize] += 1;
+                global_in[e.dst as usize] += 1;
+                num_edges += 1;
+            }
+        }
+
+        let mut partitions: Vec<Partition> = chunks
+            .iter()
+            .enumerate()
+            .map(|(i, chunk)| Partition::from_edges(i as PartitionId, chunk, &global_out, &global_in))
+            .collect();
+
+        // Elect masters: replica with the most incident local edges.
+        let n = num_vertices as usize;
+        let mut best_count = vec![0u32; n];
+        let mut master_of = vec![NO_PARTITION; n];
+        let mut replica_count = vec![0u32; n];
+        for p in &partitions {
+            for (li, &vid) in p.vertices.iter().enumerate() {
+                let li = li as LocalId;
+                let incident = p.local_out_degree(li)
+                    + (p.in_offsets[li as usize + 1] - p.in_offsets[li as usize]);
+                replica_count[vid as usize] += 1;
+                let better = incident > best_count[vid as usize]
+                    || (incident == best_count[vid as usize]
+                        && p.id < master_of[vid as usize]);
+                if master_of[vid as usize] == NO_PARTITION || better {
+                    best_count[vid as usize] = incident;
+                    master_of[vid as usize] = p.id;
+                }
+            }
+        }
+
+        // Patch replica metadata and build the replica CSR.
+        let mut replica_offsets = vec![0u32; n + 1];
+        for v in 0..n {
+            replica_offsets[v + 1] = replica_offsets[v] + replica_count[v];
+        }
+        let mut cursor = replica_offsets.clone();
+        let mut replica_parts = vec![0 as PartitionId; replica_offsets[n] as usize];
+        for p in partitions.iter_mut() {
+            let pid = p.id;
+            for (li, meta) in p.meta.iter_mut().enumerate() {
+                let vid = p.vertices[li] as usize;
+                meta.master_partition = master_of[vid];
+                meta.is_master = master_of[vid] == pid;
+                replica_parts[cursor[vid] as usize] = pid;
+                cursor[vid] += 1;
+            }
+        }
+
+        PartitionSet {
+            partitions: partitions.into_iter().map(Arc::new).collect(),
+            num_vertices,
+            num_edges,
+            master_of,
+            replica_offsets,
+            replica_parts,
+        }
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Size of the vertex universe.
+    pub fn num_vertices(&self) -> VertexId {
+        self.num_vertices
+    }
+
+    /// Total edge count across all partitions.
+    pub fn num_edges(&self) -> u64 {
+        self.num_edges
+    }
+
+    /// Shared handle to partition `pid`.
+    pub fn partition(&self, pid: PartitionId) -> &Arc<Partition> {
+        &self.partitions[pid as usize]
+    }
+
+    /// All partitions in id order.
+    pub fn partitions(&self) -> &[Arc<Partition>] {
+        &self.partitions
+    }
+
+    /// The master partition of `vid` (`NO_PARTITION` if isolated).
+    pub fn master_of(&self, vid: VertexId) -> PartitionId {
+        self.master_of[vid as usize]
+    }
+
+    /// Partitions holding a replica of `vid`.
+    pub fn replicas_of(&self, vid: VertexId) -> &[PartitionId] {
+        let lo = self.replica_offsets[vid as usize] as usize;
+        let hi = self.replica_offsets[vid as usize + 1] as usize;
+        &self.replica_parts[lo..hi]
+    }
+
+    /// Average number of replicas per non-isolated vertex
+    /// (the vertex-cut "replication factor").
+    pub fn replication_factor(&self) -> f64 {
+        let replicas = self.replica_parts.len() as f64;
+        let covered = self
+            .master_of
+            .iter()
+            .filter(|&&p| p != NO_PARTITION)
+            .count() as f64;
+        if covered == 0.0 {
+            0.0
+        } else {
+            replicas / covered
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::Edge;
+
+    fn two_chunk_set() -> PartitionSet {
+        // Partition 0: 0->1, 1->2 ; Partition 1: 2->3, 3->0.
+        PartitionSet::assemble(
+            vec![
+                vec![Edge::unit(0, 1), Edge::unit(1, 2)],
+                vec![Edge::unit(2, 3), Edge::unit(3, 0)],
+            ],
+            4,
+        )
+    }
+
+    #[test]
+    fn every_edge_in_exactly_one_partition() {
+        let ps = two_chunk_set();
+        assert_eq!(ps.num_edges(), 4);
+        let total: usize = ps.partitions().iter().map(|p| p.num_edges()).sum();
+        assert_eq!(total as u64, ps.num_edges());
+    }
+
+    #[test]
+    fn replicas_cover_both_partitions_for_cut_vertices() {
+        let ps = two_chunk_set();
+        // Vertices 0 and 2 appear in both partitions.
+        assert_eq!(ps.replicas_of(0), &[0, 1]);
+        assert_eq!(ps.replicas_of(2), &[0, 1]);
+        assert_eq!(ps.replicas_of(1), &[0]);
+        assert_eq!(ps.replicas_of(3), &[1]);
+    }
+
+    #[test]
+    fn exactly_one_master_per_vertex() {
+        let ps = two_chunk_set();
+        for v in 0..4 {
+            let masters: usize = ps
+                .partitions()
+                .iter()
+                .filter_map(|p| p.local_of(v).map(|l| p.meta()[l as usize]))
+                .filter(|m| m.is_master)
+                .count();
+            assert_eq!(masters, 1, "vertex {v}");
+            let mp = ps.master_of(v);
+            let p = ps.partition(mp);
+            let l = p.local_of(v).unwrap();
+            assert!(p.meta()[l as usize].is_master);
+        }
+    }
+
+    #[test]
+    fn master_location_consistent_across_replicas() {
+        let ps = two_chunk_set();
+        for v in 0..4u32 {
+            for &pid in ps.replicas_of(v) {
+                let p = ps.partition(pid);
+                let l = p.local_of(v).unwrap();
+                assert_eq!(p.meta()[l as usize].master_partition, ps.master_of(v));
+            }
+        }
+    }
+
+    #[test]
+    fn local_csr_matches_edges() {
+        let ps = two_chunk_set();
+        let p0 = ps.partition(0);
+        let l0 = p0.local_of(0).unwrap();
+        let outs: Vec<VertexId> = p0
+            .out_edges(l0)
+            .map(|(t, _)| p0.global_of(t))
+            .collect();
+        assert_eq!(outs, vec![1]);
+        // In-CSR: vertex 2's in-edge inside partition 0 comes from 1.
+        let l2 = p0.local_of(2).unwrap();
+        let ins: Vec<VertexId> = p0.in_edges(l2).map(|(s, _)| p0.global_of(s)).collect();
+        assert_eq!(ins, vec![1]);
+    }
+
+    #[test]
+    fn global_degrees_span_partitions() {
+        let ps = two_chunk_set();
+        // Vertex 2 has one out-edge (in partition 1) and one in-edge (p0).
+        for &pid in ps.replicas_of(2) {
+            let p = ps.partition(pid);
+            let l = p.local_of(2).unwrap();
+            assert_eq!(p.meta()[l as usize].global_out_degree, 1);
+            assert_eq!(p.meta()[l as usize].global_in_degree, 1);
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_have_no_replicas() {
+        let ps = PartitionSet::assemble(vec![vec![Edge::unit(0, 1)]], 5);
+        assert_eq!(ps.master_of(4), NO_PARTITION);
+        assert!(ps.replicas_of(4).is_empty());
+    }
+
+    #[test]
+    fn replication_factor_counts_average_replicas() {
+        let ps = two_chunk_set();
+        // 4 vertices, 6 replicas total -> 1.5.
+        assert!((ps.replication_factor() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn structure_bytes_scale_with_size() {
+        let ps = two_chunk_set();
+        let small = ps.partition(0).structure_bytes();
+        let big = PartitionSet::assemble(
+            vec![(0..100).map(|i| Edge::unit(i, i + 1)).collect()],
+            200,
+        );
+        assert!(big.partition(0).structure_bytes() > small);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside vertex universe")]
+    fn out_of_universe_edge_panics() {
+        PartitionSet::assemble(vec![vec![Edge::unit(0, 9)]], 4);
+    }
+}

@@ -1,0 +1,597 @@
+//! Incremental snapshots for evolving graphs (paper §3.2.1, Fig. 5).
+//!
+//! Graph updates are only visible to jobs submitted after them, so the store
+//! keeps a series of timestamped snapshots.  Because each update touches few
+//! partitions, a snapshot records only the re-versioned partitions; all
+//! other partitions are inherited, which is exactly what lets jobs bound to
+//! different snapshots keep *sharing* the unchanged structure partitions in
+//! cache (the effect Figs. 16–19 measure).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::edge::{Edge, EdgeList};
+use crate::partition::{Partition, PartitionSet};
+use crate::types::{PartitionId, VersionId, VertexId, NO_PARTITION};
+
+/// A batch of edge additions and removals forming one graph update.
+#[derive(Clone, Debug, Default)]
+pub struct GraphDelta {
+    /// Edges to add.
+    pub additions: Vec<Edge>,
+    /// `(src, dst)` pairs to remove (first matching edge).
+    pub removals: Vec<(VertexId, VertexId)>,
+}
+
+impl GraphDelta {
+    /// A delta that only adds edges.
+    pub fn adding<I: IntoIterator<Item = Edge>>(edges: I) -> Self {
+        GraphDelta { additions: edges.into_iter().collect(), removals: Vec::new() }
+    }
+
+    /// A delta that only removes edges.
+    pub fn removing<I: IntoIterator<Item = (VertexId, VertexId)>>(pairs: I) -> Self {
+        GraphDelta { additions: Vec::new(), removals: pairs.into_iter().collect() }
+    }
+
+    /// Total number of edge changes.
+    pub fn len(&self) -> usize {
+        self.additions.len() + self.removals.len()
+    }
+
+    /// Whether the delta is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Errors raised when applying a [`GraphDelta`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// A removal referenced an edge not present in the current snapshot.
+    EdgeNotFound(VertexId, VertexId),
+    /// An addition referenced a vertex outside the fixed universe.
+    VertexOutOfRange(VertexId),
+    /// Snapshot timestamps must be strictly increasing (and > 0).
+    NonMonotonicTimestamp { previous: u64, given: u64 },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::EdgeNotFound(s, d) => write!(f, "edge {s}->{d} not found"),
+            SnapshotError::VertexOutOfRange(v) => write!(f, "vertex {v} out of range"),
+            SnapshotError::NonMonotonicTimestamp { previous, given } => write!(
+                f,
+                "timestamp {given} not after previous snapshot {previous}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// One snapshot's accumulated state (override maps are cumulative, so a
+/// view resolves everything with a single lookup, no chain walking).
+#[derive(Debug)]
+struct SnapshotRecord {
+    timestamp: u64,
+    overrides: HashMap<PartitionId, Arc<Partition>>,
+    versions: Vec<VersionId>,
+    master_over: HashMap<VertexId, PartitionId>,
+    replica_over: HashMap<VertexId, Vec<PartitionId>>,
+    degree_over: HashMap<VertexId, (u32, u32)>,
+}
+
+/// The store: a base [`PartitionSet`] (timestamp 0) plus incremental
+/// snapshots.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    base: PartitionSet,
+    records: Vec<SnapshotRecord>,
+}
+
+impl SnapshotStore {
+    /// Wraps a base partitioned graph as snapshot timestamp 0.
+    pub fn new(base: PartitionSet) -> Self {
+        SnapshotStore { base, records: Vec::new() }
+    }
+
+    /// The base graph.
+    pub fn base(&self) -> &PartitionSet {
+        &self.base
+    }
+
+    /// Number of snapshots applied on top of the base.
+    pub fn num_snapshots(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Timestamp of the newest snapshot (0 if only the base exists).
+    pub fn latest_timestamp(&self) -> u64 {
+        self.records.last().map_or(0, |r| r.timestamp)
+    }
+
+    /// Applies a delta, creating a new snapshot at `timestamp`.
+    ///
+    /// Returns the number of partitions that were re-versioned.
+    pub fn apply(&mut self, timestamp: u64, delta: &GraphDelta) -> Result<usize, SnapshotError> {
+        let prev_ts = self.latest_timestamp();
+        if timestamp <= prev_ts {
+            return Err(SnapshotError::NonMonotonicTimestamp { previous: prev_ts, given: timestamp });
+        }
+        let n = self.base.num_vertices();
+        let np = self.base.num_partitions();
+
+        // Resolve helpers against the current (latest) state.
+        let resolve = |pid: PartitionId| -> &Arc<Partition> {
+            self.records
+                .last()
+                .and_then(|r| r.overrides.get(&pid))
+                .unwrap_or_else(|| self.base.partition(pid))
+        };
+        let replicas = |v: VertexId| -> &[PartitionId] {
+            self.records
+                .last()
+                .and_then(|r| r.replica_over.get(&v).map(|r| r.as_slice()))
+                .unwrap_or_else(|| self.base.replicas_of(v))
+        };
+        let master = |v: VertexId| -> PartitionId {
+            self.records
+                .last()
+                .and_then(|r| r.master_over.get(&v).copied())
+                .unwrap_or_else(|| self.base.master_of(v))
+        };
+        let degree = |v: VertexId| -> (u32, u32) {
+            if let Some(&d) = self.records.last().and_then(|r| r.degree_over.get(&v)) {
+                return d;
+            }
+            // Base degrees live in partition metadata; any replica has them.
+            match self.base.replicas_of(v).first() {
+                Some(&pid) => {
+                    let p = self.base.partition(pid);
+                    let l = p.local_of(v).expect("replica listed");
+                    let m = p.meta()[l as usize];
+                    (m.global_out_degree, m.global_in_degree)
+                }
+                None => (0, 0),
+            }
+        };
+
+        // 1. Locate removals and place additions.
+        let mut removed: HashMap<PartitionId, Vec<(VertexId, VertexId)>> = HashMap::new();
+        for &(s, d) in &delta.removals {
+            if s >= n || d >= n {
+                return Err(SnapshotError::VertexOutOfRange(s.max(d)));
+            }
+            let mut found = None;
+            for &pid in replicas(s) {
+                let p = resolve(pid);
+                if let Some(li) = p.local_of(s) {
+                    if p.out_edges(li).any(|(t, _)| p.global_of(t) == d) {
+                        found = Some(pid);
+                        break;
+                    }
+                }
+            }
+            let pid = found.ok_or(SnapshotError::EdgeNotFound(s, d))?;
+            removed.entry(pid).or_default().push((s, d));
+        }
+        let fallback_pid = (0..np as PartitionId)
+            .min_by_key(|&pid| resolve(pid).num_edges())
+            .unwrap_or(0);
+        let mut added: HashMap<PartitionId, Vec<Edge>> = HashMap::new();
+        for &e in &delta.additions {
+            if e.src >= n || e.dst >= n {
+                return Err(SnapshotError::VertexOutOfRange(e.src.max(e.dst)));
+            }
+            let pid = match (master(e.src), master(e.dst)) {
+                (m, _) if m != NO_PARTITION => m,
+                (_, m) if m != NO_PARTITION => m,
+                _ => fallback_pid,
+            };
+            added.entry(pid).or_default().push(e);
+        }
+
+        // 2. Degree deltas and the affected partition set.
+        let mut ddeg: HashMap<VertexId, (i64, i64)> = HashMap::new();
+        for e in &delta.additions {
+            ddeg.entry(e.src).or_default().0 += 1;
+            ddeg.entry(e.dst).or_default().1 += 1;
+        }
+        for &(s, d) in &delta.removals {
+            ddeg.entry(s).or_default().0 -= 1;
+            ddeg.entry(d).or_default().1 -= 1;
+        }
+        // Only partitions whose *edge set* changed are re-versioned; degree
+        // and master-location changes live in the snapshot's override maps
+        // (job-specific lookups), so unchanged partitions keep their cache
+        // identity — the sharing the paper's Fig. 16 regime depends on.
+        let mut affected: Vec<PartitionId> = removed.keys().chain(added.keys()).copied().collect();
+        affected.sort_unstable();
+        affected.dedup();
+
+        // 3. New degrees for every touched vertex.
+        let new_degree = |v: VertexId| -> (u32, u32) {
+            let (o, i) = degree(v);
+            match ddeg.get(&v) {
+                Some(&(dout, din)) => (
+                    (o as i64 + dout).max(0) as u32,
+                    (i as i64 + din).max(0) as u32,
+                ),
+                None => (o, i),
+            }
+        };
+
+        // 4. Rebuild each affected partition's edge share.
+        let mut rebuilt: HashMap<PartitionId, Partition> = HashMap::new();
+        for &pid in &affected {
+            let mut edges = resolve(pid).edges_global();
+            if let Some(rm) = removed.get(&pid) {
+                for &(s, d) in rm {
+                    let pos = edges
+                        .iter()
+                        .position(|e| e.src == s && e.dst == d)
+                        .ok_or(SnapshotError::EdgeNotFound(s, d))?;
+                    edges.swap_remove(pos);
+                }
+            }
+            if let Some(ad) = added.get(&pid) {
+                edges.extend_from_slice(ad);
+            }
+            edges.sort_by(|a, b| (a.src, a.dst).cmp(&(b.src, b.dst)));
+            rebuilt.insert(pid, Partition::from_edges_with(pid, &edges, &new_degree));
+        }
+
+        // 5. Recompute replica membership and masters for changed vertices.
+        let mut replica_over: HashMap<VertexId, Vec<PartitionId>> = self
+            .records
+            .last()
+            .map(|r| r.replica_over.clone())
+            .unwrap_or_default();
+        let mut master_over: HashMap<VertexId, PartitionId> = self
+            .records
+            .last()
+            .map(|r| r.master_over.clone())
+            .unwrap_or_default();
+        for (&v, _) in &ddeg {
+            let mut reps: Vec<PartitionId> = replicas(v)
+                .iter()
+                .copied()
+                .filter(|p| !affected.contains(p))
+                .collect();
+            for &pid in &affected {
+                if rebuilt[&pid].local_of(v).is_some() {
+                    reps.push(pid);
+                }
+            }
+            reps.sort_unstable();
+            let old_master = master(v);
+            let new_master = if reps.contains(&old_master) {
+                old_master
+            } else {
+                reps.first().copied().unwrap_or(NO_PARTITION)
+            };
+            replica_over.insert(v, reps);
+            master_over.insert(v, new_master);
+        }
+
+        // 6. Patch master metadata inside the rebuilt partitions.
+        let master_lookup = |v: VertexId| -> PartitionId {
+            master_over
+                .get(&v)
+                .copied()
+                .unwrap_or_else(|| self.base.master_of(v))
+        };
+        let overrides: HashMap<PartitionId, Arc<Partition>> = {
+            let mut map: HashMap<PartitionId, Arc<Partition>> = self
+                .records
+                .last()
+                .map(|r| r.overrides.clone())
+                .unwrap_or_default();
+            for (pid, mut p) in rebuilt {
+                p.patch_masters(&master_lookup);
+                map.insert(pid, Arc::new(p));
+            }
+            map
+        };
+
+        // 7. Version vector and degree overrides.
+        let mut versions = self
+            .records
+            .last()
+            .map(|r| r.versions.clone())
+            .unwrap_or_else(|| vec![0; np]);
+        for &pid in &affected {
+            versions[pid as usize] += 1;
+        }
+        let mut degree_over = self
+            .records
+            .last()
+            .map(|r| r.degree_over.clone())
+            .unwrap_or_default();
+        for (&v, _) in &ddeg {
+            degree_over.insert(v, new_degree(v));
+        }
+
+        self.records.push(SnapshotRecord {
+            timestamp,
+            overrides,
+            versions,
+            master_over,
+            replica_over,
+            degree_over,
+        });
+        Ok(affected.len())
+    }
+
+    /// A view of the newest snapshot.
+    pub fn latest(self: &Arc<Self>) -> GraphView {
+        GraphView { store: Arc::clone(self), record: self.records.len().checked_sub(1) }
+    }
+
+    /// A view of the base graph (timestamp 0).
+    pub fn base_view(self: &Arc<Self>) -> GraphView {
+        GraphView { store: Arc::clone(self), record: None }
+    }
+
+    /// The view a job arriving at `ts` binds to: the newest snapshot whose
+    /// timestamp does not exceed `ts`.
+    pub fn view_at(self: &Arc<Self>, ts: u64) -> GraphView {
+        let record = self
+            .records
+            .iter()
+            .rposition(|r| r.timestamp <= ts);
+        GraphView { store: Arc::clone(self), record }
+    }
+}
+
+/// A consistent, immutable view of the graph at one snapshot.
+#[derive(Clone, Debug)]
+pub struct GraphView {
+    store: Arc<SnapshotStore>,
+    /// Index into the record chain; `None` means the base.
+    record: Option<usize>,
+}
+
+impl GraphView {
+    fn rec(&self) -> Option<&SnapshotRecord> {
+        self.record.map(|i| &self.store.records[i])
+    }
+
+    /// The snapshot timestamp this view observes (0 for the base).
+    pub fn timestamp(&self) -> u64 {
+        self.rec().map_or(0, |r| r.timestamp)
+    }
+
+    /// Number of partitions (fixed across snapshots).
+    pub fn num_partitions(&self) -> usize {
+        self.store.base.num_partitions()
+    }
+
+    /// Size of the vertex universe (fixed across snapshots).
+    pub fn num_vertices(&self) -> VertexId {
+        self.store.base.num_vertices()
+    }
+
+    /// The partition `pid` as seen by this view.
+    pub fn partition(&self, pid: PartitionId) -> &Arc<Partition> {
+        self.rec()
+            .and_then(|r| r.overrides.get(&pid))
+            .unwrap_or_else(|| self.store.base.partition(pid))
+    }
+
+    /// The version of partition `pid` (0 = base).  Two views share the
+    /// physical partition — and therefore its cache residency — exactly
+    /// when their versions match.
+    pub fn version_of(&self, pid: PartitionId) -> VersionId {
+        self.rec().map_or(0, |r| r.versions[pid as usize])
+    }
+
+    /// Master partition of `v` in this view.
+    pub fn master_of(&self, v: VertexId) -> PartitionId {
+        self.rec()
+            .and_then(|r| r.master_over.get(&v).copied())
+            .unwrap_or_else(|| self.store.base.master_of(v))
+    }
+
+    /// Replica partitions of `v` in this view.
+    pub fn replicas_of(&self, v: VertexId) -> &[PartitionId] {
+        self.rec()
+            .and_then(|r| r.replica_over.get(&v).map(|x| x.as_slice()))
+            .unwrap_or_else(|| self.store.base.replicas_of(v))
+    }
+
+    /// Whole-graph out/in degree of `v` in this view.
+    pub fn degree_of(&self, v: VertexId) -> (u32, u32) {
+        if let Some(&d) = self.rec().and_then(|r| r.degree_over.get(&v)) {
+            return d;
+        }
+        match self.store.base.replicas_of(v).first() {
+            Some(&pid) => {
+                let p = self.store.base.partition(pid);
+                let l = p.local_of(v).expect("replica listed");
+                let m = p.meta()[l as usize];
+                (m.global_out_degree, m.global_in_degree)
+            }
+            None => (0, 0),
+        }
+    }
+
+    /// Materializes the whole graph at this view as an edge list
+    /// (used by reference implementations in tests).
+    pub fn edges_global(&self) -> EdgeList {
+        let mut edges = Vec::new();
+        for pid in 0..self.num_partitions() as PartitionId {
+            edges.extend(self.partition(pid).edges_global());
+        }
+        EdgeList::from_edges(edges, self.num_vertices())
+    }
+
+    /// Fraction of partitions this view shares (same version) with `other`
+    /// — the quantity behind the paper's Fig. 1(b) and Fig. 16 analysis.
+    pub fn shared_fraction(&self, other: &GraphView) -> f64 {
+        let np = self.num_partitions();
+        if np == 0 {
+            return 1.0;
+        }
+        let same = (0..np as PartitionId)
+            .filter(|&p| self.version_of(p) == other.version_of(p))
+            .count();
+        same as f64 / np as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::vertex_cut::VertexCutPartitioner;
+    use crate::Partitioner;
+
+    fn store() -> Arc<SnapshotStore> {
+        let el = GraphBuilder::new(8)
+            .edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 0)])
+            .build();
+        Arc::new(SnapshotStore::new(VertexCutPartitioner::new(4).partition(&el)))
+    }
+
+    fn store_mut() -> SnapshotStore {
+        let el = GraphBuilder::new(8)
+            .edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 0)])
+            .build();
+        SnapshotStore::new(VertexCutPartitioner::new(4).partition(&el))
+    }
+
+    #[test]
+    fn base_view_matches_base() {
+        let s = store();
+        let v = s.base_view();
+        assert_eq!(v.timestamp(), 0);
+        assert_eq!(v.edges_global().len(), 8);
+        for p in 0..4 {
+            assert_eq!(v.version_of(p), 0);
+        }
+    }
+
+    #[test]
+    fn addition_is_visible_only_to_later_views() {
+        let mut s = store_mut();
+        s.apply(10, &GraphDelta::adding([Edge::unit(0, 4)])).unwrap();
+        let s = Arc::new(s);
+        let old = s.view_at(5);
+        let new = s.view_at(10);
+        assert_eq!(old.edges_global().len(), 8);
+        assert_eq!(new.edges_global().len(), 9);
+        assert_eq!(new.timestamp(), 10);
+    }
+
+    #[test]
+    fn removal_updates_edges_and_degrees() {
+        let mut s = store_mut();
+        s.apply(1, &GraphDelta::removing([(1, 2)])).unwrap();
+        let s = Arc::new(s);
+        let v = s.latest();
+        assert_eq!(v.edges_global().len(), 7);
+        assert_eq!(v.degree_of(1), (0, 1));
+        assert_eq!(v.degree_of(2), (1, 0));
+    }
+
+    #[test]
+    fn missing_removal_is_an_error() {
+        let mut s = store_mut();
+        let err = s.apply(1, &GraphDelta::removing([(0, 5)])).unwrap_err();
+        assert_eq!(err, SnapshotError::EdgeNotFound(0, 5));
+        assert_eq!(s.num_snapshots(), 0);
+    }
+
+    #[test]
+    fn out_of_range_addition_is_an_error() {
+        let mut s = store_mut();
+        let err = s
+            .apply(1, &GraphDelta::adding([Edge::unit(0, 99)]))
+            .unwrap_err();
+        assert_eq!(err, SnapshotError::VertexOutOfRange(99));
+    }
+
+    #[test]
+    fn timestamps_must_increase() {
+        let mut s = store_mut();
+        s.apply(5, &GraphDelta::adding([Edge::unit(0, 2)])).unwrap();
+        let err = s.apply(5, &GraphDelta::adding([Edge::unit(0, 3)])).unwrap_err();
+        assert!(matches!(err, SnapshotError::NonMonotonicTimestamp { .. }));
+    }
+
+    #[test]
+    fn unchanged_partitions_keep_version_zero() {
+        let mut s = store_mut();
+        s.apply(1, &GraphDelta::adding([Edge::unit(0, 2)])).unwrap();
+        let s = Arc::new(s);
+        let v = s.latest();
+        let bumped: Vec<_> = (0..4).filter(|&p| v.version_of(p) > 0).collect();
+        assert!(!bumped.is_empty());
+        assert!(bumped.len() < 4, "small delta must not bump everything");
+    }
+
+    #[test]
+    fn shared_fraction_decreases_with_changes() {
+        let mut s = store_mut();
+        s.apply(1, &GraphDelta::adding([Edge::unit(0, 2)])).unwrap();
+        let s = Arc::new(s);
+        let a = s.base_view();
+        let b = s.latest();
+        let f = a.shared_fraction(&b);
+        assert!(f < 1.0 && f > 0.0, "fraction {f}");
+        assert_eq!(b.shared_fraction(&b), 1.0);
+    }
+
+    #[test]
+    fn chained_snapshots_accumulate() {
+        let mut s = store_mut();
+        s.apply(1, &GraphDelta::adding([Edge::unit(0, 2)])).unwrap();
+        s.apply(2, &GraphDelta::adding([Edge::unit(0, 3)])).unwrap();
+        s.apply(3, &GraphDelta::removing([(0, 2)])).unwrap();
+        let s = Arc::new(s);
+        assert_eq!(s.num_snapshots(), 3);
+        let v = s.latest();
+        assert_eq!(v.edges_global().len(), 9); // 8 + 2 - 1
+        let mid = s.view_at(2);
+        assert_eq!(mid.edges_global().len(), 10);
+    }
+
+    #[test]
+    fn master_reassigned_when_replica_disappears() {
+        // Remove every edge of a vertex from its master partition and the
+        // master must move (or become NO_PARTITION when fully isolated).
+        let mut s = store_mut();
+        // Vertex 1's edges: 0->1 and 1->2. Remove both; it becomes isolated.
+        s.apply(1, &GraphDelta::removing([(0, 1), (1, 2)])).unwrap();
+        let s = Arc::new(s);
+        let v = s.latest();
+        assert_eq!(v.master_of(1), NO_PARTITION);
+        assert!(v.replicas_of(1).is_empty());
+        assert_eq!(v.degree_of(1), (0, 0));
+    }
+
+    #[test]
+    fn replica_lists_stay_sorted_and_consistent() {
+        let mut s = store_mut();
+        s.apply(1, &GraphDelta::adding([Edge::unit(2, 6), Edge::unit(6, 2)]))
+            .unwrap();
+        let s = Arc::new(s);
+        let v = s.latest();
+        for vid in 0..8 {
+            let reps = v.replicas_of(vid);
+            let mut sorted = reps.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(reps, sorted.as_slice(), "vertex {vid}");
+            for &pid in reps {
+                assert!(v.partition(pid).local_of(vid).is_some(), "v{vid} p{pid}");
+            }
+            if !reps.is_empty() {
+                assert!(reps.contains(&v.master_of(vid)));
+            }
+        }
+    }
+}

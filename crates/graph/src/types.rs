@@ -1,0 +1,40 @@
+//! Fundamental identifier and scalar types shared across the workspace.
+
+/// A global vertex identifier.
+///
+/// The substrate supports up to `u32::MAX` vertices, matching the scale of
+/// the paper's largest scaled-down dataset while keeping the partitioned
+/// tables compact.
+pub type VertexId = u32;
+
+/// An index into a partition's local vertex table.
+pub type LocalId = u32;
+
+/// A graph-structure partition identifier.
+pub type PartitionId = u32;
+
+/// A version number for a partition under the evolving-graph snapshot store.
+///
+/// Version 0 is the base graph; each [`crate::snapshot::GraphDelta`] that
+/// touches a partition bumps that partition's version.
+pub type VersionId = u32;
+
+/// An edge weight.
+///
+/// PageRank ignores weights; SSSP interprets them as distances; SSWP as
+/// capacities.  Generators default to weight `1.0` unless asked otherwise.
+pub type Weight = f32;
+
+/// Sentinel meaning "no partition".
+pub const NO_PARTITION: PartitionId = PartitionId::MAX;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentinel_is_distinct_from_real_partitions() {
+        assert_ne!(NO_PARTITION, 0);
+        assert_eq!(NO_PARTITION, u32::MAX);
+    }
+}

@@ -1,0 +1,184 @@
+//! The bandwidth/latency model converting [`Metrics`] into modeled time.
+//!
+//! Every engine pays the same per-byte and per-op prices, so *relative*
+//! results — who wins, by what factor, where crossovers fall — are
+//! preserved even though absolute numbers differ from the paper's Xeon
+//! testbed.
+
+use crate::metrics::{JobMetrics, Metrics};
+
+/// Cost parameters, loosely calibrated to the paper's platform (4-way
+/// 8-core Xeon E5-2670, 64 GB RAM, magnetic disk).
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// Memory → LLC bandwidth in bytes/second.
+    pub mem_bandwidth: f64,
+    /// Disk → memory bandwidth in bytes/second.
+    pub disk_bandwidth: f64,
+    /// Fixed latency per cache miss, in seconds.
+    pub miss_latency: f64,
+    /// Compute cost per edge operation, in seconds.
+    pub edge_op: f64,
+    /// Compute cost per vertex operation, in seconds.
+    pub vertex_op: f64,
+    /// Cost per synchronization record, in seconds.
+    pub sync_op: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            mem_bandwidth: 20.0e9, // ~20 GB/s effective per-channel
+            disk_bandwidth: 0.5e9, // sequential streaming from disk/RAID
+            miss_latency: 80e-9,
+            edge_op: 4e-9,
+            vertex_op: 8e-9,
+            sync_op: 10e-9,
+        }
+    }
+}
+
+impl CostModel {
+    /// Modeled data-access time: transfer time plus per-miss latency.
+    pub fn access_seconds(&self, m: &Metrics) -> f64 {
+        m.bytes_mem_to_cache as f64 / self.mem_bandwidth
+            + m.bytes_disk_to_mem as f64 / self.disk_bandwidth
+            + m.cache_misses as f64 * self.miss_latency
+    }
+
+    /// Modeled compute time (single-threaded total work).
+    pub fn compute_seconds(&self, m: &Metrics) -> f64 {
+        m.edge_ops as f64 * self.edge_op
+            + m.vertex_ops as f64 * self.vertex_op
+            + m.sync_ops as f64 * self.sync_op
+    }
+
+    /// Modeled makespan with `workers` cores: compute parallelizes across
+    /// workers; data access serializes on the shared channel (the paper's
+    /// bandwidth wall).
+    pub fn total_seconds(&self, m: &Metrics, workers: usize) -> f64 {
+        self.access_seconds(m) + self.compute_seconds(m) / workers.max(1) as f64
+    }
+
+    /// Modeled CPU utilization in `[0, 1]`: useful compute over total
+    /// core-time during the makespan (the paper's Fig. 15).
+    pub fn utilization(&self, m: &Metrics, workers: usize) -> f64 {
+        let total = self.total_seconds(m, workers);
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.compute_seconds(m) / (workers.max(1) as f64 * total)
+    }
+
+    /// Per-job modeled time from attributed metrics: amortized access cost
+    /// plus the job's own compute.
+    ///
+    /// `sharers` is the number of jobs contending for the data-access
+    /// channel while this job runs (1 when jobs run sequentially): each
+    /// job sees `1/sharers` of the bandwidth, which is what prolongs
+    /// per-job time under concurrency in the paper's Fig. 2 — unless, as
+    /// in CGraph, sharing shrinks the attributed bytes to compensate.
+    pub fn job_seconds(&self, j: &JobMetrics, workers: usize, sharers: usize) -> f64 {
+        let access = self.job_access_seconds(j, sharers);
+        let compute = j.edge_ops as f64 * self.edge_op
+            + j.vertex_ops as f64 * self.vertex_op
+            + j.sync_ops as f64 * self.sync_op;
+        access + compute / workers.max(1) as f64
+    }
+
+    /// The access component of [`job_seconds`](Self::job_seconds).
+    pub fn job_access_seconds(&self, j: &JobMetrics, sharers: usize) -> f64 {
+        let sharers = sharers.max(1) as f64;
+        (j.attributed_bytes / self.mem_bandwidth + j.attributed_misses * self.miss_latency)
+            * sharers
+    }
+
+    /// Per-job access share of total modeled time in `[0, 1]`
+    /// (Fig. 10's breakdown).
+    pub fn job_access_ratio(&self, j: &JobMetrics, workers: usize, sharers: usize) -> f64 {
+        let total = self.job_seconds(j, workers, sharers);
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.job_access_seconds(j, sharers) / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disk_traffic_dominates_memory_traffic() {
+        let cm = CostModel::default();
+        let mem_only = Metrics { bytes_mem_to_cache: 1 << 30, ..Metrics::default() };
+        let disk = Metrics {
+            bytes_mem_to_cache: 1 << 30,
+            bytes_disk_to_mem: 1 << 30,
+            ..Metrics::default()
+        };
+        assert!(cm.access_seconds(&disk) > 10.0 * cm.access_seconds(&mem_only));
+    }
+
+    #[test]
+    fn compute_parallelizes_access_does_not() {
+        let cm = CostModel::default();
+        let m = Metrics {
+            edge_ops: 1_000_000_000,
+            bytes_mem_to_cache: 1 << 30,
+            ..Metrics::default()
+        };
+        let t1 = cm.total_seconds(&m, 1);
+        let t8 = cm.total_seconds(&m, 8);
+        assert!(t8 < t1);
+        assert!(t8 > cm.access_seconds(&m), "access floor must remain");
+    }
+
+    #[test]
+    fn utilization_bounded() {
+        let cm = CostModel::default();
+        let m = Metrics { edge_ops: 1000, bytes_mem_to_cache: 10_000, ..Metrics::default() };
+        for w in [1, 2, 8, 32] {
+            let u = cm.utilization(&m, w);
+            assert!((0.0..=1.0).contains(&u), "w={w} u={u}");
+        }
+        assert_eq!(cm.utilization(&Metrics::default(), 4), 0.0);
+    }
+
+    #[test]
+    fn utilization_falls_with_more_access_traffic() {
+        let cm = CostModel::default();
+        let light = Metrics { edge_ops: 1_000_000, bytes_mem_to_cache: 1 << 20, ..Metrics::default() };
+        let heavy = Metrics { edge_ops: 1_000_000, bytes_mem_to_cache: 1 << 28, ..Metrics::default() };
+        assert!(cm.utilization(&light, 4) > cm.utilization(&heavy, 4));
+    }
+
+    #[test]
+    fn job_access_ratio_bounded() {
+        let cm = CostModel::default();
+        let j = JobMetrics {
+            edge_ops: 500,
+            attributed_bytes: 1e6,
+            attributed_misses: 10.0,
+            ..JobMetrics::default()
+        };
+        let r = cm.job_access_ratio(&j, 4, 1);
+        assert!((0.0..=1.0).contains(&r));
+        assert_eq!(cm.job_access_ratio(&JobMetrics::default(), 4, 1), 0.0);
+    }
+
+    #[test]
+    fn contention_prolongs_per_job_time() {
+        let cm = CostModel::default();
+        let j = JobMetrics {
+            edge_ops: 1000,
+            attributed_bytes: 1e8,
+            attributed_misses: 100.0,
+            ..JobMetrics::default()
+        };
+        let alone = cm.job_seconds(&j, 4, 1);
+        let crowded = cm.job_seconds(&j, 4, 8);
+        assert!(crowded > alone);
+        assert!(cm.job_access_ratio(&j, 4, 8) > cm.job_access_ratio(&j, 4, 1));
+    }
+}

@@ -1,0 +1,47 @@
+//! Memory-hierarchy simulator for the CGraph reproduction.
+//!
+//! The paper's evaluation is dominated by *where data moves*: LLC miss rates
+//! (Fig. 11/18), bytes swapped into the cache (Fig. 12), disk I/O (Fig. 13)
+//! and the resulting data-access-to-computation ratio (Fig. 10/17).  A real
+//! hardware cache cannot be measured deterministically in CI, so every
+//! engine in this workspace routes its partition-granular loads through this
+//! simulator instead:
+//!
+//! * [`CacheObject`] — the unit of residency: a shared structure partition
+//!   at a version, a per-job structure copy, or a per-job private state
+//!   table.  Partition granularity is the granularity the paper itself
+//!   reasons at ("assume that the cache can only store a partition").
+//! * [`LruCache`] — one tier with byte capacity, LRU eviction and pinning.
+//! * [`MemoryHierarchy`] — LLC + main-memory tiers over an infinite disk,
+//!   charging `memory → cache` and `disk → memory` transfers.
+//! * [`Metrics`] / [`CostModel`] — counters and the bandwidth/latency model
+//!   that converts them into modeled seconds, so "execution time" figures
+//!   are reproducible on any host.
+//!
+//! # Examples
+//!
+//! ```
+//! use cgraph_memsim::{CacheObject, HierarchyConfig, MemoryHierarchy};
+//!
+//! let mut hier = MemoryHierarchy::new(HierarchyConfig {
+//!     cache_bytes: 1 << 14,
+//!     memory_bytes: 1 << 20,
+//! });
+//! let obj = CacheObject::Structure { pid: 0, version: 0 };
+//! let first = hier.access(obj, 4096);
+//! assert!(!first.cache_hit);
+//! let second = hier.access(obj, 4096);
+//! assert!(second.cache_hit);
+//! ```
+
+pub mod cost;
+pub mod hierarchy;
+pub mod lru;
+pub mod metrics;
+pub mod object;
+
+pub use cost::CostModel;
+pub use hierarchy::{AccessOutcome, HierarchyConfig, MemoryHierarchy};
+pub use lru::LruCache;
+pub use metrics::{JobMetrics, Metrics};
+pub use object::CacheObject;

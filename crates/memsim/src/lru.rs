@@ -1,0 +1,267 @@
+//! One simulated storage tier with LRU eviction and pinning.
+
+use std::collections::HashMap;
+
+use crate::object::CacheObject;
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    bytes: u64,
+    last_used: u64,
+    pinned: bool,
+}
+
+/// A byte-capacity tier holding [`CacheObject`]s with least-recently-used
+/// eviction.
+///
+/// Objects can be *pinned* while a batch of jobs processes them (the paper
+/// fixes a loaded structure partition in cache while rotating private
+/// tables, §3.2.3); pinned objects are never evicted.  Eviction scans for
+/// the minimum timestamp, which is plenty at partition granularity (tens to
+/// a few thousand resident objects).
+#[derive(Clone, Debug)]
+pub struct LruCache {
+    capacity: u64,
+    used: u64,
+    clock: u64,
+    entries: HashMap<CacheObject, Entry>,
+}
+
+impl LruCache {
+    /// Creates a tier with the given byte capacity.
+    pub fn new(capacity: u64) -> Self {
+        LruCache { capacity, used: 0, clock: 0, entries: HashMap::new() }
+    }
+
+    /// Tier capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently resident.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Number of resident objects.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the tier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `obj` is resident (does not touch recency).
+    pub fn contains(&self, obj: &CacheObject) -> bool {
+        self.entries.contains_key(obj)
+    }
+
+    /// Touches `obj`, refreshing its recency.  Returns `true` if resident.
+    pub fn touch(&mut self, obj: &CacheObject) -> bool {
+        self.clock += 1;
+        let clock = self.clock;
+        match self.entries.get_mut(obj) {
+            Some(e) => {
+                e.last_used = clock;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Inserts `obj`, evicting LRU victims until it fits.
+    ///
+    /// Objects larger than the whole tier stream through: they are counted
+    /// by the caller but never become resident (and evict nothing).
+    /// Returns the evicted objects.
+    pub fn insert(&mut self, obj: CacheObject, bytes: u64) -> Vec<CacheObject> {
+        self.clock += 1;
+        if let Some(e) = self.entries.get_mut(&obj) {
+            // Size update for an already-resident object; growth may
+            // require evictions like a fresh insert would.
+            self.used = self.used - e.bytes + bytes;
+            e.bytes = bytes;
+            e.last_used = self.clock;
+            let mut evicted = Vec::new();
+            while self.used > self.capacity {
+                match self.lru_victim() {
+                    // The resized entry is MRU, so it is never the victim
+                    // unless it is the only entry left.
+                    Some(victim) if victim != obj => {
+                        self.remove(&victim);
+                        evicted.push(victim);
+                    }
+                    _ => break,
+                }
+            }
+            return evicted;
+        }
+        if bytes > self.capacity {
+            return Vec::new();
+        }
+        let mut evicted = Vec::new();
+        while self.used + bytes > self.capacity {
+            match self.lru_victim() {
+                Some(victim) => {
+                    self.remove(&victim);
+                    evicted.push(victim);
+                }
+                // Everything left is pinned; over-commit rather than fail —
+                // the hierarchy's accounting still charges the transfer.
+                None => break,
+            }
+        }
+        self.entries.insert(
+            obj,
+            Entry { bytes, last_used: self.clock, pinned: false },
+        );
+        self.used += bytes;
+        evicted
+    }
+
+    /// Removes `obj` if resident, returning its size.
+    pub fn remove(&mut self, obj: &CacheObject) -> Option<u64> {
+        self.entries.remove(obj).map(|e| {
+            self.used -= e.bytes;
+            e.bytes
+        })
+    }
+
+    /// Pins `obj` (no-op if absent).  Pinned objects are never evicted.
+    pub fn pin(&mut self, obj: &CacheObject) {
+        if let Some(e) = self.entries.get_mut(obj) {
+            e.pinned = true;
+        }
+    }
+
+    /// Unpins `obj` (no-op if absent).
+    pub fn unpin(&mut self, obj: &CacheObject) {
+        if let Some(e) = self.entries.get_mut(obj) {
+            e.pinned = false;
+        }
+    }
+
+    /// Drops every resident object (e.g. between independent experiments).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.used = 0;
+    }
+
+    /// Removes all objects matching a predicate (e.g. one job's tables when
+    /// the job completes).
+    pub fn retain(&mut self, mut keep: impl FnMut(&CacheObject) -> bool) {
+        let mut freed = 0;
+        self.entries.retain(|obj, e| {
+            if keep(obj) {
+                true
+            } else {
+                freed += e.bytes;
+                false
+            }
+        });
+        self.used -= freed;
+    }
+
+    fn lru_victim(&self) -> Option<CacheObject> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| !e.pinned)
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(o, _)| *o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(pid: u32) -> CacheObject {
+        CacheObject::Structure { pid, version: 0 }
+    }
+
+    #[test]
+    fn inserts_until_capacity_then_evicts_lru() {
+        let mut c = LruCache::new(100);
+        assert!(c.insert(obj(0), 40).is_empty());
+        assert!(c.insert(obj(1), 40).is_empty());
+        // Touch 0 so 1 becomes LRU.
+        assert!(c.touch(&obj(0)));
+        let evicted = c.insert(obj(2), 40);
+        assert_eq!(evicted, vec![obj(1)]);
+        assert!(c.contains(&obj(0)));
+        assert!(c.contains(&obj(2)));
+        assert!(c.used() <= c.capacity());
+    }
+
+    #[test]
+    fn pinned_objects_survive_eviction() {
+        let mut c = LruCache::new(100);
+        c.insert(obj(0), 60);
+        c.pin(&obj(0));
+        c.insert(obj(1), 60);
+        assert!(c.contains(&obj(0)), "pinned object evicted");
+        c.unpin(&obj(0));
+        c.insert(obj(2), 60);
+        assert!(!c.contains(&obj(0)) || !c.contains(&obj(1)));
+    }
+
+    #[test]
+    fn oversized_objects_stream_through() {
+        let mut c = LruCache::new(50);
+        c.insert(obj(0), 30);
+        let evicted = c.insert(obj(1), 500);
+        assert!(evicted.is_empty());
+        assert!(!c.contains(&obj(1)));
+        assert!(c.contains(&obj(0)));
+    }
+
+    #[test]
+    fn reinsert_updates_size() {
+        let mut c = LruCache::new(100);
+        c.insert(obj(0), 40);
+        c.insert(obj(0), 70);
+        assert_eq!(c.used(), 70);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn remove_frees_bytes() {
+        let mut c = LruCache::new(100);
+        c.insert(obj(0), 40);
+        assert_eq!(c.remove(&obj(0)), Some(40));
+        assert_eq!(c.used(), 0);
+        assert_eq!(c.remove(&obj(0)), None);
+    }
+
+    #[test]
+    fn retain_drops_matching() {
+        let mut c = LruCache::new(1000);
+        c.insert(CacheObject::PrivateTable { job: 0, pid: 0 }, 10);
+        c.insert(CacheObject::PrivateTable { job: 1, pid: 0 }, 10);
+        c.retain(|o| !matches!(o, CacheObject::PrivateTable { job: 0, .. }));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used(), 10);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = LruCache::new(100);
+        c.insert(obj(0), 10);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.used(), 0);
+    }
+
+    #[test]
+    fn all_pinned_overcommits_rather_than_fails() {
+        let mut c = LruCache::new(100);
+        c.insert(obj(0), 80);
+        c.pin(&obj(0));
+        c.insert(obj(1), 80);
+        assert!(c.contains(&obj(0)));
+        assert!(c.contains(&obj(1)));
+        assert!(c.used() > c.capacity());
+    }
+}

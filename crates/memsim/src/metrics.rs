@@ -1,0 +1,139 @@
+//! Access and compute counters.
+
+/// Counters accumulated by a [`crate::MemoryHierarchy`] plus the compute
+/// work reported by an engine.
+///
+/// All "time" figures in the experiment harness derive from these via
+/// [`crate::CostModel`], making runs reproducible across hosts.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Metrics {
+    /// Object accesses that consulted the cache tier.
+    pub cache_accesses: u64,
+    /// Accesses that missed the cache tier.
+    pub cache_misses: u64,
+    /// Cache misses that also missed the memory tier (went to disk).
+    pub memory_misses: u64,
+    /// Bytes transferred memory → cache on misses
+    /// (the paper's Fig. 12 "volume of data swapped into the cache").
+    pub bytes_mem_to_cache: u64,
+    /// Bytes transferred disk → memory (the paper's Fig. 13 I/O overhead).
+    pub bytes_disk_to_mem: u64,
+    /// Edge-scale compute operations (scatter along one edge).
+    pub edge_ops: u64,
+    /// Vertex-scale compute operations (consume/fold one vertex).
+    pub vertex_ops: u64,
+    /// State-synchronization records handled in Push.
+    pub sync_ops: u64,
+}
+
+impl Metrics {
+    /// Cache miss rate in `[0, 1]` (0 when nothing was accessed).
+    pub fn cache_miss_rate(&self) -> f64 {
+        if self.cache_accesses == 0 {
+            0.0
+        } else {
+            self.cache_misses as f64 / self.cache_accesses as f64
+        }
+    }
+
+    /// Component-wise sum.
+    pub fn add(&mut self, other: &Metrics) {
+        self.cache_accesses += other.cache_accesses;
+        self.cache_misses += other.cache_misses;
+        self.memory_misses += other.memory_misses;
+        self.bytes_mem_to_cache += other.bytes_mem_to_cache;
+        self.bytes_disk_to_mem += other.bytes_disk_to_mem;
+        self.edge_ops += other.edge_ops;
+        self.vertex_ops += other.vertex_ops;
+        self.sync_ops += other.sync_ops;
+    }
+
+    /// Component-wise difference (`self - earlier`), for interval readings.
+    pub fn since(&self, earlier: &Metrics) -> Metrics {
+        Metrics {
+            cache_accesses: self.cache_accesses - earlier.cache_accesses,
+            cache_misses: self.cache_misses - earlier.cache_misses,
+            memory_misses: self.memory_misses - earlier.memory_misses,
+            bytes_mem_to_cache: self.bytes_mem_to_cache - earlier.bytes_mem_to_cache,
+            bytes_disk_to_mem: self.bytes_disk_to_mem - earlier.bytes_disk_to_mem,
+            edge_ops: self.edge_ops - earlier.edge_ops,
+            vertex_ops: self.vertex_ops - earlier.vertex_ops,
+            sync_ops: self.sync_ops - earlier.sync_ops,
+        }
+    }
+}
+
+/// Per-job attribution of work and (amortized) access traffic.
+///
+/// When a shared structure partition is loaded once and triggers `k` jobs,
+/// each job is attributed `1/k` of the transfer — the amortization at the
+/// heart of the paper's throughput gains (Fig. 10's per-job breakdown).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct JobMetrics {
+    /// Edge-scale compute operations performed by this job.
+    pub edge_ops: u64,
+    /// Vertex-scale compute operations performed by this job.
+    pub vertex_ops: u64,
+    /// Synchronization records pushed by this job.
+    pub sync_ops: u64,
+    /// Bytes of structure + private data attributed to this job.
+    pub attributed_bytes: f64,
+    /// Cache accesses attributed to this job.
+    pub attributed_accesses: f64,
+    /// Cache misses attributed to this job.
+    pub attributed_misses: f64,
+    /// Iterations the job ran until convergence.
+    pub iterations: u64,
+}
+
+impl JobMetrics {
+    /// Component-wise sum.
+    pub fn add(&mut self, other: &JobMetrics) {
+        self.edge_ops += other.edge_ops;
+        self.vertex_ops += other.vertex_ops;
+        self.sync_ops += other.sync_ops;
+        self.attributed_bytes += other.attributed_bytes;
+        self.attributed_accesses += other.attributed_accesses;
+        self.attributed_misses += other.attributed_misses;
+        self.iterations += other.iterations;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_rate_handles_zero() {
+        assert_eq!(Metrics::default().cache_miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn miss_rate_ratio() {
+        let m = Metrics { cache_accesses: 10, cache_misses: 3, ..Metrics::default() };
+        assert!((m.cache_miss_rate() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_and_since_are_inverse() {
+        let a = Metrics {
+            cache_accesses: 5,
+            cache_misses: 2,
+            bytes_mem_to_cache: 100,
+            edge_ops: 7,
+            ..Metrics::default()
+        };
+        let mut b = a;
+        let extra = Metrics { cache_accesses: 3, edge_ops: 1, ..Metrics::default() };
+        b.add(&extra);
+        assert_eq!(b.since(&a), extra);
+    }
+
+    #[test]
+    fn job_metrics_accumulate() {
+        let mut a = JobMetrics { edge_ops: 1, attributed_bytes: 0.5, ..JobMetrics::default() };
+        a.add(&JobMetrics { edge_ops: 2, attributed_bytes: 1.5, ..JobMetrics::default() });
+        assert_eq!(a.edge_ops, 3);
+        assert!((a.attributed_bytes - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,155 @@
+//! Concurrency must never change results: jobs running together on the
+//! CGraph engine produce exactly what they produce in isolation, including
+//! the multi-phase SCC driver interleaved with other jobs.
+
+use cgraph::algos::{reference, run_scc, Bfs, Katz, PageRank, Reachability, Sssp, Sswp, Wcc};
+use cgraph::core::{Engine, EngineConfig};
+use cgraph::graph::vertex_cut::VertexCutPartitioner;
+use cgraph::graph::{generate, Csr, Partitioner, PartitionSet};
+
+fn partitions(seed: u64) -> PartitionSet {
+    let el = generate::rmat(9, 4, generate::RmatParams::default(), seed);
+    VertexCutPartitioner::new(10).partition(&el)
+}
+
+fn engine(ps: &PartitionSet) -> Engine {
+    Engine::from_partitions(ps.clone(), EngineConfig::default())
+}
+
+#[test]
+fn eight_concurrent_jobs_match_isolated_runs() {
+    let ps = partitions(31);
+
+    // Isolated runs first.
+    let mut iso = Vec::new();
+    for src in [0u32, 1] {
+        let mut e = engine(&ps);
+        let a = e.submit(Sssp::new(src));
+        let b = e.submit(Bfs::new(src));
+        e.run();
+        iso.push((
+            e.results::<Sssp>(a).unwrap(),
+            e.results::<Bfs>(b).unwrap(),
+        ));
+    }
+    let mut e = engine(&ps);
+    let pr_iso_id = e.submit(PageRank::new(0.85, 1e-7));
+    e.run();
+    let pr_iso = e.results::<PageRank>(pr_iso_id).unwrap();
+
+    // Now everything together: 2x SSSP, 2x BFS, PR, WCC, SSWP, Reach.
+    let mut e = engine(&ps);
+    let s0 = e.submit(Sssp::new(0));
+    let b0 = e.submit(Bfs::new(0));
+    let pr = e.submit(PageRank::new(0.85, 1e-7));
+    let s1 = e.submit(Sssp::new(1));
+    let wc = e.submit(Wcc);
+    let b1 = e.submit(Bfs::new(1));
+    let sw = e.submit(Sswp::new(0));
+    let rc = e.submit(Reachability::new(0));
+    let report = e.run();
+    assert!(report.completed);
+
+    assert_eq!(e.results::<Sssp>(s0).unwrap(), iso[0].0);
+    assert_eq!(e.results::<Bfs>(b0).unwrap(), iso[0].1);
+    assert_eq!(e.results::<Sssp>(s1).unwrap(), iso[1].0);
+    assert_eq!(e.results::<Bfs>(b1).unwrap(), iso[1].1);
+    let pr_con = e.results::<PageRank>(pr).unwrap();
+    for v in 0..pr_con.len() {
+        assert!((pr_con[v] - pr_iso[v]).abs() < 1e-9, "PR diverged at v{v}");
+    }
+    // Reachability must agree with BFS-from-0 reachability.
+    let reach = e.results::<Reachability>(rc).unwrap();
+    for v in 0..reach.len() {
+        assert_eq!(reach[v], iso[0].1[v] != u32::MAX, "reach v{v}");
+    }
+    let _ = (wc, sw);
+}
+
+#[test]
+fn scc_driver_interleaved_with_other_jobs() {
+    let el = generate::rmat(8, 5, generate::RmatParams::default(), 77);
+    let ps = VertexCutPartitioner::new(8).partition(&el);
+    let mut e = Engine::from_partitions(ps, EngineConfig::default());
+
+    // PageRank runs concurrently with every SCC phase.
+    let pr = e.submit(PageRank::new(0.85, 1e-7));
+    let scc_ids = run_scc(&mut e);
+    e.run();
+
+    // SCC equals Tarjan (up to relabeling).
+    let tarjan = reference::scc(&el);
+    let canon = |ids: &[u32]| -> Vec<u32> {
+        let mut min_of = std::collections::HashMap::new();
+        for (v, &id) in ids.iter().enumerate() {
+            let e = min_of.entry(id).or_insert(v as u32);
+            *e = (*e).min(v as u32);
+        }
+        ids.iter().map(|id| min_of[id]).collect()
+    };
+    assert_eq!(canon(&scc_ids), canon(&tarjan));
+
+    // And PageRank still equals its isolated value.
+    let csr = Csr::from_edges(&el);
+    let pr_ref = reference::pagerank(&csr, 0.85, 1e-9, 100_000);
+    let pr_got = e.results::<PageRank>(pr).unwrap();
+    for v in 0..pr_got.len() {
+        assert!(
+            (pr_got[v] - pr_ref[v]).abs() < 1e-3 * pr_ref[v].max(1.0),
+            "PR v{v} drifted under SCC interleaving"
+        );
+    }
+}
+
+#[test]
+fn katz_concurrent_with_pagerank() {
+    let el = generate::rmat(8, 4, generate::RmatParams::default(), 13);
+    let ps = VertexCutPartitioner::new(8).partition(&el);
+    let mut e = Engine::from_partitions(ps, EngineConfig::default());
+    let ka = e.submit(Katz::new(0.002, 1e-10));
+    let pr = e.submit(PageRank::new(0.85, 1e-8));
+    e.run();
+    let csr = Csr::from_edges(&el);
+    let ka_ref = reference::katz(&csr, 0.002, 1e-12, 100_000);
+    let got = e.results::<Katz>(ka).unwrap();
+    for v in 0..got.len() {
+        assert!((got[v] - ka_ref[v]).abs() < 1e-6 * ka_ref[v].max(1.0), "katz v{v}");
+    }
+    assert!(e.job_done(pr));
+}
+
+#[test]
+fn jobs_submitted_between_runs_are_picked_up() {
+    let ps = partitions(91);
+    let mut e = engine(&ps);
+    let b0 = e.submit(Bfs::new(0));
+    e.run();
+    assert!(e.job_done(b0));
+    // Late registration, as the paper's Alg. 3 allows.
+    let b1 = e.submit(Bfs::new(1));
+    let report = e.run();
+    assert!(report.completed);
+    assert!(e.job_done(b1));
+    assert!(e.results::<Bfs>(b1).is_some());
+}
+
+#[test]
+fn many_jobs_batching_exceeds_worker_count() {
+    // 12 jobs on 2 workers forces |J| > N batching per partition.
+    let ps = partitions(101);
+    let mut e = Engine::from_partitions(
+        ps.clone(),
+        EngineConfig { workers: 2, ..EngineConfig::default() },
+    );
+    let mut ids = Vec::new();
+    for src in 0..12u32 {
+        ids.push(e.submit(Bfs::new(src % 4)));
+    }
+    assert!(e.run().completed);
+    // Jobs with the same source agree exactly.
+    let d0 = e.results::<Bfs>(ids[0]).unwrap();
+    let d4 = e.results::<Bfs>(ids[4]).unwrap();
+    let d8 = e.results::<Bfs>(ids[8]).unwrap();
+    assert_eq!(d0, d4);
+    assert_eq!(d4, d8);
+}

@@ -1,0 +1,153 @@
+//! Every engine — CGraph (both schedulers, both sync strategies) and all
+//! five baselines — must produce identical algorithm results, because they
+//! drive the same job runtimes.  Only access patterns may differ.
+
+use cgraph::algos::{reference, Bfs, PageRank, Sssp, Wcc};
+use cgraph::baselines::BaselinePreset;
+use cgraph::core::{Engine, EngineConfig, JobEngine, SchedulerKind, SyncStrategy};
+use cgraph::graph::vertex_cut::VertexCutPartitioner;
+use cgraph::graph::{generate, Csr, EdgeList, Partitioner, PartitionSet};
+use cgraph::memsim::HierarchyConfig;
+
+fn graph() -> (EdgeList, PartitionSet) {
+    let el = generate::rmat(9, 5, generate::RmatParams::default(), 2024);
+    let ps = VertexCutPartitioner::new(12).partition(&el);
+    (el, ps)
+}
+
+fn tight_hierarchy(ps: &PartitionSet) -> HierarchyConfig {
+    let total: u64 = ps.partitions().iter().map(|p| p.structure_bytes()).sum();
+    HierarchyConfig { cache_bytes: (total / 6).max(1), memory_bytes: total * 2 }
+}
+
+/// Runs the 4-program mix on any engine and returns all results.
+fn run_all<E: JobEngine>(engine: &mut E) -> (Vec<f64>, Vec<f32>, Vec<u32>, Vec<u32>) {
+    let pr = engine.submit_program(PageRank::new(0.85, 1e-7));
+    let ss = engine.submit_program(Sssp::new(0));
+    let bf = engine.submit_program(Bfs::new(0));
+    let wc = engine.submit_program(Wcc);
+    let report = engine.run_jobs();
+    assert!(report.completed, "engine must converge");
+    (
+        engine.typed_results::<PageRank>(pr).unwrap(),
+        engine.typed_results::<Sssp>(ss).unwrap(),
+        engine.typed_results::<Bfs>(bf).unwrap(),
+        engine.typed_results::<Wcc>(wc).unwrap(),
+    )
+}
+
+fn assert_matches_reference(
+    el: &EdgeList,
+    (pr, ss, bf, wc): &(Vec<f64>, Vec<f32>, Vec<u32>, Vec<u32>),
+    engine_name: &str,
+) {
+    let csr = Csr::from_edges(el);
+    let pr_ref = reference::pagerank(&csr, 0.85, 1e-9, 100_000);
+    let ss_ref = reference::sssp(&csr, 0);
+    let bf_ref = reference::bfs(&csr, 0);
+    let wc_ref = reference::wcc(el);
+    for v in 0..el.num_vertices() as usize {
+        assert!(
+            (pr[v] - pr_ref[v]).abs() < 1e-3 * pr_ref[v].max(1.0),
+            "{engine_name}: PageRank v{v}: {} vs {}",
+            pr[v],
+            pr_ref[v]
+        );
+        assert!(
+            (ss[v].is_infinite() && ss_ref[v].is_infinite())
+                || (ss[v] - ss_ref[v]).abs() < 1e-3,
+            "{engine_name}: SSSP v{v}: {} vs {}",
+            ss[v],
+            ss_ref[v]
+        );
+        assert_eq!(bf[v], bf_ref[v], "{engine_name}: BFS v{v}");
+        assert_eq!(wc[v], wc_ref[v], "{engine_name}: WCC v{v}");
+    }
+}
+
+#[test]
+fn cgraph_priority_scheduler_matches_reference() {
+    let (el, ps) = graph();
+    let mut e = Engine::from_partitions(
+        ps.clone(),
+        EngineConfig { hierarchy: tight_hierarchy(&ps), ..EngineConfig::default() },
+    );
+    let out = run_all(&mut e);
+    assert_matches_reference(&el, &out, "cgraph/priority");
+}
+
+#[test]
+fn cgraph_fixed_order_matches_reference() {
+    let (el, ps) = graph();
+    let mut e = Engine::from_partitions(
+        ps.clone(),
+        EngineConfig {
+            scheduler: SchedulerKind::FixedOrder,
+            hierarchy: tight_hierarchy(&ps),
+            ..EngineConfig::default()
+        },
+    );
+    let out = run_all(&mut e);
+    assert_matches_reference(&el, &out, "cgraph/fixed-order");
+}
+
+#[test]
+fn cgraph_immediate_sync_matches_reference() {
+    let (el, ps) = graph();
+    let mut e = Engine::from_partitions(
+        ps.clone(),
+        EngineConfig {
+            sync: SyncStrategy::Immediate,
+            hierarchy: tight_hierarchy(&ps),
+            ..EngineConfig::default()
+        },
+    );
+    let out = run_all(&mut e);
+    assert_matches_reference(&el, &out, "cgraph/immediate-sync");
+}
+
+#[test]
+fn cgraph_single_worker_matches_reference() {
+    let (el, ps) = graph();
+    let mut e = Engine::from_partitions(
+        ps.clone(),
+        EngineConfig { workers: 1, hierarchy: tight_hierarchy(&ps), ..EngineConfig::default() },
+    );
+    let out = run_all(&mut e);
+    assert_matches_reference(&el, &out, "cgraph/1-worker");
+}
+
+#[test]
+fn all_baselines_match_reference() {
+    let (el, ps) = graph();
+    let h = tight_hierarchy(&ps);
+    for preset in BaselinePreset::ALL {
+        let mut e = preset.build_static(ps.clone(), 4, h);
+        let out = run_all(&mut e);
+        assert_matches_reference(&el, &out, preset.name());
+    }
+}
+
+#[test]
+fn all_engines_agree_pairwise() {
+    let (_, ps) = graph();
+    let h = tight_hierarchy(&ps);
+    let mut cg = Engine::from_partitions(
+        ps.clone(),
+        EngineConfig { hierarchy: h, ..EngineConfig::default() },
+    );
+    let golden = run_all(&mut cg);
+    for preset in BaselinePreset::ALL {
+        let mut e = preset.build_static(ps.clone(), 2, h);
+        let out = run_all(&mut e);
+        assert_eq!(out.2, golden.2, "{}: BFS mismatch", preset.name());
+        assert_eq!(out.3, golden.3, "{}: WCC mismatch", preset.name());
+        for v in 0..golden.0.len() {
+            assert!(
+                (out.0[v] - golden.0[v]).abs() < 2e-3 * golden.0[v].max(1.0),
+                "{}: PR v{v}",
+                preset.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests over the substrate and the engine.
+
+use proptest::prelude::*;
+
+use cgraph::algos::{reference, Bfs, Wcc};
+use cgraph::core::{Engine, EngineConfig};
+use cgraph::graph::snapshot::{GraphDelta, SnapshotStore};
+use cgraph::graph::vertex_cut::VertexCutPartitioner;
+use cgraph::graph::{Csr, Edge, EdgeList, Partitioner};
+use cgraph::memsim::{CacheObject, LruCache};
+
+/// Arbitrary small edge lists over up to 24 vertices.
+fn arb_edges() -> impl Strategy<Value = EdgeList> {
+    proptest::collection::vec((0u32..24, 0u32..24), 1..120).prop_map(|pairs| {
+        let edges: Vec<Edge> = pairs
+            .into_iter()
+            .filter(|(s, d)| s != d)
+            .map(|(s, d)| Edge::unit(s, d))
+            .collect();
+        let mut el = EdgeList::from_edges(edges, 24);
+        el.sort_and_dedup();
+        el
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Partitioning never loses or duplicates edges, masters are unique,
+    /// and every replica knows its master.
+    #[test]
+    fn partition_invariants(el in arb_edges(), parts in 1usize..6) {
+        let ps = VertexCutPartitioner::new(parts).partition(&el);
+        prop_assert_eq!(ps.num_edges(), el.len() as u64);
+        let total: usize = ps.partitions().iter().map(|p| p.num_edges()).sum();
+        prop_assert_eq!(total as u64, ps.num_edges());
+        for v in 0..el.num_vertices() {
+            let masters = ps
+                .partitions()
+                .iter()
+                .filter_map(|p| p.local_of(v).map(|l| p.meta()[l as usize]))
+                .filter(|m| m.is_master)
+                .count();
+            let replicas = ps.replicas_of(v).len();
+            if replicas == 0 {
+                prop_assert_eq!(masters, 0);
+            } else {
+                prop_assert_eq!(masters, 1);
+                for &pid in ps.replicas_of(v) {
+                    let p = ps.partition(pid);
+                    let l = p.local_of(v).unwrap();
+                    prop_assert_eq!(p.meta()[l as usize].master_partition, ps.master_of(v));
+                }
+            }
+        }
+    }
+
+    /// The engine's BFS equals the textbook BFS on arbitrary graphs and
+    /// partition counts.
+    #[test]
+    fn engine_bfs_matches_reference(el in arb_edges(), parts in 1usize..5, src in 0u32..24) {
+        let ps = VertexCutPartitioner::new(parts).partition(&el);
+        let mut engine = Engine::from_partitions(ps, EngineConfig {
+            workers: 2,
+            ..EngineConfig::default()
+        });
+        let job = engine.submit(Bfs::new(src));
+        prop_assert!(engine.run().completed);
+        let got = engine.results::<Bfs>(job).unwrap();
+        let expect = reference::bfs(&Csr::from_edges(&el), src);
+        prop_assert_eq!(got, expect);
+    }
+
+    /// WCC equals union-find labels on arbitrary graphs.
+    #[test]
+    fn engine_wcc_matches_union_find(el in arb_edges(), parts in 1usize..5) {
+        let ps = VertexCutPartitioner::new(parts).partition(&el);
+        let mut engine = Engine::from_partitions(ps, EngineConfig::default());
+        let job = engine.submit(Wcc);
+        prop_assert!(engine.run().completed);
+        prop_assert_eq!(engine.results::<Wcc>(job).unwrap(), reference::wcc(&el));
+    }
+
+    /// The LRU tier never exceeds capacity (absent pins), never evicts the
+    /// most recently used entry, and tracks bytes exactly.
+    #[test]
+    fn lru_invariants(ops in proptest::collection::vec((0u32..12, 1u64..40), 1..200)) {
+        let mut cache = LruCache::new(100);
+        for (pid, bytes) in ops {
+            let obj = CacheObject::Structure { pid, version: 0 };
+            cache.insert(obj, bytes);
+            prop_assert!(cache.used() <= 100, "over capacity: {}", cache.used());
+            if bytes <= 100 {
+                prop_assert!(cache.contains(&obj), "MRU entry evicted");
+            }
+        }
+        let before = cache.used();
+        let resident: Vec<CacheObject> = (0..12)
+            .map(|pid| CacheObject::Structure { pid, version: 0 })
+            .filter(|o| cache.contains(o))
+            .collect();
+        for obj in resident {
+            cache.remove(&obj);
+        }
+        prop_assert_eq!(cache.used(), 0, "byte accounting leaked from {}", before);
+    }
+
+    /// Applying a delta and materializing the snapshot equals editing the
+    /// edge list directly (as multisets of weighted edges).
+    #[test]
+    fn snapshot_apply_matches_direct_edit(
+        el in arb_edges(),
+        adds in proptest::collection::vec((0u32..24, 0u32..24), 0..12),
+    ) {
+        let ps = VertexCutPartitioner::new(3).partition(&el);
+        let mut store = SnapshotStore::new(ps);
+        let additions: Vec<Edge> = adds
+            .into_iter()
+            .filter(|(s, d)| s != d)
+            .map(|(s, d)| Edge::unit(s, d))
+            .collect();
+        store.apply(1, &GraphDelta::adding(additions.clone())).unwrap();
+        let store = std::sync::Arc::new(store);
+        let mut got: Vec<(u32, u32)> = store
+            .latest()
+            .edges_global()
+            .edges()
+            .iter()
+            .map(|e| (e.src, e.dst))
+            .collect();
+        got.sort_unstable();
+        let mut expect: Vec<(u32, u32)> = el
+            .edges()
+            .iter()
+            .chain(additions.iter())
+            .map(|e| (e.src, e.dst))
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Degrees reported by a snapshot view equal degrees recomputed from
+    /// its materialized edges.
+    #[test]
+    fn snapshot_degrees_consistent(
+        el in arb_edges(),
+        adds in proptest::collection::vec((0u32..24, 0u32..24), 1..10),
+    ) {
+        let ps = VertexCutPartitioner::new(3).partition(&el);
+        let mut store = SnapshotStore::new(ps);
+        let additions: Vec<Edge> = adds
+            .into_iter()
+            .filter(|(s, d)| s != d)
+            .map(|(s, d)| Edge::unit(s, d))
+            .collect();
+        store.apply(1, &GraphDelta::adding(additions)).unwrap();
+        let store = std::sync::Arc::new(store);
+        let view = store.latest();
+        let flat = view.edges_global();
+        let out = flat.out_degrees();
+        let inn = flat.in_degrees();
+        for v in 0..24u32 {
+            prop_assert_eq!(
+                view.degree_of(v),
+                (out[v as usize], inn[v as usize]),
+                "vertex {}", v
+            );
+        }
+    }
+}

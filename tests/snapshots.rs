@@ -1,0 +1,194 @@
+//! Evolving-graph correctness: jobs bound to different snapshots compute
+//! results for *their* graph, unchanged partitions stay shared, and the
+//! Seraph / Seraph-VT / CGraph disk-traffic ordering of Fig. 16 holds.
+
+use std::sync::Arc;
+
+use cgraph::algos::{reference, Bfs, Wcc};
+use cgraph::baselines::BaselinePreset;
+use cgraph::core::{Engine, EngineConfig, JobEngine};
+use cgraph::graph::snapshot::{GraphDelta, SnapshotStore};
+use cgraph::graph::vertex_cut::VertexCutPartitioner;
+use cgraph::graph::{generate, Csr, Edge, Partitioner};
+use cgraph::memsim::HierarchyConfig;
+
+fn evolving_store(seed: u64) -> Arc<SnapshotStore> {
+    let el = generate::rmat(9, 4, generate::RmatParams::default(), seed);
+    let n = el.num_vertices();
+    let ps = VertexCutPartitioner::new(12).partition(&el);
+    let mut store = SnapshotStore::new(ps);
+    let adds: Vec<Edge> = (0..30)
+        .map(|i| Edge::weighted(i * 11 % n, (i * 17 + 3) % n, 1.0))
+        .collect();
+    store.apply(10, &GraphDelta::adding(adds)).unwrap();
+    let removals: Vec<(u32, u32)> = store
+        .base()
+        .partition(0)
+        .edges_global()
+        .iter()
+        .take(4)
+        .map(|e| (e.src, e.dst))
+        .collect();
+    store.apply(20, &GraphDelta::removing(removals)).unwrap();
+    Arc::new(store)
+}
+
+#[test]
+fn jobs_bound_to_their_snapshot_match_reference() {
+    let store = evolving_store(7);
+    let mut engine = Engine::new(Arc::clone(&store), EngineConfig::default());
+    let j_base = engine.submit_at(Bfs::new(0), 0);
+    let j_mid = engine.submit_at(Bfs::new(0), 10);
+    let j_new = engine.submit_at(Bfs::new(0), 25);
+    let w_mid = engine.submit_at(Wcc, 15);
+    assert!(engine.run().completed);
+
+    for (job, ts) in [(j_base, 0), (j_mid, 10), (j_new, 25)] {
+        let edges = store.view_at(ts).edges_global();
+        let expect = reference::bfs(&Csr::from_edges(&edges), 0);
+        assert_eq!(
+            engine.results::<Bfs>(job).unwrap(),
+            expect,
+            "BFS against snapshot @{ts}"
+        );
+    }
+    let edges_mid = store.view_at(15).edges_global();
+    assert_eq!(
+        engine.results::<Wcc>(w_mid).unwrap(),
+        reference::wcc(&edges_mid),
+        "WCC against snapshot @10"
+    );
+}
+
+#[test]
+fn small_deltas_keep_most_partitions_shared() {
+    // A clustered delta (few source vertices) touches few partitions:
+    // additions land in the master partitions of their sources.
+    let el = generate::rmat(9, 4, generate::RmatParams::default(), 8);
+    let n = el.num_vertices();
+    let ps = VertexCutPartitioner::new(12).partition(&el);
+    let mut store = SnapshotStore::new(ps);
+    let adds: Vec<Edge> = (0..10).map(|i| Edge::unit(i % 3, (i * 37 + 5) % n)).collect();
+    store.apply(10, &GraphDelta::adding(adds)).unwrap();
+    let store = Arc::new(store);
+    let shared = store.base_view().shared_fraction(&store.latest());
+    assert!(
+        shared >= 0.5,
+        "a clustered delta should leave most partitions shared, got {shared}"
+    );
+    assert!(shared < 1.0, "deltas must re-version something");
+}
+
+#[test]
+fn scattered_deltas_reduce_sharing_more_than_clustered() {
+    let el = generate::rmat(9, 4, generate::RmatParams::default(), 8);
+    let n = el.num_vertices();
+    let shared_after = |adds: Vec<Edge>| {
+        let ps = VertexCutPartitioner::new(12).partition(&el);
+        let mut store = SnapshotStore::new(ps);
+        store.apply(10, &GraphDelta::adding(adds)).unwrap();
+        let store = Arc::new(store);
+        store.base_view().shared_fraction(&store.latest())
+    };
+    let clustered = shared_after((0..24).map(|i| Edge::unit(i % 2, (i * 37 + 5) % n)).collect());
+    let scattered =
+        shared_after((0..24).map(|i| Edge::unit(i * 97 % n, (i * 37 + 5) % n)).collect());
+    assert!(
+        clustered > scattered,
+        "clustered {clustered} should share more than scattered {scattered}"
+    );
+}
+
+#[test]
+fn concurrent_jobs_on_different_snapshots_share_cache() {
+    // Two jobs on adjacent snapshots vs two jobs on wildly different data:
+    // the former must move fewer structure bytes.
+    let store = evolving_store(9);
+    let total_structure: u64 = (0..store.base().num_partitions() as u32)
+        .map(|p| store.base().partition(p).structure_bytes())
+        .sum();
+    let h = HierarchyConfig { cache_bytes: total_structure / 6, memory_bytes: total_structure * 4 };
+
+    let mut shared_engine = Engine::new(
+        Arc::clone(&store),
+        EngineConfig { hierarchy: h, ..EngineConfig::default() },
+    );
+    shared_engine.submit_at(Bfs::new(0), 10);
+    shared_engine.submit_at(Bfs::new(0), 25);
+    let r_shared = shared_engine.run();
+
+    // Same two jobs through plain Seraph (full per-snapshot copies).
+    let mut seraph = BaselinePreset::Seraph.build(Arc::clone(&store), 4, h);
+    seraph.submit_at(Bfs::new(0), 10);
+    seraph.submit_at(Bfs::new(0), 25);
+    let r_seraph = seraph.run();
+
+    assert!(
+        r_shared.metrics.bytes_mem_to_cache < r_seraph.metrics.bytes_mem_to_cache,
+        "CGraph {} bytes vs Seraph {} bytes",
+        r_shared.metrics.bytes_mem_to_cache,
+        r_seraph.metrics.bytes_mem_to_cache
+    );
+}
+
+#[test]
+fn seraph_vt_beats_plain_seraph_on_snapshots() {
+    let store = evolving_store(10);
+    let total_structure: u64 = (0..store.base().num_partitions() as u32)
+        .map(|p| store.base().partition(p).structure_bytes())
+        .sum();
+    // Tight memory so copy duplication costs disk I/O.
+    let h = HierarchyConfig {
+        cache_bytes: total_structure / 8,
+        memory_bytes: total_structure + total_structure / 4,
+    };
+    let run = |preset: BaselinePreset| {
+        let mut e = preset.build(Arc::clone(&store), 4, h);
+        e.submit_at(Bfs::new(0), 0);
+        e.submit_at(Bfs::new(0), 10);
+        e.submit_at(Bfs::new(0), 20);
+        e.run().metrics
+    };
+    let seraph = run(BaselinePreset::Seraph);
+    let vt = run(BaselinePreset::SeraphVt);
+    assert!(
+        vt.bytes_disk_to_mem <= seraph.bytes_disk_to_mem,
+        "VT {} vs Seraph {}",
+        vt.bytes_disk_to_mem,
+        seraph.bytes_disk_to_mem
+    );
+    assert!(
+        vt.bytes_mem_to_cache < seraph.bytes_mem_to_cache,
+        "VT cache volume {} vs Seraph {}",
+        vt.bytes_mem_to_cache,
+        seraph.bytes_mem_to_cache
+    );
+}
+
+#[test]
+fn bigger_deltas_reduce_sharing_and_raise_cost() {
+    // The Fig. 16 trend: more change between snapshots -> less sharing ->
+    // more data movement for the same job mix.
+    let el = generate::rmat(9, 4, generate::RmatParams::default(), 21);
+    let n = el.num_vertices();
+    let run_with_changes = |count: u32| {
+        let ps = VertexCutPartitioner::new(12).partition(&el);
+        let mut store = SnapshotStore::new(ps);
+        let adds: Vec<Edge> = (0..count)
+            .map(|i| Edge::unit(i * 13 % n, (i * 29 + 1) % n))
+            .collect();
+        store.apply(10, &GraphDelta::adding(adds)).unwrap();
+        let store = Arc::new(store);
+        let total: u64 = (0..12u32)
+            .map(|p| store.base().partition(p).structure_bytes())
+            .sum();
+        let h = HierarchyConfig { cache_bytes: total / 6, memory_bytes: total * 4 };
+        let mut e = Engine::new(store, EngineConfig { hierarchy: h, ..EngineConfig::default() });
+        e.submit_at(Bfs::new(0), 0);
+        e.submit_at(Bfs::new(0), 10);
+        e.run().metrics.bytes_mem_to_cache
+    };
+    let small = run_with_changes(2);
+    let large = run_with_changes(200);
+    assert!(large > small, "large delta {large} should cost more than {small}");
+}
