@@ -95,10 +95,7 @@ mod tests {
     #[test]
     fn source_outside_edges_converges_immediately() {
         // Source 5 is isolated: only itself reachable.
-        let el = cgraph_graph::EdgeList::from_edges(
-            vec![cgraph_graph::Edge::unit(0, 1)],
-            6,
-        );
+        let el = cgraph_graph::EdgeList::from_edges(vec![cgraph_graph::Edge::unit(0, 1)], 6);
         let d = run(&el, 2, 5);
         assert_eq!(d[5], 0);
         assert_eq!(d[0], u32::MAX);

@@ -129,21 +129,11 @@ impl VertexProgram for BackwardMatch {
         ((value.0, true), Some((value.0, false)))
     }
 
-    fn edge_contrib(
-        &self,
-        basis: (u32, bool),
-        _w: Weight,
-        _info: &VertexInfo,
-    ) -> (u32, bool) {
+    fn edge_contrib(&self, basis: (u32, bool), _w: Weight, _info: &VertexInfo) -> (u32, bool) {
         basis
     }
 
-    fn finalize(
-        &self,
-        _info: &VertexInfo,
-        value: (u32, bool),
-        delta: (u32, bool),
-    ) -> (u32, bool) {
+    fn finalize(&self, _info: &VertexInfo, value: (u32, bool), delta: (u32, bool)) -> (u32, bool) {
         // Only an own-color arrival may mark a match; foreign residual
         // deltas must not (they are merely unconsumed noise).
         if delta.0 == value.0 && !value.1 {
@@ -256,20 +246,15 @@ impl SccDriver {
     pub fn run_at<E: JobEngine>(&mut self, engine: &mut E, ts: u64) -> Vec<VertexId> {
         self.trim();
         while self.scc.iter().any(|s| s.is_none()) {
-            let assigned: Arc<Vec<bool>> =
-                Arc::new(self.scc.iter().map(|s| s.is_some()).collect());
-            let cjob =
-                engine.submit_program_at(Coloring { assigned: Arc::clone(&assigned) }, ts);
+            let assigned: Arc<Vec<bool>> = Arc::new(self.scc.iter().map(|s| s.is_some()).collect());
+            let cjob = engine.submit_program_at(Coloring { assigned: Arc::clone(&assigned) }, ts);
             self.phase_jobs.push(cjob);
             engine.run_jobs();
             let colors = engine
                 .typed_results::<Coloring>(cjob)
                 .expect("coloring job typed results");
             let mjob = engine.submit_program_at(
-                BackwardMatch {
-                    colors: Arc::new(colors.clone()),
-                    assigned: Arc::clone(&assigned),
-                },
+                BackwardMatch { colors: Arc::new(colors.clone()), assigned: Arc::clone(&assigned) },
                 ts,
             );
             self.phase_jobs.push(mjob);
@@ -309,8 +294,8 @@ mod tests {
         // Relabel each component by its minimum member for comparison.
         let n = ids.len();
         let mut min_of = std::collections::HashMap::new();
-        for v in 0..n {
-            let e = min_of.entry(ids[v]).or_insert(v as VertexId);
+        for (v, &id) in ids.iter().enumerate() {
+            let e = min_of.entry(id).or_insert(v as VertexId);
             *e = (*e).min(v as VertexId);
         }
         (0..n).map(|v| min_of[&ids[v]]).collect()

@@ -93,10 +93,7 @@ mod tests {
 
     #[test]
     fn isolated_vertices_are_singletons() {
-        let el = cgraph_graph::EdgeList::from_edges(
-            vec![cgraph_graph::Edge::unit(0, 1)],
-            4,
-        );
+        let el = cgraph_graph::EdgeList::from_edges(vec![cgraph_graph::Edge::unit(0, 1)], 4);
         let labels = run(&el, 2);
         assert_eq!(labels, vec![0, 0, 2, 3]);
     }

@@ -93,12 +93,22 @@ impl BaselinePreset {
     }
 
     /// Builds an engine over a snapshot store.
-    pub fn build(self, store: Arc<SnapshotStore>, workers: usize, hierarchy: HierarchyConfig) -> StreamEngine {
+    pub fn build(
+        self,
+        store: Arc<SnapshotStore>,
+        workers: usize,
+        hierarchy: HierarchyConfig,
+    ) -> StreamEngine {
         StreamEngine::new(store, self.config(workers, hierarchy))
     }
 
     /// Builds an engine over a static graph.
-    pub fn build_static(self, parts: PartitionSet, workers: usize, hierarchy: HierarchyConfig) -> StreamEngine {
+    pub fn build_static(
+        self,
+        parts: PartitionSet,
+        workers: usize,
+        hierarchy: HierarchyConfig,
+    ) -> StreamEngine {
         self.build(Arc::new(SnapshotStore::new(parts)), workers, hierarchy)
     }
 }

@@ -2,13 +2,14 @@
 
 use std::sync::Arc;
 
-use cgraph_core::job::{JobId, JobRuntime, PushStats, TypedJob};
+use cgraph_core::exec::ChargeLedger;
+use cgraph_core::job::{JobId, JobRuntime, TypedJob};
 use cgraph_core::program::VertexProgram;
 use cgraph_core::workers::{plan_chunks, run_chunk_tasks};
-use cgraph_core::RunReport;
+use cgraph_core::{RunReport, SyncStrategy};
 use cgraph_graph::snapshot::SnapshotStore;
 use cgraph_graph::{PartitionId, PartitionSet, VersionId};
-use cgraph_memsim::{CacheObject, CostModel, HierarchyConfig, JobMetrics, MemoryHierarchy};
+use cgraph_memsim::{CacheObject, CostModel, HierarchyConfig, JobMetrics};
 
 /// How many copies of the structure data exist across jobs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -81,9 +82,11 @@ struct JobEntry {
 pub struct StreamEngine {
     config: StreamConfig,
     store: Arc<SnapshotStore>,
-    hierarchy: MemoryHierarchy,
+    /// Shared charging/attribution layer (same one the CGraph engine
+    /// uses), so the engines differ only in *when and for whom* they
+    /// request data — never in how work is accounted.
+    ledger: ChargeLedger,
     jobs: Vec<JobEntry>,
-    job_metrics: Vec<JobMetrics>,
     loads: u64,
 }
 
@@ -93,9 +96,8 @@ impl StreamEngine {
         StreamEngine {
             config,
             store,
-            hierarchy: MemoryHierarchy::new(config.hierarchy),
+            ledger: ChargeLedger::new(config.hierarchy),
             jobs: Vec::new(),
-            job_metrics: Vec::new(),
             loads: 0,
         }
     }
@@ -120,9 +122,14 @@ impl StreamEngine {
         let done = runtime.is_converged();
         // Stagger starting points so concurrent jobs traverse "along
         // different graph paths" like real uncoordinated engines.
-        let offset = if np == 0 { 0 } else { id.wrapping_mul(np / 4 + 1) % np };
-        self.jobs.push(JobEntry { runtime: Box::new(runtime), done, offset });
-        self.job_metrics.push(JobMetrics::default());
+        let offset = if np == 0 {
+            0
+        } else {
+            id.wrapping_mul(np / 4 + 1) % np
+        };
+        self.jobs
+            .push(JobEntry { runtime: Box::new(runtime), done, offset });
+        self.ledger.register_job();
         id
     }
 
@@ -175,26 +182,13 @@ impl StreamEngine {
             return false;
         };
 
-        // Load structure + private table through the hierarchy.
+        // Load structure + private table through the shared ledger.
         let skey = self.structure_key(j, pid);
         let sbytes = self.jobs[j].runtime.view().partition(pid).structure_bytes();
-        let s_out = self.hierarchy.access(skey, sbytes);
+        self.ledger.charge_access(j, skey, sbytes);
         let tbytes = self.jobs[j].runtime.private_table_bytes(pid);
-        let t_out = self
-            .hierarchy
-            .access(CacheObject::PrivateTable { job: j as u32, pid }, tbytes);
-        {
-            let jm = &mut self.job_metrics[j];
-            jm.attributed_accesses += 2.0;
-            if !s_out.cache_hit {
-                jm.attributed_misses += 1.0;
-                jm.attributed_bytes += sbytes as f64;
-            }
-            if !t_out.cache_hit {
-                jm.attributed_misses += 1.0;
-                jm.attributed_bytes += tbytes as f64;
-            }
-        }
+        self.ledger
+            .charge_access(j, CacheObject::PrivateTable { job: j as u32, pid }, tbytes);
 
         // Trigger: all workers serve this one job.
         let count = self.jobs[j].runtime.unprocessed_vertices(pid);
@@ -214,19 +208,16 @@ impl StreamEngine {
             s.edge_ops += extra.edge_ops;
         }
 
-        {
-            let jm = &mut self.job_metrics[j];
-            jm.vertex_ops += s.vertex_ops;
-            jm.edge_ops += s.edge_ops;
-            let m = self.hierarchy.metrics_mut();
-            m.vertex_ops += s.vertex_ops;
-            m.edge_ops += s.edge_ops;
-        }
+        self.ledger.charge_compute(j, s);
 
         if self.jobs[j].runtime.iteration_complete() {
             let stats = self.jobs[j].runtime.push_and_advance();
-            self.charge_push(j, &stats);
-            self.job_metrics[j].iterations += 1;
+            // Baselines always batch their push records per partition
+            // (one private-table touch each), i.e. BatchedSorted charging.
+            let runtime = &*self.jobs[j].runtime;
+            self.ledger
+                .charge_push(j, runtime, &stats, SyncStrategy::BatchedSorted);
+            self.ledger.bump_iterations(j);
             if stats.converged {
                 self.finish_job(j);
             }
@@ -235,37 +226,16 @@ impl StreamEngine {
         true
     }
 
-    fn charge_push(&mut self, j: usize, stats: &PushStats) {
-        self.hierarchy.metrics_mut().sync_ops += stats.sync_records;
-        self.job_metrics[j].sync_ops += stats.sync_records;
-        let touched = stats
-            .touched_master_parts
-            .iter()
-            .chain(stats.touched_mirror_parts.iter());
-        for &(pid, _records) in touched {
-            let tbytes = self.jobs[j].runtime.private_table_bytes(pid);
-            let out = self
-                .hierarchy
-                .access(CacheObject::PrivateTable { job: j as u32, pid }, tbytes);
-            let jm = &mut self.job_metrics[j];
-            jm.attributed_accesses += 1.0;
-            if !out.cache_hit {
-                jm.attributed_misses += 1.0;
-                jm.attributed_bytes += tbytes as f64;
-            }
-        }
-    }
-
     fn finish_job(&mut self, j: usize) {
         if !self.jobs[j].done {
             self.jobs[j].done = true;
-            self.hierarchy.evict_job(j as u32);
+            self.ledger.evict_job(j as u32);
         }
     }
 
     /// Runs all submitted jobs to convergence.
     pub fn run(&mut self) -> RunReport {
-        let start_metrics = *self.hierarchy.metrics();
+        let start_metrics = *self.ledger.metrics();
         let start_loads = self.loads;
         let mut completed = true;
         'outer: loop {
@@ -299,11 +269,14 @@ impl StreamEngine {
                 break;
             }
         }
-        let metrics = self.hierarchy.metrics().since(&start_metrics);
+        let metrics = self.ledger.metrics().since(&start_metrics);
         RunReport {
             loads: self.loads - start_loads,
             metrics,
-            modeled_seconds: self.config.cost.total_seconds(&metrics, self.config.workers),
+            modeled_seconds: self
+                .config
+                .cost
+                .total_seconds(&metrics, self.config.workers),
             completed,
         }
     }
@@ -320,15 +293,12 @@ impl StreamEngine {
 
     /// Global counters.
     pub fn metrics(&self) -> &cgraph_memsim::Metrics {
-        self.hierarchy.metrics()
+        self.ledger.metrics()
     }
 
     /// Per-job attributed metrics.
     pub fn job_metrics(&self, job: JobId) -> JobMetrics {
-        self.job_metrics
-            .get(job as usize)
-            .copied()
-            .unwrap_or_default()
+        self.ledger.job_metrics(job as usize)
     }
 
     /// The configuration.
@@ -350,14 +320,14 @@ impl StreamEngine {
     pub fn modeled_seconds(&self) -> f64 {
         self.config
             .cost
-            .total_seconds(self.hierarchy.metrics(), self.config.workers)
+            .total_seconds(self.ledger.metrics(), self.config.workers)
     }
 
     /// Modeled CPU utilization so far.
     pub fn utilization(&self) -> f64 {
         self.config
             .cost
-            .utilization(self.hierarchy.metrics(), self.config.workers)
+            .utilization(self.ledger.metrics(), self.config.workers)
     }
 }
 
@@ -450,10 +420,8 @@ mod tests {
 
     #[test]
     fn sequential_converges_correctly() {
-        let mut e = engine(StreamConfig {
-            interleave: Interleave::Sequential,
-            ..StreamConfig::default()
-        });
+        let mut e =
+            engine(StreamConfig { interleave: Interleave::Sequential, ..StreamConfig::default() });
         let j = e.submit(Bfs);
         assert!(e.run().completed);
         let d = e.results::<Bfs>(j).unwrap();

@@ -23,9 +23,7 @@ fn bench_partitioners(c: &mut Criterion) {
         b.iter(|| VertexCutPartitioner::new(32).partition(&el))
     });
     group.bench_function("core_subgraph/32", |b| {
-        b.iter(|| {
-            CoreSubgraphPartitioner::new(32, CoreThreshold::TopFraction(0.05)).partition(&el)
-        })
+        b.iter(|| CoreSubgraphPartitioner::new(32, CoreThreshold::TopFraction(0.05)).partition(&el))
     });
     group.finish();
 }
@@ -64,11 +62,7 @@ fn bench_straggler_split(c: &mut Criterion) {
             b.iter(|| {
                 let mut e = Engine::from_partitions(
                     ps.clone(),
-                    EngineConfig {
-                        straggler_split: split,
-                        workers: 2,
-                        ..EngineConfig::default()
-                    },
+                    EngineConfig { straggler_split: split, workers: 2, ..EngineConfig::default() },
                 );
                 e.submit(PageRank::new(0.85, 1e-4));
                 e.submit(Bfs::new(0));
@@ -106,10 +100,7 @@ fn bench_lru(c: &mut Criterion) {
         b.iter(|| {
             let mut cache = LruCache::new(1 << 16);
             for i in 0..2048u32 {
-                cache.insert(
-                    CacheObject::Structure { pid: i % 96, version: 0 },
-                    1024,
-                );
+                cache.insert(CacheObject::Structure { pid: i % 96, version: 0 }, 1024);
             }
             cache.used()
         })

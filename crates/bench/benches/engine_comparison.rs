@@ -6,7 +6,7 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use cgraph_bench::{
-    hierarchy_for, paper_mix, partitions_for, run_engine, EngineKind, Scale,
+    hierarchy_for, paper_mix, partitions_for, run_engine, run_wavefront, EngineKind, Scale,
 };
 use cgraph_graph::generate::Dataset;
 use cgraph_graph::snapshot::SnapshotStore;
@@ -48,5 +48,37 @@ fn bench_scheduler_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_four_job_mix, bench_scheduler_ablation);
+/// Wavefront-width sweep: the same four-job mix through the CGraph
+/// engine at k ∈ {1, 2, 4} planned slots per round.  Wall-clock is
+/// benched; the pipeline-modeled seconds (the paper-style figure, where
+/// slot i+1's Load overlaps slot i's Trigger) are printed alongside so
+/// the perf trajectory captures the pipelining win.
+fn bench_wavefront_sweep(c: &mut Criterion) {
+    let scale = Scale { shrink: 7 };
+    let ds = Dataset::TwitterSim;
+    let ps = partitions_for(ds, scale);
+    let h = hierarchy_for(ds, &ps);
+    let store = Arc::new(SnapshotStore::new(ps));
+    let mut group = c.benchmark_group("wavefront_sweep");
+    group.sample_size(10);
+    for width in [1usize, 2, 4] {
+        let report = run_wavefront(&store, 2, h, width, &paper_mix());
+        println!(
+            "wavefront_sweep/k={width}: modeled {:.3} ms over {} loads",
+            report.modeled_seconds * 1e3,
+            report.loads
+        );
+        group.bench_with_input(BenchmarkId::new("k", width), &width, |b, &width| {
+            b.iter(|| run_wavefront(&store, 2, h, width, &paper_mix()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_four_job_mix,
+    bench_scheduler_ablation,
+    bench_wavefront_sweep
+);
 criterion_main!(benches);

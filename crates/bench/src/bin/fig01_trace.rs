@@ -18,10 +18,7 @@ fn main() {
         rows.push(vec![
             format!("day {}", day + 1),
             format!("{}", slice.iter().min().unwrap()),
-            format!(
-                "{:.1}",
-                slice.iter().map(|&c| c as f64).sum::<f64>() / 24.0
-            ),
+            format!("{:.1}", slice.iter().map(|&c| c as f64).sum::<f64>() / 24.0),
             format!("{}", slice.iter().max().unwrap()),
         ]);
     }
@@ -54,7 +51,14 @@ fn main() {
     rows.push(cells);
     print_table(
         "Fig. 1(b): ratio of active partitions shared by more than k jobs",
-        &["sample", thresholds[0], thresholds[1], thresholds[2], thresholds[3], thresholds[4]],
+        &[
+            "sample",
+            thresholds[0],
+            thresholds[1],
+            thresholds[2],
+            thresholds[3],
+            thresholds[4],
+        ],
         &rows,
     );
     println!(

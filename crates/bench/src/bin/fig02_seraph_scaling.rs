@@ -41,11 +41,8 @@ fn main() {
                 continue;
             }
             let avg_t = mine.iter().map(|j| j.seconds).sum::<f64>() / mine.len() as f64;
-            let avg_a = mine
-                .iter()
-                .map(|j| j.access_ratio * j.seconds)
-                .sum::<f64>()
-                / mine.len() as f64;
+            let avg_a =
+                mine.iter().map(|j| j.access_ratio * j.seconds).sum::<f64>() / mine.len() as f64;
             let (st, sa) = seq_time(kind);
             rows.push(vec![
                 format!("{njobs}"),
@@ -56,7 +53,10 @@ fn main() {
         }
     }
     print_table(
-        &format!("Fig. 2: per-job time over Seraph on {} (normalized to sequential)", ds.name()),
+        &format!(
+            "Fig. 2: per-job time over Seraph on {} (normalized to sequential)",
+            ds.name()
+        ),
         &["jobs", "benchmark", "exec time", "access time"],
         &rows,
     );

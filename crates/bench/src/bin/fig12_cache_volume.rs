@@ -3,8 +3,7 @@
 use std::sync::Arc;
 
 use cgraph_bench::{
-    fmt_ratio, hierarchy_for, paper_mix, partitions_for, print_table, run_engine, EngineKind,
-    Scale,
+    fmt_ratio, hierarchy_for, paper_mix, partitions_for, print_table, run_engine, EngineKind, Scale,
 };
 use cgraph_graph::generate::Dataset;
 use cgraph_graph::snapshot::SnapshotStore;
@@ -18,7 +17,11 @@ fn main() {
         let store = Arc::new(SnapshotStore::new(ps));
         let vols: Vec<u64> = EngineKind::COMPARISON
             .iter()
-            .map(|&k| run_engine(k, &store, 4, h, &paper_mix()).metrics.bytes_mem_to_cache)
+            .map(|&k| {
+                run_engine(k, &store, 4, h, &paper_mix())
+                    .metrics
+                    .bytes_mem_to_cache
+            })
             .collect();
         let clip = vols[0] as f64;
         let mut row = vec![ds.name().to_string()];

@@ -17,7 +17,11 @@ fn main() {
         let store = Arc::new(SnapshotStore::new(ps));
         let ios: Vec<u64> = EngineKind::COMPARISON
             .iter()
-            .map(|&k| run_engine(k, &store, 4, h, &paper_mix()).metrics.bytes_disk_to_mem)
+            .map(|&k| {
+                run_engine(k, &store, 4, h, &paper_mix())
+                    .metrics
+                    .bytes_disk_to_mem
+            })
             .collect();
         let clip = ios[0].max(1) as f64;
         let mut row = vec![ds.name().to_string()];
@@ -33,7 +37,11 @@ fn main() {
     let headers: Vec<&str> = std::iter::once("dataset")
         .chain(EngineKind::COMPARISON.iter().map(|k| k.name()))
         .collect();
-    print_table("Fig. 13: I/O overhead (normalized to CLIP)", &headers, &rows);
+    print_table(
+        "Fig. 13: I/O overhead (normalized to CLIP)",
+        &headers,
+        &rows,
+    );
     println!(
         "\npaper: the three smaller graphs fit in memory (near-zero I/O for CGraph\n\
          and Seraph, which keep one structure copy); on uk-union and hyperlink14\n\

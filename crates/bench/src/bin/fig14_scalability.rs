@@ -4,8 +4,7 @@
 use std::sync::Arc;
 
 use cgraph_bench::{
-    fmt_ratio, hierarchy_for, paper_mix, partitions_for, print_table, run_engine, EngineKind,
-    Scale,
+    fmt_ratio, hierarchy_for, paper_mix, partitions_for, print_table, run_engine, EngineKind, Scale,
 };
 use cgraph_graph::generate::Dataset;
 use cgraph_graph::snapshot::SnapshotStore;
@@ -39,7 +38,10 @@ fn main() {
         .chain(EngineKind::COMPARISON.iter().map(|k| k.name()))
         .collect();
     print_table(
-        &format!("Fig. 14: scalability on {} (normalized to CLIP @ 1 worker)", ds.name()),
+        &format!(
+            "Fig. 14: scalability on {} (normalized to CLIP @ 1 worker)",
+            ds.name()
+        ),
         &headers,
         &rows,
     );

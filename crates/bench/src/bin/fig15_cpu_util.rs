@@ -25,7 +25,11 @@ fn main() {
     let headers: Vec<&str> = std::iter::once("dataset")
         .chain(EngineKind::COMPARISON.iter().map(|k| k.name()))
         .collect();
-    print_table("Fig. 15: CPU utilization ratio for the four jobs", &headers, &rows);
+    print_table(
+        "Fig. 15: CPU utilization ratio for the four jobs",
+        &headers,
+        &rows,
+    );
     println!(
         "\npaper: baselines waste cores waiting on data; CGraph's cores are almost\n\
          fully utilized (compute, not bandwidth, becomes its bottleneck)."

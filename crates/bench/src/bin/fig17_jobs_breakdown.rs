@@ -20,8 +20,8 @@ fn main() {
             .collect();
         for kind in EngineKind::EVOLVING {
             let out = run_engine(kind, &store, 4, h, &mix);
-            let avg_access = out.jobs.iter().map(|j| j.access_ratio).sum::<f64>()
-                / out.jobs.len() as f64;
+            let avg_access =
+                out.jobs.iter().map(|j| j.access_ratio).sum::<f64>() / out.jobs.len() as f64;
             rows.push(vec![
                 format!("{njobs}"),
                 kind.name().to_string(),
@@ -31,7 +31,10 @@ fn main() {
         }
     }
     print_table(
-        &format!("Fig. 17: avg per-job breakdown on {} snapshots (5% change)", ds.name()),
+        &format!(
+            "Fig. 17: avg per-job breakdown on {} snapshots (5% change)",
+            ds.name()
+        ),
         &["jobs", "system", "vertex processing", "data access"],
         &rows,
     );

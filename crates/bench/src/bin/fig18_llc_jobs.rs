@@ -2,8 +2,8 @@
 //! snapshots (5% change).
 
 use cgraph_bench::{
-    evolving_store, fmt_pct, hierarchy_for, partition_edges, print_table, run_engine,
-    BenchmarkJob, EngineKind, Scale,
+    evolving_store, fmt_pct, hierarchy_for, partition_edges, print_table, run_engine, BenchmarkJob,
+    EngineKind, Scale,
 };
 use cgraph_graph::generate::Dataset;
 
@@ -29,7 +29,10 @@ fn main() {
         .chain(EngineKind::EVOLVING.iter().map(|k| k.name()))
         .collect();
     print_table(
-        &format!("Fig. 18: LLC miss rate on {} snapshots vs job count", ds.name()),
+        &format!(
+            "Fig. 18: LLC miss rate on {} snapshots vs job count",
+            ds.name()
+        ),
         &headers,
         &rows,
     );

@@ -1,11 +1,11 @@
 //! Figure 19: ratio of total accessed data spared relative to running the
 //! same jobs sequentially over Seraph.
 
-use cgraph_bench::{
-    evolving_store, hierarchy_for, partition_edges, print_table, run_engine, run_mix,
-    BenchmarkJob, EngineKind, Scale,
-};
 use cgraph_baselines::BaselinePreset;
+use cgraph_bench::{
+    evolving_store, hierarchy_for, partition_edges, print_table, run_engine, run_mix, BenchmarkJob,
+    EngineKind, Scale,
+};
 use cgraph_graph::generate::Dataset;
 
 fn main() {
@@ -23,14 +23,13 @@ fn main() {
         // Denominator: the same jobs run one after another over Seraph.
         let mut seq = BaselinePreset::Sequential.build(store.clone(), 4, h);
         let seq_out = run_mix(&mut seq, &mix);
-        let seq_bytes = (seq_out.metrics.bytes_mem_to_cache
-            + seq_out.metrics.bytes_disk_to_mem) as f64;
+        let seq_bytes =
+            (seq_out.metrics.bytes_mem_to_cache + seq_out.metrics.bytes_disk_to_mem) as f64;
 
         let mut row = vec![format!("{njobs}")];
         for kind in EngineKind::EVOLVING {
             let out = run_engine(kind, &store, 4, h, &mix);
-            let bytes =
-                (out.metrics.bytes_mem_to_cache + out.metrics.bytes_disk_to_mem) as f64;
+            let bytes = (out.metrics.bytes_mem_to_cache + out.metrics.bytes_disk_to_mem) as f64;
             row.push(format!("{:.1}%", (1.0 - bytes / seq_bytes) * 100.0));
         }
         rows.push(row);
@@ -39,7 +38,10 @@ fn main() {
         .chain(EngineKind::EVOLVING.iter().map(|k| k.name()))
         .collect();
     print_table(
-        &format!("Fig. 19: spared accessed data vs sequential Seraph ({})", ds.name()),
+        &format!(
+            "Fig. 19: spared accessed data vs sequential Seraph ({})",
+            ds.name()
+        ),
         &headers,
         &rows,
     );

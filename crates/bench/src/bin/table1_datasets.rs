@@ -31,7 +31,14 @@ fn main() {
     print_table(
         &format!("Table 1: datasets (shrink 2^{})", scale.shrink),
         &[
-            "dataset", "vertices", "edges", "size", "deg-gini", "paper-V", "paper-E", "paper-size",
+            "dataset",
+            "vertices",
+            "edges",
+            "size",
+            "deg-gini",
+            "paper-V",
+            "paper-E",
+            "paper-size",
         ],
         &rows,
     );

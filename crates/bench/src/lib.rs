@@ -17,7 +17,7 @@ use cgraph_core::{Engine, EngineConfig, JobEngine, JobId, SchedulerKind};
 use cgraph_graph::generate::Dataset;
 use cgraph_graph::snapshot::{GraphDelta, SnapshotStore};
 use cgraph_graph::vertex_cut::VertexCutPartitioner;
-use cgraph_graph::{Edge, EdgeList, Partitioner, PartitionSet};
+use cgraph_graph::{Edge, EdgeList, PartitionSet, Partitioner};
 use cgraph_memsim::{HierarchyConfig, JobMetrics, Metrics};
 
 pub use cgraph_algos::BenchmarkJob;
@@ -139,14 +139,14 @@ pub struct JobReport {
     pub metrics: JobMetrics,
 }
 
-/// Drives a benchmark mix on any engine: non-SCC jobs are submitted first
-/// (each with its arrival timestamp), then each SCC driver runs its phases
-/// — concurrently with everything else — and a final run drains the rest.
-pub fn run_mix<E: JobEngine>(engine: &mut E, mix: &[(BenchmarkJob, u64)]) -> MixOutcome
-where
-    E: JobEngine,
-{
-    let before = engine.global_metrics();
+/// Submits a benchmark mix on any engine: non-SCC jobs first (each with
+/// its arrival timestamp), then each SCC driver runs its phases —
+/// concurrently with everything else.  Returns the tracked job ids per
+/// mix entry; a final `run_jobs` drains whatever remains.
+pub fn submit_mix<E: JobEngine>(
+    engine: &mut E,
+    mix: &[(BenchmarkJob, u64)],
+) -> Vec<(&'static str, Vec<JobId>)> {
     let mut tracked: Vec<(&'static str, Vec<JobId>)> = Vec::new();
     let mut scc_requests: Vec<u64> = Vec::new();
     for (i, &(job, ts)) in mix.iter().enumerate() {
@@ -173,6 +173,14 @@ where
         driver.run_at(engine, ts);
         tracked.push(("SCC", driver.phase_jobs().to_vec()));
     }
+    tracked
+}
+
+/// Drives a benchmark mix on any engine (see [`submit_mix`]) and gathers
+/// per-job attributed reports.
+pub fn run_mix<E: JobEngine>(engine: &mut E, mix: &[(BenchmarkJob, u64)]) -> MixOutcome {
+    let before = engine.global_metrics();
+    let tracked = submit_mix(engine, mix);
     engine.run_jobs();
 
     let metrics = engine.global_metrics().since(&before);
@@ -180,7 +188,11 @@ where
     let workers = engine.workers();
     // Concurrent jobs contend for the shared data-access channel; jobs run
     // sequentially have it to themselves (the paper's Fig. 2 comparison).
-    let sharers = if engine.is_concurrent() { mix.len().max(1) } else { 1 };
+    let sharers = if engine.is_concurrent() {
+        mix.len().max(1)
+    } else {
+        1
+    };
     let jobs = tracked
         .into_iter()
         .map(|(name, ids)| {
@@ -240,6 +252,38 @@ pub fn run_engine(
     };
     out.engine = kind.name();
     out
+}
+
+/// Runs `mix` on a CGraph engine planning `width` slots per wavefront
+/// round and returns the run's report.  At `width > 1` the report's
+/// `modeled_seconds` uses the pipeline model (slot `i+1`'s Load
+/// overlapping slot `i`'s Trigger); at `width == 1` it is the classic
+/// linear figure — the pair is the k-sweep comparison of the
+/// `engine_comparison` bench.
+pub fn run_wavefront(
+    store: &Arc<SnapshotStore>,
+    workers: usize,
+    hierarchy: HierarchyConfig,
+    width: usize,
+    mix: &[(BenchmarkJob, u64)],
+) -> cgraph_core::RunReport {
+    let mut engine = Engine::new(
+        Arc::clone(store),
+        EngineConfig { workers, hierarchy, wavefront: width, ..EngineConfig::default() },
+    );
+    submit_mix(&mut engine, mix);
+    let mut report = engine.run_jobs();
+    // SCC drivers inside `submit_mix` run engine phases of their own, so
+    // aggregate the whole engine lifetime rather than just the final
+    // drain: every load, every counter, and the accumulated modeled time.
+    report.loads = engine.total_loads();
+    report.metrics = *engine.metrics();
+    report.modeled_seconds = if width <= 1 {
+        engine.modeled_seconds()
+    } else {
+        engine.pipeline_seconds()
+    };
+    report
 }
 
 /// The paper's standard four-job mix at timestamp 0.
@@ -322,8 +366,14 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         }
         s
     };
-    println!("{}", line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>()));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    println!(
+        "{}",
+        line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>())
+    );
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
     for row in rows {
         println!("{}", line(row));
     }

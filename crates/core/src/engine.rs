@@ -1,18 +1,20 @@
 //! The CGraph executor (paper Alg. 3): Load — Trigger — Push.
+//!
+//! The engine itself is thin: job lifecycle and the public API live
+//! here, while the mechanics are layered in [`crate::exec`] — the
+//! incrementally maintained [`SlotPlanner`], the unified
+//! [`ChargeLedger`], and the pipelined wavefront round executor.
 
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use cgraph_graph::snapshot::SnapshotStore;
-use cgraph_graph::{PartitionId, PartitionSet, VersionId};
-use cgraph_memsim::{
-    CacheObject, CostModel, HierarchyConfig, JobMetrics, MemoryHierarchy, Metrics,
-};
+use cgraph_graph::PartitionSet;
+use cgraph_memsim::{CostModel, HierarchyConfig, JobMetrics, Metrics};
 
-use crate::job::{JobId, JobRuntime, PushStats, TypedJob};
+use crate::exec::{ChargeLedger, SlotPlanner};
+use crate::job::{JobId, JobRuntime, TypedJob};
 use crate::program::VertexProgram;
-use crate::scheduler::{OrderScheduler, PriorityScheduler, Scheduler, SlotInfo};
-use crate::workers::{plan_chunks, run_chunk_tasks};
+use crate::scheduler::{OrderScheduler, PriorityScheduler, Scheduler};
 
 /// How Push charges vertex-state synchronization to the memory hierarchy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -55,7 +57,18 @@ pub struct EngineConfig {
     pub straggler_split: bool,
     /// Partition-loading scheduler.
     pub scheduler: SchedulerKind,
-    /// Safety valve: abort `run` after this many partition loads.
+    /// Wavefront width: how many slots the scheduler plans per round.
+    ///
+    /// At 1 (the default) the engine reproduces the classic single-slot
+    /// schedule exactly.  Wider waves keep several structure partitions
+    /// pinned at once and pipeline one slot's Load behind another's
+    /// Trigger, which the modeled time accounts for (see
+    /// [`crate::exec::wavefront`]).  Algorithm results are identical at
+    /// any width; only the access schedule and modeled makespan change.
+    pub wavefront: usize,
+    /// Safety valve: abort `run` after this many partition loads (a
+    /// round never splits, so a wide wavefront may finish the round it
+    /// started when the valve trips).
     pub max_loads: u64,
 }
 
@@ -68,6 +81,7 @@ impl Default for EngineConfig {
             sync: SyncStrategy::BatchedSorted,
             straggler_split: true,
             scheduler: SchedulerKind::Priority { theta: 0.5 },
+            wavefront: 1,
             max_loads: u64::MAX,
         }
     }
@@ -81,14 +95,20 @@ pub struct RunReport {
     /// Counter deltas accumulated during this run.
     pub metrics: Metrics,
     /// Modeled makespan of this run under the engine's cost model.
+    ///
+    /// At wavefront width 1 this is the linear model
+    /// (`access + compute/workers`, exactly as the classic engine
+    /// reported); at wider widths it is the per-round pipeline model,
+    /// which overlaps Load and Trigger and is therefore at most the
+    /// linear figure for the same traffic.
     pub modeled_seconds: f64,
     /// `false` if the run stopped at `max_loads` before all jobs converged.
     pub completed: bool,
 }
 
-struct JobEntry {
-    runtime: Box<dyn JobRuntime>,
-    done: bool,
+pub(crate) struct JobEntry {
+    pub(crate) runtime: Box<dyn JobRuntime>,
+    pub(crate) done: bool,
 }
 
 /// The concurrent iterative graph-processing engine.
@@ -113,13 +133,14 @@ struct JobEntry {
 /// assert!(report.completed);
 /// ```
 pub struct Engine {
-    config: EngineConfig,
-    store: Arc<SnapshotStore>,
-    hierarchy: MemoryHierarchy,
-    scheduler: Box<dyn Scheduler>,
-    jobs: Vec<JobEntry>,
-    job_metrics: Vec<JobMetrics>,
-    loads: u64,
+    pub(crate) config: EngineConfig,
+    pub(crate) store: Arc<SnapshotStore>,
+    pub(crate) scheduler: Box<dyn Scheduler>,
+    pub(crate) jobs: Vec<JobEntry>,
+    pub(crate) ledger: ChargeLedger,
+    pub(crate) planner: SlotPlanner,
+    pub(crate) loads: u64,
+    pub(crate) pipeline_seconds: f64,
 }
 
 impl Engine {
@@ -132,11 +153,12 @@ impl Engine {
         Engine {
             config,
             store,
-            hierarchy: MemoryHierarchy::new(config.hierarchy),
             scheduler,
             jobs: Vec::new(),
-            job_metrics: Vec::new(),
+            ledger: ChargeLedger::new(config.hierarchy),
+            planner: SlotPlanner::new(),
             loads: 0,
+            pipeline_seconds: 0.0,
         }
     }
 
@@ -158,8 +180,11 @@ impl Engine {
         let view = self.store.view_at(ts);
         let runtime = TypedJob::new(id, program, view);
         let done = runtime.is_converged();
-        self.jobs.push(JobEntry { runtime: Box::new(runtime), done });
-        self.job_metrics.push(JobMetrics::default());
+        self.jobs
+            .push(JobEntry { runtime: Box::new(runtime), done });
+        self.ledger.register_job();
+        let runtime = &*self.jobs[id as usize].runtime;
+        self.planner.track_job(id as usize, runtime, !done);
         id
     }
 
@@ -168,209 +193,57 @@ impl Engine {
     /// Jobs submitted after a `run` returns are picked up by the next call,
     /// matching the paper's runtime registration of new jobs.
     pub fn run(&mut self) -> RunReport {
-        let start_metrics = *self.hierarchy.metrics();
+        let start_metrics = *self.ledger.metrics();
         let start_loads = self.loads;
+        let start_pipeline = self.pipeline_seconds;
+        let width = self.config.wavefront.max(1);
         let mut completed = true;
         loop {
-            for entry in &mut self.jobs {
-                if !entry.done && entry.runtime.is_converged() {
-                    entry.done = true;
+            // Retire jobs that converged outside a Push of their own
+            // (kept from the classic loop head: no hierarchy eviction).
+            for j in 0..self.jobs.len() {
+                if !self.jobs[j].done && self.jobs[j].runtime.is_converged() {
+                    self.jobs[j].done = true;
+                    self.planner.retire_job(j);
                 }
             }
-            let slots = self.collect_slots();
-            if slots.is_empty() {
+            if self.planner.is_empty() {
                 break;
             }
             if self.loads - start_loads >= self.config.max_loads {
                 completed = false;
                 break;
             }
-            let infos = self.slot_infos(&slots);
-            let pick = self.scheduler.pick(&infos);
-            let (&(pid, version), job_idxs) =
-                slots.iter().nth(pick).expect("pick within slot range");
-            let job_idxs = job_idxs.clone();
-            self.load_and_trigger(pid, version, &job_idxs);
-            self.push_completed(&job_idxs);
-            self.loads += 1;
-        }
-        let metrics = self.hierarchy.metrics().since(&start_metrics);
-        RunReport {
-            loads: self.loads - start_loads,
-            metrics,
-            modeled_seconds: self.config.cost.total_seconds(&metrics, self.config.workers),
-            completed,
-        }
-    }
-
-    /// All `(partition, version)` slots needed by at least one job, with
-    /// the interested jobs.
-    fn collect_slots(&self) -> BTreeMap<(PartitionId, VersionId), Vec<usize>> {
-        let mut slots: BTreeMap<(PartitionId, VersionId), Vec<usize>> = BTreeMap::new();
-        for (idx, entry) in self.jobs.iter().enumerate() {
-            if entry.done {
-                continue;
-            }
-            let view = entry.runtime.view();
-            for pid in entry.runtime.pending() {
-                slots
-                    .entry((pid, view.version_of(pid)))
-                    .or_default()
-                    .push(idx);
-            }
-        }
-        slots
-    }
-
-    fn slot_infos(
-        &self,
-        slots: &BTreeMap<(PartitionId, VersionId), Vec<usize>>,
-    ) -> Vec<SlotInfo> {
-        slots
-            .iter()
-            .map(|(&(pid, version), jobs)| {
-                let part = self.jobs[jobs[0]].runtime.view().partition(pid);
-                let avg_change = jobs
-                    .iter()
-                    .map(|&j| self.jobs[j].runtime.partition_change(pid))
-                    .sum::<f64>()
-                    / jobs.len() as f64;
-                SlotInfo {
-                    pid,
-                    version,
-                    num_jobs: jobs.len(),
-                    avg_degree: part.avg_degree(),
-                    avg_change,
-                }
-            })
-            .collect()
-    }
-
-    /// Load + Trigger for one slot: the first job's access loads the
-    /// shared structure partition; it is then pinned, so every further
-    /// job's access — the reads that per-job engines turn into fresh loads
-    /// — hits the cache.  This is exactly the amortization behind the
-    /// paper's Fig. 11/12.
-    fn load_and_trigger(&mut self, pid: PartitionId, version: VersionId, job_idxs: &[usize]) {
-        let structure = CacheObject::Structure { pid, version };
-        let sbytes = self.jobs[job_idxs[0]]
-            .runtime
-            .view()
-            .partition(pid)
-            .structure_bytes();
-        let mut pinned = false;
-        let batch_size = self.config.workers.max(1);
-        for batch in job_idxs.chunks(batch_size) {
-            // Each job in the batch touches the structure partition; after
-            // the first touch it is pinned resident for the whole slot.
-            for &j in batch {
-                let outcome = self.hierarchy.access(structure, sbytes);
-                if !pinned {
-                    self.hierarchy.pin(&structure);
-                    pinned = true;
-                }
-                let jm = &mut self.job_metrics[j];
-                jm.attributed_accesses += 1.0;
-                if !outcome.cache_hit {
-                    jm.attributed_misses += 1.0;
-                    jm.attributed_bytes += sbytes as f64;
-                }
-            }
-            // Load the batch's private tables (structure stays pinned;
-            // only job-specific tables rotate, §3.2.3).
-            for &j in batch {
-                let tbytes = self.jobs[j].runtime.private_table_bytes(pid);
-                let outcome = self
-                    .hierarchy
-                    .access(CacheObject::PrivateTable { job: j as u32, pid }, tbytes);
-                let jm = &mut self.job_metrics[j];
-                jm.attributed_accesses += 1.0;
-                if !outcome.cache_hit {
-                    jm.attributed_misses += 1.0;
-                    jm.attributed_bytes += tbytes as f64;
-                }
-            }
-
-            let unprocessed: Vec<u64> = batch
-                .iter()
-                .map(|&j| self.jobs[j].runtime.unprocessed_vertices(pid))
-                .collect();
-            let tasks = plan_chunks(
-                pid,
-                &unprocessed,
-                self.config.workers.max(batch.len()),
-                self.config.straggler_split,
-            );
-            let runtimes: Vec<&dyn JobRuntime> =
-                batch.iter().map(|&j| &*self.jobs[j].runtime).collect();
-            let stats = run_chunk_tasks(self.config.workers, &runtimes, &tasks);
-            drop(runtimes);
-            for (slot, &j) in batch.iter().enumerate() {
-                let s = stats[slot];
-                self.jobs[j].runtime.mark_processed(pid);
-                let jm = &mut self.job_metrics[j];
-                jm.vertex_ops += s.vertex_ops;
-                jm.edge_ops += s.edge_ops;
-                let m = self.hierarchy.metrics_mut();
-                m.vertex_ops += s.vertex_ops;
-                m.edge_ops += s.edge_ops;
-            }
-        }
-        self.hierarchy.unpin(&structure);
-    }
-
-    /// Push for every job that just finished its iteration.
-    fn push_completed(&mut self, job_idxs: &[usize]) {
-        for &j in job_idxs {
-            if self.jobs[j].done
-                || self.jobs[j].runtime.is_converged()
-                || !self.jobs[j].runtime.iteration_complete()
-            {
-                if self.jobs[j].runtime.is_converged() {
-                    self.finish_job(j);
-                }
-                continue;
-            }
-            let stats = self.jobs[j].runtime.push_and_advance();
-            self.charge_push(j, &stats);
-            self.job_metrics[j].iterations += 1;
-            if stats.converged {
-                self.finish_job(j);
-            }
-        }
-    }
-
-    fn charge_push(&mut self, j: usize, stats: &PushStats) {
-        self.hierarchy.metrics_mut().sync_ops += stats.sync_records;
-        self.job_metrics[j].sync_ops += stats.sync_records;
-        let touched = stats
-            .touched_master_parts
-            .iter()
-            .chain(stats.touched_mirror_parts.iter());
-        for &(pid, records) in touched {
-            let tbytes = self.jobs[j].runtime.private_table_bytes(pid);
-            let times = match self.config.sync {
-                SyncStrategy::BatchedSorted => 1,
-                SyncStrategy::Immediate => records.max(1),
+            let picks = {
+                let runtimes: Vec<&dyn JobRuntime> =
+                    self.jobs.iter().map(|entry| &*entry.runtime).collect();
+                let infos = self.planner.infos(&runtimes);
+                self.scheduler.plan(&infos, width)
             };
-            for _ in 0..times {
-                let outcome = self
-                    .hierarchy
-                    .access(CacheObject::PrivateTable { job: j as u32, pid }, tbytes);
-                let jm = &mut self.job_metrics[j];
-                jm.attributed_accesses += 1.0;
-                if !outcome.cache_hit {
-                    jm.attributed_misses += 1.0;
-                    jm.attributed_bytes += tbytes as f64;
-                }
-            }
+            let round_seconds = self.exec_round(&picks);
+            self.pipeline_seconds += round_seconds;
+            self.loads += picks.len() as u64;
         }
+        let metrics = self.ledger.metrics().since(&start_metrics);
+        // Width 1 keeps the classic linear figure bit-for-bit; wider
+        // waves report the pipeline model their schedule actually earns.
+        let modeled_seconds = if width <= 1 {
+            self.config
+                .cost
+                .total_seconds(&metrics, self.config.workers)
+        } else {
+            self.pipeline_seconds - start_pipeline
+        };
+        RunReport { loads: self.loads - start_loads, metrics, modeled_seconds, completed }
     }
 
-    fn finish_job(&mut self, j: usize) {
+    /// Marks a job finished: evicts its simulated state and deregisters
+    /// it from the slot planner.  Idempotent.
+    pub(crate) fn finish_job(&mut self, j: usize) {
         if !self.jobs[j].done {
             self.jobs[j].done = true;
-            self.hierarchy.evict_job(j as u32);
+            self.ledger.evict_job(j as u32);
+            self.planner.retire_job(j);
         }
     }
 
@@ -392,26 +265,17 @@ impl Engine {
 
     /// Whether the job has converged.
     pub fn job_done(&self, job: JobId) -> bool {
-        self.jobs
-            .get(job as usize)
-            .map(|e| e.done)
-            .unwrap_or(false)
+        self.jobs.get(job as usize).map(|e| e.done).unwrap_or(false)
     }
 
     /// Iterations the job ran (counted as Push stages).
     pub fn job_iterations(&self, job: JobId) -> u64 {
-        self.job_metrics
-            .get(job as usize)
-            .map(|m| m.iterations)
-            .unwrap_or(0)
+        self.ledger.job_metrics(job as usize).iterations
     }
 
     /// Per-job attributed metrics.
     pub fn job_metrics(&self, job: JobId) -> JobMetrics {
-        self.job_metrics
-            .get(job as usize)
-            .copied()
-            .unwrap_or_default()
+        self.ledger.job_metrics(job as usize)
     }
 
     /// Number of submitted jobs.
@@ -421,7 +285,7 @@ impl Engine {
 
     /// Accumulated global counters.
     pub fn metrics(&self) -> &Metrics {
-        self.hierarchy.metrics()
+        self.ledger.metrics()
     }
 
     /// The engine's cost model.
@@ -444,17 +308,28 @@ impl Engine {
         self.loads
     }
 
-    /// Modeled makespan of everything run so far.
+    /// Pipeline-modeled seconds accumulated over every round executed so
+    /// far (Load of slot *i+1* overlapped with Trigger of slot *i*
+    /// within each round).  At wavefront width 1 this equals the linear
+    /// model of the same rounds, so the two figures are comparable
+    /// across widths.
+    pub fn pipeline_seconds(&self) -> f64 {
+        self.pipeline_seconds
+    }
+
+    /// Modeled makespan of everything run so far (linear model over the
+    /// accumulated counters; per-run pipeline figures are in each run's
+    /// [`RunReport`]).
     pub fn modeled_seconds(&self) -> f64 {
         self.config
             .cost
-            .total_seconds(self.hierarchy.metrics(), self.config.workers)
+            .total_seconds(self.ledger.metrics(), self.config.workers)
     }
 
     /// Modeled CPU utilization of everything run so far (Fig. 15).
     pub fn utilization(&self) -> f64 {
         self.config
             .cost
-            .utilization(self.hierarchy.metrics(), self.config.workers)
+            .utilization(self.ledger.metrics(), self.config.workers)
     }
 }

@@ -1,0 +1,181 @@
+//! Unified charging of simulated-hierarchy traffic and compute.
+//!
+//! Every engine must do the same bookkeeping when it touches data: route
+//! the access through the [`MemoryHierarchy`], attribute the (amortized)
+//! traffic to the requesting job, and fold compute/sync operations into
+//! both the global counters and the job's attributed metrics.  That code
+//! was duplicated — with drift risk — between `Engine::load_and_trigger`,
+//! `Engine::charge_push` and the baseline `StreamEngine`; it now lives
+//! here once.
+
+use cgraph_memsim::{
+    AccessOutcome, CacheObject, HierarchyConfig, JobMetrics, MemoryHierarchy, Metrics,
+};
+
+use crate::engine::SyncStrategy;
+use crate::job::{JobRuntime, ProcessStats, PushStats};
+
+/// Owns the simulated hierarchy plus the per-job attributed metrics, and
+/// exposes the only mutation paths engines use to charge work to them.
+pub struct ChargeLedger {
+    hierarchy: MemoryHierarchy,
+    job_metrics: Vec<JobMetrics>,
+}
+
+impl ChargeLedger {
+    /// Creates a ledger over a fresh hierarchy with the given capacities.
+    pub fn new(config: HierarchyConfig) -> Self {
+        ChargeLedger { hierarchy: MemoryHierarchy::new(config), job_metrics: Vec::new() }
+    }
+
+    /// Adds an attribution slot for a newly submitted job.
+    pub fn register_job(&mut self) {
+        self.job_metrics.push(JobMetrics::default());
+    }
+
+    /// Accesses `obj` (`bytes` big) on behalf of `job`: the transfer is
+    /// simulated and, on a miss, the traffic is attributed to the job.
+    pub fn charge_access(&mut self, job: usize, obj: CacheObject, bytes: u64) -> AccessOutcome {
+        let outcome = self.hierarchy.access(obj, bytes);
+        let jm = &mut self.job_metrics[job];
+        jm.attributed_accesses += 1.0;
+        if !outcome.cache_hit {
+            jm.attributed_misses += 1.0;
+            jm.attributed_bytes += bytes as f64;
+        }
+        outcome
+    }
+
+    /// Folds one Trigger pass's compute counts into the job's and the
+    /// global counters.
+    pub fn charge_compute(&mut self, job: usize, stats: ProcessStats) {
+        let jm = &mut self.job_metrics[job];
+        jm.vertex_ops += stats.vertex_ops;
+        jm.edge_ops += stats.edge_ops;
+        let m = self.hierarchy.metrics_mut();
+        m.vertex_ops += stats.vertex_ops;
+        m.edge_ops += stats.edge_ops;
+    }
+
+    /// Charges one Push stage: sync records plus one private-table access
+    /// per touched partition (or one per record under
+    /// [`SyncStrategy::Immediate`] — the paper's D4 ablation).
+    pub fn charge_push(
+        &mut self,
+        job: usize,
+        runtime: &dyn JobRuntime,
+        stats: &PushStats,
+        sync: SyncStrategy,
+    ) {
+        self.hierarchy.metrics_mut().sync_ops += stats.sync_records;
+        self.job_metrics[job].sync_ops += stats.sync_records;
+        let touched = stats
+            .touched_master_parts
+            .iter()
+            .chain(stats.touched_mirror_parts.iter());
+        for &(pid, records) in touched {
+            let tbytes = runtime.private_table_bytes(pid);
+            let times = match sync {
+                SyncStrategy::BatchedSorted => 1,
+                SyncStrategy::Immediate => records.max(1),
+            };
+            for _ in 0..times {
+                self.charge_access(
+                    job,
+                    CacheObject::PrivateTable { job: job as u32, pid },
+                    tbytes,
+                );
+            }
+        }
+    }
+
+    /// Counts one completed iteration (Push stage) for the job.
+    pub fn bump_iterations(&mut self, job: usize) {
+        self.job_metrics[job].iterations += 1;
+    }
+
+    /// Pins `obj` in the cache tier for the duration of a slot.
+    pub fn pin(&mut self, obj: &CacheObject) {
+        self.hierarchy.pin(obj);
+    }
+
+    /// Releases one pin of `obj`.
+    pub fn unpin(&mut self, obj: &CacheObject) {
+        self.hierarchy.unpin(obj);
+    }
+
+    /// Drops a finished job's state from every simulated tier.
+    pub fn evict_job(&mut self, job: u32) {
+        self.hierarchy.evict_job(job);
+    }
+
+    /// Accumulated global counters.
+    pub fn metrics(&self) -> &Metrics {
+        self.hierarchy.metrics()
+    }
+
+    /// A job's attributed metrics (default if out of range).
+    pub fn job_metrics(&self, job: usize) -> JobMetrics {
+        self.job_metrics.get(job).copied().unwrap_or_default()
+    }
+
+    /// The underlying hierarchy (read-only, for inspection in tests).
+    pub fn hierarchy(&self) -> &MemoryHierarchy {
+        &self.hierarchy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ledger() -> ChargeLedger {
+        let mut l = ChargeLedger::new(HierarchyConfig { cache_bytes: 100, memory_bytes: 1000 });
+        l.register_job();
+        l.register_job();
+        l
+    }
+
+    #[test]
+    fn miss_attributes_bytes_hit_does_not() {
+        let mut l = ledger();
+        let obj = CacheObject::Structure { pid: 0, version: 0 };
+        let first = l.charge_access(0, obj, 40);
+        assert!(!first.cache_hit);
+        let second = l.charge_access(1, obj, 40);
+        assert!(second.cache_hit);
+        assert_eq!(l.job_metrics(0).attributed_bytes, 40.0);
+        assert_eq!(l.job_metrics(1).attributed_bytes, 0.0);
+        assert_eq!(l.job_metrics(1).attributed_accesses, 1.0);
+        assert_eq!(l.metrics().cache_accesses, 2);
+        assert_eq!(l.metrics().cache_misses, 1);
+    }
+
+    #[test]
+    fn compute_charges_job_and_global() {
+        let mut l = ledger();
+        l.charge_compute(1, ProcessStats { vertex_ops: 3, edge_ops: 7 });
+        assert_eq!(l.job_metrics(1).vertex_ops, 3);
+        assert_eq!(l.job_metrics(1).edge_ops, 7);
+        assert_eq!(l.metrics().vertex_ops, 3);
+        assert_eq!(l.metrics().edge_ops, 7);
+        assert_eq!(l.job_metrics(0).vertex_ops, 0);
+    }
+
+    #[test]
+    fn evict_job_clears_only_that_job() {
+        let mut l = ledger();
+        l.charge_access(0, CacheObject::PrivateTable { job: 0, pid: 1 }, 10);
+        l.charge_access(1, CacheObject::PrivateTable { job: 1, pid: 1 }, 10);
+        l.evict_job(0);
+        let h = l.hierarchy();
+        assert!(!h.in_cache(&CacheObject::PrivateTable { job: 0, pid: 1 }));
+        assert!(h.in_cache(&CacheObject::PrivateTable { job: 1, pid: 1 }));
+    }
+
+    #[test]
+    fn out_of_range_job_metrics_default() {
+        let l = ledger();
+        assert_eq!(l.job_metrics(99), JobMetrics::default());
+    }
+}

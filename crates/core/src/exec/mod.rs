@@ -1,0 +1,30 @@
+//! The layered execution core behind [`crate::Engine`].
+//!
+//! The original engine was a single ~460-line module mixing four
+//! concerns; they now live in three composable layers that every engine
+//! in the workspace (and every future scaling feature — async loading,
+//! sharded stores, multi-tenant batching) builds on:
+//!
+//! * [`SlotPlanner`] — maintains the pending `(partition, version)` slot
+//!   map **incrementally**: delta updates on `note_processed` /
+//!   `refresh_job` instead of rescanning every job's pending set each
+//!   round, and an indexed slot vector so the scheduler's choice resolves
+//!   in O(log n) instead of an O(n) ordered-map walk.
+//! * [`ChargeLedger`] — the single place where simulated-hierarchy
+//!   traffic and compute are charged and attributed to jobs; unifies the
+//!   charging code previously duplicated between the CGraph engine's
+//!   Load/Push paths and the baseline streaming engine.
+//! * [`wavefront`] — the pipelined Load–Trigger–Push round executor: a
+//!   wave of up to `k` scheduler-planned slots is loaded, their chunk
+//!   tasks drain through one shared worker pass, and the round's modeled
+//!   time overlaps slot *i+1*'s Load with slot *i*'s Trigger (two-stage
+//!   flow-shop makespan).  At `k = 1` the executor reproduces the
+//!   original single-slot engine exactly.
+
+pub mod ledger;
+pub mod planner;
+pub mod wavefront;
+
+pub use ledger::ChargeLedger;
+pub use planner::{SlotKey, SlotPlanner};
+pub use wavefront::flowshop_makespan;

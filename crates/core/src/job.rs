@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
-use cgraph_graph::{GraphView, PartitionId, VertexId, NO_PARTITION};
+use cgraph_graph::{GraphView, PartitionId, VersionId, VertexId, NO_PARTITION};
 
 use crate::program::{EdgeDirection, VertexInfo, VertexProgram};
 use crate::state::{PartState, PendingSet};
@@ -56,6 +56,16 @@ pub trait JobRuntime: Send + Sync {
     fn iteration(&self) -> u64;
     /// Active-and-unprocessed partitions in id order.
     fn pending(&self) -> Vec<PartitionId>;
+    /// The pending partitions as `(partition, snapshot version)` slot
+    /// keys — what the executor's slot planner tracks.  A job's view is
+    /// immutable, so each partition's version is fixed for its lifetime.
+    fn pending_slots(&self) -> Vec<(PartitionId, VersionId)> {
+        let view = self.view();
+        self.pending()
+            .into_iter()
+            .map(|pid| (pid, view.version_of(pid)))
+            .collect()
+    }
     /// Whether `pid` is active and unprocessed this iteration.
     fn is_pending(&self, pid: PartitionId) -> bool;
     /// Active replicas in `pid` (straggler detection; known from the
@@ -191,10 +201,7 @@ impl<P: VertexProgram> TypedJob<P> {
             let mut count = 0u32;
             let mut mag = 0.0f64;
             for li in 0..st.len() {
-                if self
-                    .program
-                    .is_active(&st.values[li], &st.deltas[li])
-                {
+                if self.program.is_active(&st.values[li], &st.deltas[li]) {
                     count += 1;
                     mag += self.program.delta_magnitude(&st.deltas[li]);
                 }
@@ -331,10 +338,7 @@ impl<P: VertexProgram> JobRuntime for TypedJob<P> {
                     st.acc[li] = identity;
                     let cur = st.deltas[li];
                     st.deltas[li] = self.program.acc(cur, val);
-                    if self
-                        .program
-                        .is_active(&st.values[li], &st.deltas[li])
-                    {
+                    if self.program.is_active(&st.values[li], &st.deltas[li]) {
                         any = true;
                     }
                 }
@@ -406,9 +410,7 @@ impl<P: VertexProgram> JobRuntime for TypedJob<P> {
                     touched_masters.push((dpid, li as u32));
                     i += 1;
                 }
-                stats
-                    .touched_master_parts
-                    .push((dpid, (i - start) as u64));
+                stats.touched_master_parts.push((dpid, (i - start) as u64));
             }
         }
 
@@ -459,16 +461,14 @@ impl<P: VertexProgram> JobRuntime for TypedJob<P> {
         // Phase D: next iteration's activation = partitions whose replicas
         // hold fresh deltas (anything processed this round was consumed).
         let mut recount: Vec<PartitionId> = touched_partitions;
-        recount.extend(
-            (0..np as PartitionId).filter(|&p| {
-                // Partitions with direct master-local folds.
-                self.parts[p as usize]
-                    .lock()
-                    .deltas
-                    .iter()
-                    .any(|d| *d != identity)
-            }),
-        );
+        recount.extend((0..np as PartitionId).filter(|&p| {
+            // Partitions with direct master-local folds.
+            self.parts[p as usize]
+                .lock()
+                .deltas
+                .iter()
+                .any(|d| *d != identity)
+        }));
         recount.sort_unstable();
         recount.dedup();
         self.pending.lock().reset();

@@ -11,12 +11,17 @@
 //! * [`TypedJob`] / [`JobRuntime`] — one running job: private state tables
 //!   decoupled from the shared structure (§3.1), Trigger (Alg. 1) and the
 //!   batched sorted Push (Alg. 2).
-//! * [`Engine`] — the executor (Alg. 3): loads each needed structure
-//!   partition once per round through the simulated memory hierarchy,
-//!   triggers every interested job (in batches, with straggler splitting),
-//!   then runs each finishing job's Push.
+//! * [`Engine`] — the executor (Alg. 3): loads a scheduler-planned
+//!   wavefront of structure partitions once per round through the
+//!   simulated memory hierarchy, triggers every interested job (in
+//!   batches, with straggler splitting, one shared chunk-task drain per
+//!   round), then runs each finishing job's Push.
+//! * [`exec`] — the layered execution core the engine composes: the
+//!   incrementally maintained slot planner, the unified charge ledger,
+//!   and the pipelined wavefront round executor.
 //! * [`scheduler`] — the correlations-aware priority scheduler
-//!   (`Pri(P) = N(P) + θ·D(P)·C(P)`, Eq. 1) and the fixed-order ablation.
+//!   (`Pri(P) = N(P) + θ·D(P)·C(P)`, Eq. 1) and the fixed-order ablation,
+//!   extended to plan multi-slot wavefronts.
 //!
 //! Concrete algorithms (PageRank, SSSP, BFS, WCC, SCC, …) live in
 //! `cgraph-algos`; baseline engines that drive the *same* job runtimes with
@@ -24,6 +29,7 @@
 
 pub mod api;
 pub mod engine;
+pub mod exec;
 pub mod job;
 pub mod program;
 pub mod scheduler;
@@ -32,6 +38,7 @@ pub mod workers;
 
 pub use api::JobEngine;
 pub use engine::{Engine, EngineConfig, RunReport, SchedulerKind, SyncStrategy};
+pub use exec::{ChargeLedger, SlotPlanner};
 pub use job::{JobId, JobRuntime, ProcessStats, PushStats, TypedJob};
 pub use program::{EdgeDirection, VertexInfo, VertexProgram};
 pub use scheduler::{OrderScheduler, PriorityScheduler, Scheduler, SlotInfo};

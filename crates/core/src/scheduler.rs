@@ -19,10 +19,33 @@ pub struct SlotInfo {
     pub avg_change: f64,
 }
 
-/// Chooses which pending slot to load next.
+/// Chooses which pending slot(s) to load next.
 pub trait Scheduler: Send {
     /// Returns the index of the chosen slot.  `slots` is never empty.
     fn pick(&mut self, slots: &[SlotInfo]) -> usize;
+
+    /// Plans a wavefront of up to `width` distinct slots, most urgent
+    /// first.  `slots` is never empty; the result is non-empty, has no
+    /// duplicates, and `plan(slots, 1)` equals `[pick(slots)]`.
+    ///
+    /// The default implementation picks greedily: it calls [`pick`]
+    /// (Self::pick) on the not-yet-chosen remainder once per wave slot,
+    /// so every existing scheduler keeps its exact single-slot semantics
+    /// and gains a consistent multi-slot extension for free.
+    fn plan(&mut self, slots: &[SlotInfo], width: usize) -> Vec<usize> {
+        let width = width.clamp(1, slots.len());
+        if width == 1 {
+            return vec![self.pick(slots)];
+        }
+        let mut remaining: Vec<usize> = (0..slots.len()).collect();
+        let mut chosen = Vec::with_capacity(width);
+        for _ in 0..width {
+            let view: Vec<SlotInfo> = remaining.iter().map(|&i| slots[i]).collect();
+            let local = self.pick(&view);
+            chosen.push(remaining.remove(local));
+        }
+        chosen
+    }
 
     /// Scheduler name for reports.
     fn name(&self) -> &'static str;
@@ -48,7 +71,10 @@ impl PriorityScheduler {
     ///
     /// Panics if `theta` is outside `[0, 1)`.
     pub fn new(theta: f64) -> Self {
-        assert!((0.0..1.0).contains(&theta), "theta fraction must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&theta),
+            "theta fraction must be in [0, 1)"
+        );
         PriorityScheduler { theta }
     }
 
@@ -164,5 +190,40 @@ mod tests {
         let s = PriorityScheduler::new(0.5);
         let sl = slot(0, 1, 0.0, 0.0);
         assert_eq!(s.priority(&sl, 0.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn plan_width_one_equals_pick() {
+        let slots = [
+            slot(0, 2, 5.0, 1.0),
+            slot(1, 3, 0.1, 0.1),
+            slot(2, 3, 9.0, 2.0),
+        ];
+        let mut pri = PriorityScheduler::new(0.7);
+        assert_eq!(pri.plan(&slots, 1), vec![pri.pick(&slots)]);
+        let mut ord = OrderScheduler;
+        assert_eq!(ord.plan(&slots, 1), vec![ord.pick(&slots)]);
+    }
+
+    #[test]
+    fn plan_returns_distinct_urgent_first() {
+        let slots = [
+            slot(0, 1, 1.0, 1.0),
+            slot(1, 5, 1.0, 1.0),
+            slot(2, 3, 1.0, 1.0),
+        ];
+        let mut s = PriorityScheduler::new(0.0);
+        let wave = s.plan(&slots, 2);
+        assert_eq!(wave, vec![1, 2], "most jobs first, then next best");
+        let full = s.plan(&slots, 3);
+        assert_eq!(full, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn plan_clamps_width_to_slot_count() {
+        let slots = [slot(4, 1, 1.0, 1.0), slot(7, 1, 1.0, 1.0)];
+        let mut s = OrderScheduler;
+        assert_eq!(s.plan(&slots, 10), vec![0, 1]);
+        assert_eq!(s.plan(&slots, 0), vec![0], "width 0 coerces to 1");
     }
 }

@@ -19,11 +19,7 @@ pub struct PartState<V> {
 impl<V: Copy> PartState<V> {
     /// Creates state for `n` replicas, all slots set to `identity`.
     pub fn new(n: usize, identity: V) -> Self {
-        PartState {
-            values: vec![identity; n],
-            deltas: vec![identity; n],
-            acc: vec![identity; n],
-        }
+        PartState { values: vec![identity; n], deltas: vec![identity; n], acc: vec![identity; n] }
     }
 
     /// Number of replicas covered.

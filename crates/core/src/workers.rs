@@ -5,6 +5,12 @@
 //! threads.  Straggler splitting (paper §3.2.3, Fig. 6) falls out of the
 //! task list: the job with the most unprocessed vertices contributes more
 //! chunks, so free cores naturally assist it.
+//!
+//! [`TaskPool`] extends the same queue across *multiple* loaded slots:
+//! the wavefront executor accumulates every picked slot's chunk tasks
+//! and drains them in one scoped-thread pass, so cores freed by one
+//! slot's fast jobs immediately pipeline into the next slot's Trigger
+//! instead of idling behind the straggler.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -104,6 +110,73 @@ pub fn plan_chunks(
         }
     }
     tasks
+}
+
+/// Accumulates chunk tasks from one or more loaded slots and drains them
+/// in a single [`run_chunk_tasks`] pass.
+///
+/// Each `(slot, job)` pair contributes one pooled runtime entry; results
+/// are handed back tagged with their origin so the executor can attribute
+/// compute to the right slot (for the pipeline cost model) and job (for
+/// per-job metrics).
+#[derive(Default)]
+pub struct TaskPool<'a> {
+    runtimes: Vec<&'a dyn JobRuntime>,
+    origins: Vec<(usize, usize)>,
+    tasks: Vec<ChunkTask>,
+}
+
+impl<'a> TaskPool<'a> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        TaskPool::default()
+    }
+
+    /// Whether the pool currently holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Plans one batch of `slot`'s jobs over partition `pid` (same
+    /// chunking policy as [`plan_chunks`]) and queues the tasks.
+    ///
+    /// `jobs` pairs each engine job index with its runtime; `unprocessed`
+    /// gives the matching active-replica counts for straggler detection.
+    pub fn plan_slot_batch(
+        &mut self,
+        slot: usize,
+        pid: PartitionId,
+        jobs: &[(usize, &'a dyn JobRuntime)],
+        unprocessed: &[u64],
+        budget: usize,
+        straggler_split: bool,
+    ) {
+        debug_assert_eq!(jobs.len(), unprocessed.len());
+        let base = self.runtimes.len();
+        for &(job, runtime) in jobs {
+            self.runtimes.push(runtime);
+            self.origins.push((slot, job));
+        }
+        for mut task in plan_chunks(pid, unprocessed, budget, straggler_split) {
+            task.job_slot += base;
+            self.tasks.push(task);
+        }
+    }
+
+    /// Drains every queued task over up to `workers` scoped threads and
+    /// returns `(slot, job, stats)` per pooled entry, leaving the pool
+    /// empty for reuse.
+    pub fn run(&mut self, workers: usize) -> Vec<(usize, usize, ProcessStats)> {
+        let totals = run_chunk_tasks(workers, &self.runtimes, &self.tasks);
+        self.runtimes.clear();
+        self.tasks.clear();
+        let origins = std::mem::take(&mut self.origins);
+        origins
+            .into_iter()
+            .zip(totals)
+            .map(|((slot, job), stats)| (slot, job, stats))
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -29,11 +29,7 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Starts building a graph over `num_vertices` vertices.
     pub fn new(num_vertices: VertexId) -> Self {
-        GraphBuilder {
-            edges: EdgeList::new(num_vertices),
-            allow_self_loops: false,
-            dedup: true,
-        }
+        GraphBuilder { edges: EdgeList::new(num_vertices), allow_self_loops: false, dedup: true }
     }
 
     /// Permits self loops (dropped by default, as in the paper's
@@ -108,7 +104,11 @@ mod tests {
 
     #[test]
     fn duplicates_kept_when_dedup_disabled() {
-        let el = GraphBuilder::new(3).dedup(false).edge(0, 1).edge(0, 1).build();
+        let el = GraphBuilder::new(3)
+            .dedup(false)
+            .edge(0, 1)
+            .edge(0, 1)
+            .build();
         assert_eq!(el.len(), 2);
     }
 

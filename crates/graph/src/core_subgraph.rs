@@ -57,14 +57,12 @@ impl CoreSubgraphPartitioner {
             CoreThreshold::TopFraction(f) => {
                 let out = edges.out_degrees();
                 let inn = edges.in_degrees();
-                let mut total: Vec<u32> =
-                    out.iter().zip(&inn).map(|(a, b)| a + b).collect();
+                let mut total: Vec<u32> = out.iter().zip(&inn).map(|(a, b)| a + b).collect();
                 if total.is_empty() {
                     return u32::MAX;
                 }
                 total.sort_unstable_by(|a, b| b.cmp(a));
-                let k = ((total.len() as f64 * f).ceil() as usize)
-                    .clamp(1, total.len());
+                let k = ((total.len() as f64 * f).ceil() as usize).clamp(1, total.len());
                 total[k - 1].max(1)
             }
         }
@@ -93,8 +91,8 @@ impl Partitioner for CoreSubgraphPartitioner {
                 rest.push(e);
             }
         }
-        core.sort_by(|a, b| (a.src, a.dst).cmp(&(b.src, b.dst)));
-        rest.sort_by(|a, b| (a.src, a.dst).cmp(&(b.src, b.dst)));
+        core.sort_by_key(|e| (e.src, e.dst));
+        rest.sort_by_key(|e| (e.src, e.dst));
 
         // Same-sized partitions across both classes: the global target size
         // is |E| / num_partitions; each class gets a proportional share of
@@ -177,8 +175,7 @@ mod tests {
     #[test]
     fn all_edges_preserved() {
         let el = star_plus_chain();
-        let ps = CoreSubgraphPartitioner::new(4, CoreThreshold::TopFraction(0.1))
-            .partition(&el);
+        let ps = CoreSubgraphPartitioner::new(4, CoreThreshold::TopFraction(0.1)).partition(&el);
         assert_eq!(ps.num_edges(), el.len() as u64);
     }
 
@@ -206,7 +203,10 @@ mod tests {
             for (t, _) in p0.out_edges(li) {
                 let s = p0.global_of(li) as usize;
                 let d = p0.global_of(t) as usize;
-                assert!(mask[s] && mask[d], "non-core edge {s}->{d} in core partition");
+                assert!(
+                    mask[s] && mask[d],
+                    "non-core edge {s}->{d} in core partition"
+                );
             }
         }
     }
@@ -222,8 +222,7 @@ mod tests {
     #[test]
     fn partition_count_close_to_requested() {
         let el = star_plus_chain();
-        let ps = CoreSubgraphPartitioner::new(6, CoreThreshold::TopFraction(0.1))
-            .partition(&el);
+        let ps = CoreSubgraphPartitioner::new(6, CoreThreshold::TopFraction(0.1)).partition(&el);
         assert!(ps.num_partitions() >= 6);
     }
 

@@ -117,7 +117,9 @@ mod tests {
 
     fn diamond() -> EdgeList {
         // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
-        GraphBuilder::new(4).edges([(0, 1), (0, 2), (1, 3), (2, 3)]).build()
+        GraphBuilder::new(4)
+            .edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+            .build()
     }
 
     #[test]

@@ -61,7 +61,9 @@ impl EdgeList {
 
     /// Appends one edge, growing the vertex universe if needed.
     pub fn push(&mut self, edge: Edge) {
-        self.num_vertices = self.num_vertices.max(edge.src.max(edge.dst).saturating_add(1));
+        self.num_vertices = self
+            .num_vertices
+            .max(edge.src.max(edge.dst).saturating_add(1));
         self.edges.push(edge);
     }
 
@@ -98,8 +100,7 @@ impl EdgeList {
     /// Sorts edges by `(src, dst)` and removes exact duplicates
     /// (keeping the first occurrence's weight).
     pub fn sort_and_dedup(&mut self) {
-        self.edges
-            .sort_by(|a, b| (a.src, a.dst).cmp(&(b.src, b.dst)));
+        self.edges.sort_by_key(|e| (e.src, e.dst));
         self.edges.dedup_by_key(|e| (e.src, e.dst));
     }
 

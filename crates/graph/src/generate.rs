@@ -104,7 +104,12 @@ pub fn grid(rows: u32, cols: u32) -> EdgeList {
 
 /// Generates a directed path `0 -> 1 -> … -> n-1`.
 pub fn path(n: VertexId) -> EdgeList {
-    EdgeList::from_edges((0..n.saturating_sub(1)).map(|i| Edge::unit(i, i + 1)).collect(), n)
+    EdgeList::from_edges(
+        (0..n.saturating_sub(1))
+            .map(|i| Edge::unit(i, i + 1))
+            .collect(),
+        n,
+    )
 }
 
 /// Generates a directed cycle over `n` vertices.

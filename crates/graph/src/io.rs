@@ -70,19 +70,10 @@ pub fn read_text<R: Read>(reader: R) -> Result<EdgeList, IoError> {
     Ok(EdgeList::from_edges(edges, 0))
 }
 
-fn parse_field(
-    field: Option<&str>,
-    idx: usize,
-    missing: &str,
-) -> Result<VertexId, IoError> {
-    let s = field.ok_or_else(|| IoError::Parse {
-        line: idx + 1,
-        message: missing.to_string(),
-    })?;
-    s.parse::<VertexId>().map_err(|e| IoError::Parse {
-        line: idx + 1,
-        message: format!("bad vertex id {s:?}: {e}"),
-    })
+fn parse_field(field: Option<&str>, idx: usize, missing: &str) -> Result<VertexId, IoError> {
+    let s = field.ok_or_else(|| IoError::Parse { line: idx + 1, message: missing.to_string() })?;
+    s.parse::<VertexId>()
+        .map_err(|e| IoError::Parse { line: idx + 1, message: format!("bad vertex id {s:?}: {e}") })
 }
 
 /// Loads a text edge list from a file path.

@@ -52,12 +52,7 @@ impl Partition {
     /// `global_out`/`global_in` are whole-graph degree tables indexed by
     /// global vertex id; master assignment is patched in later by
     /// [`PartitionSet::assemble`].
-    fn from_edges(
-        id: PartitionId,
-        edges: &[Edge],
-        global_out: &[u32],
-        global_in: &[u32],
-    ) -> Self {
+    fn from_edges(id: PartitionId, edges: &[Edge], global_out: &[u32], global_in: &[u32]) -> Self {
         Partition::from_edges_with(id, edges, &|vid| {
             (global_out[vid as usize], global_in[vid as usize])
         })
@@ -84,7 +79,9 @@ impl Partition {
 
         let nv = vertices.len();
         let local = |vid: VertexId| -> LocalId {
-            vertices.binary_search(&vid).expect("endpoint must be a replica") as LocalId
+            vertices
+                .binary_search(&vid)
+                .expect("endpoint must be a replica") as LocalId
         };
 
         // Out CSR.
@@ -142,7 +139,11 @@ impl Partition {
                 }
             })
             .collect();
-        let avg_degree = if nv == 0 { 0.0 } else { degree_sum as f64 / nv as f64 };
+        let avg_degree = if nv == 0 {
+            0.0
+        } else {
+            degree_sum as f64 / nv as f64
+        };
 
         Partition {
             id,
@@ -308,7 +309,9 @@ impl PartitionSet {
         let mut partitions: Vec<Partition> = chunks
             .iter()
             .enumerate()
-            .map(|(i, chunk)| Partition::from_edges(i as PartitionId, chunk, &global_out, &global_in))
+            .map(|(i, chunk)| {
+                Partition::from_edges(i as PartitionId, chunk, &global_out, &global_in)
+            })
             .collect();
 
         // Elect masters: replica with the most incident local edges.
@@ -323,8 +326,7 @@ impl PartitionSet {
                     + (p.in_offsets[li as usize + 1] - p.in_offsets[li as usize]);
                 replica_count[vid as usize] += 1;
                 let better = incident > best_count[vid as usize]
-                    || (incident == best_count[vid as usize]
-                        && p.id < master_of[vid as usize]);
+                    || (incident == best_count[vid as usize] && p.id < master_of[vid as usize]);
                 if master_of[vid as usize] == NO_PARTITION || better {
                     best_count[vid as usize] = incident;
                     master_of[vid as usize] = p.id;
@@ -483,10 +485,7 @@ mod tests {
         let ps = two_chunk_set();
         let p0 = ps.partition(0);
         let l0 = p0.local_of(0).unwrap();
-        let outs: Vec<VertexId> = p0
-            .out_edges(l0)
-            .map(|(t, _)| p0.global_of(t))
-            .collect();
+        let outs: Vec<VertexId> = p0.out_edges(l0).map(|(t, _)| p0.global_of(t)).collect();
         assert_eq!(outs, vec![1]);
         // In-CSR: vertex 2's in-edge inside partition 0 comes from 1.
         let l2 = p0.local_of(2).unwrap();
@@ -524,10 +523,8 @@ mod tests {
     fn structure_bytes_scale_with_size() {
         let ps = two_chunk_set();
         let small = ps.partition(0).structure_bytes();
-        let big = PartitionSet::assemble(
-            vec![(0..100).map(|i| Edge::unit(i, i + 1)).collect()],
-            200,
-        );
+        let big =
+            PartitionSet::assemble(vec![(0..100).map(|i| Edge::unit(i, i + 1)).collect()], 200);
         assert!(big.partition(0).structure_bytes() > small);
     }
 

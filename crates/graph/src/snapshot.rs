@@ -118,7 +118,10 @@ impl SnapshotStore {
     pub fn apply(&mut self, timestamp: u64, delta: &GraphDelta) -> Result<usize, SnapshotError> {
         let prev_ts = self.latest_timestamp();
         if timestamp <= prev_ts {
-            return Err(SnapshotError::NonMonotonicTimestamp { previous: prev_ts, given: timestamp });
+            return Err(SnapshotError::NonMonotonicTimestamp {
+                previous: prev_ts,
+                given: timestamp,
+            });
         }
         let n = self.base.num_vertices();
         let np = self.base.num_partitions();
@@ -239,7 +242,7 @@ impl SnapshotStore {
             if let Some(ad) = added.get(&pid) {
                 edges.extend_from_slice(ad);
             }
-            edges.sort_by(|a, b| (a.src, a.dst).cmp(&(b.src, b.dst)));
+            edges.sort_by_key(|e| (e.src, e.dst));
             rebuilt.insert(pid, Partition::from_edges_with(pid, &edges, &new_degree));
         }
 
@@ -254,7 +257,7 @@ impl SnapshotStore {
             .last()
             .map(|r| r.master_over.clone())
             .unwrap_or_default();
-        for (&v, _) in &ddeg {
+        for &v in ddeg.keys() {
             let mut reps: Vec<PartitionId> = replicas(v)
                 .iter()
                 .copied()
@@ -310,7 +313,7 @@ impl SnapshotStore {
             .last()
             .map(|r| r.degree_over.clone())
             .unwrap_or_default();
-        for (&v, _) in &ddeg {
+        for &v in ddeg.keys() {
             degree_over.insert(v, new_degree(v));
         }
 
@@ -338,10 +341,7 @@ impl SnapshotStore {
     /// The view a job arriving at `ts` binds to: the newest snapshot whose
     /// timestamp does not exceed `ts`.
     pub fn view_at(self: &Arc<Self>, ts: u64) -> GraphView {
-        let record = self
-            .records
-            .iter()
-            .rposition(|r| r.timestamp <= ts);
+        let record = self.records.iter().rposition(|r| r.timestamp <= ts);
         GraphView { store: Arc::clone(self), record }
     }
 }
@@ -451,14 +451,34 @@ mod tests {
 
     fn store() -> Arc<SnapshotStore> {
         let el = GraphBuilder::new(8)
-            .edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 0)])
+            .edges([
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 0),
+            ])
             .build();
-        Arc::new(SnapshotStore::new(VertexCutPartitioner::new(4).partition(&el)))
+        Arc::new(SnapshotStore::new(
+            VertexCutPartitioner::new(4).partition(&el),
+        ))
     }
 
     fn store_mut() -> SnapshotStore {
         let el = GraphBuilder::new(8)
-            .edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 0)])
+            .edges([
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 0),
+            ])
             .build();
         SnapshotStore::new(VertexCutPartitioner::new(4).partition(&el))
     }
@@ -477,7 +497,8 @@ mod tests {
     #[test]
     fn addition_is_visible_only_to_later_views() {
         let mut s = store_mut();
-        s.apply(10, &GraphDelta::adding([Edge::unit(0, 4)])).unwrap();
+        s.apply(10, &GraphDelta::adding([Edge::unit(0, 4)]))
+            .unwrap();
         let s = Arc::new(s);
         let old = s.view_at(5);
         let new = s.view_at(10);
@@ -518,7 +539,9 @@ mod tests {
     fn timestamps_must_increase() {
         let mut s = store_mut();
         s.apply(5, &GraphDelta::adding([Edge::unit(0, 2)])).unwrap();
-        let err = s.apply(5, &GraphDelta::adding([Edge::unit(0, 3)])).unwrap_err();
+        let err = s
+            .apply(5, &GraphDelta::adding([Edge::unit(0, 3)]))
+            .unwrap_err();
         assert!(matches!(err, SnapshotError::NonMonotonicTimestamp { .. }));
     }
 

@@ -60,7 +60,7 @@ impl VertexCutPartitioner {
 impl Partitioner for VertexCutPartitioner {
     fn partition(&self, edges: &EdgeList) -> PartitionSet {
         let mut sorted: Vec<Edge> = edges.edges().to_vec();
-        sorted.sort_by(|a, b| (a.src, a.dst).cmp(&(b.src, b.dst)));
+        sorted.sort_by_key(|e| (e.src, e.dst));
         let chunks = chunk_evenly(&sorted, self.num_partitions);
         PartitionSet::assemble(chunks, edges.num_vertices())
     }
@@ -91,7 +91,9 @@ mod tests {
     use crate::builder::GraphBuilder;
 
     fn ring(n: u32) -> EdgeList {
-        GraphBuilder::new(n).edges((0..n).map(|i| (i, (i + 1) % n))).build()
+        GraphBuilder::new(n)
+            .edges((0..n).map(|i| (i, (i + 1) % n)))
+            .build()
     }
 
     #[test]

@@ -60,6 +60,18 @@ impl CostModel {
         self.access_seconds(m) + self.compute_seconds(m) / workers.max(1) as f64
     }
 
+    /// The `(access, compute)` stage times of a metrics interval — the
+    /// Load and Trigger legs the pipelined executor overlaps.  Access
+    /// serializes on the shared channel; compute is divided across
+    /// `workers`.  Their sum equals [`total_seconds`](Self::total_seconds)
+    /// for the same interval.
+    pub fn stage_seconds(&self, m: &Metrics, workers: usize) -> (f64, f64) {
+        (
+            self.access_seconds(m),
+            self.compute_seconds(m) / workers.max(1) as f64,
+        )
+    }
+
     /// Modeled CPU utilization in `[0, 1]`: useful compute over total
     /// core-time during the makespan (the paper's Fig. 15).
     pub fn utilization(&self, m: &Metrics, workers: usize) -> f64 {
@@ -123,15 +135,31 @@ mod tests {
     #[test]
     fn compute_parallelizes_access_does_not() {
         let cm = CostModel::default();
-        let m = Metrics {
-            edge_ops: 1_000_000_000,
-            bytes_mem_to_cache: 1 << 30,
-            ..Metrics::default()
-        };
+        let m =
+            Metrics { edge_ops: 1_000_000_000, bytes_mem_to_cache: 1 << 30, ..Metrics::default() };
         let t1 = cm.total_seconds(&m, 1);
         let t8 = cm.total_seconds(&m, 8);
         assert!(t8 < t1);
         assert!(t8 > cm.access_seconds(&m), "access floor must remain");
+    }
+
+    #[test]
+    fn stage_seconds_sum_to_total() {
+        let cm = CostModel::default();
+        let m = Metrics {
+            edge_ops: 1_000_000,
+            vertex_ops: 10_000,
+            sync_ops: 500,
+            cache_misses: 200,
+            bytes_mem_to_cache: 1 << 24,
+            bytes_disk_to_mem: 1 << 20,
+            ..Metrics::default()
+        };
+        for w in [1, 4, 16] {
+            let (access, compute) = cm.stage_seconds(&m, w);
+            assert!((access + compute - cm.total_seconds(&m, w)).abs() < 1e-12);
+            assert!(access > 0.0 && compute > 0.0);
+        }
     }
 
     #[test]
@@ -148,8 +176,10 @@ mod tests {
     #[test]
     fn utilization_falls_with_more_access_traffic() {
         let cm = CostModel::default();
-        let light = Metrics { edge_ops: 1_000_000, bytes_mem_to_cache: 1 << 20, ..Metrics::default() };
-        let heavy = Metrics { edge_ops: 1_000_000, bytes_mem_to_cache: 1 << 28, ..Metrics::default() };
+        let light =
+            Metrics { edge_ops: 1_000_000, bytes_mem_to_cache: 1 << 20, ..Metrics::default() };
+        let heavy =
+            Metrics { edge_ops: 1_000_000, bytes_mem_to_cache: 1 << 28, ..Metrics::default() };
         assert!(cm.utilization(&light, 4) > cm.utilization(&heavy, 4));
     }
 

@@ -84,14 +84,21 @@ impl MemoryHierarchy {
         }
     }
 
-    /// Pins `obj` in the cache tier (see [`LruCache::pin`]).
+    /// Pins `obj` in the cache tier (reference-counted; see
+    /// [`LruCache::pin`]).
     pub fn pin(&mut self, obj: &CacheObject) {
         self.cache.pin(obj);
     }
 
-    /// Unpins `obj` in the cache tier.
+    /// Releases one pin of `obj` in the cache tier.
     pub fn unpin(&mut self, obj: &CacheObject) {
         self.cache.unpin(obj);
+    }
+
+    /// Bytes the cache tier currently holds pinned — the concurrent
+    /// wavefront's resident structure footprint.
+    pub fn pinned_bytes(&self) -> u64 {
+        self.cache.pinned_bytes()
     }
 
     /// Whether `obj` is cache-resident.
@@ -107,8 +114,9 @@ impl MemoryHierarchy {
     /// Drops all state belonging to a finished job from both tiers.
     pub fn evict_job(&mut self, job: u32) {
         let keep = |o: &CacheObject| match *o {
-            CacheObject::PrivateTable { job: j, .. }
-            | CacheObject::JobStructure { job: j, .. } => j != job,
+            CacheObject::PrivateTable { job: j, .. } | CacheObject::JobStructure { job: j, .. } => {
+                j != job
+            }
             CacheObject::Structure { .. } => true,
         };
         self.cache.retain(keep);
@@ -220,20 +228,16 @@ mod tests {
     fn miss_rate_tracks_interference() {
         // Two "jobs" alternating over a working set twice the cache size
         // must thrash; a single job half the size must not.
-        let mut h = MemoryHierarchy::new(HierarchyConfig {
-            cache_bytes: 100,
-            memory_bytes: 10_000,
-        });
+        let mut h =
+            MemoryHierarchy::new(HierarchyConfig { cache_bytes: 100, memory_bytes: 10_000 });
         for _ in 0..10 {
             for pid in 0..4 {
                 h.access(obj(pid), 50);
             }
         }
         let thrash = h.metrics().cache_miss_rate();
-        let mut h2 = MemoryHierarchy::new(HierarchyConfig {
-            cache_bytes: 100,
-            memory_bytes: 10_000,
-        });
+        let mut h2 =
+            MemoryHierarchy::new(HierarchyConfig { cache_bytes: 100, memory_bytes: 10_000 });
         for _ in 0..10 {
             for pid in 0..2 {
                 h2.access(obj(pid), 50);

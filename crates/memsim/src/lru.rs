@@ -8,7 +8,8 @@ use crate::object::CacheObject;
 struct Entry {
     bytes: u64,
     last_used: u64,
-    pinned: bool,
+    /// Pin reference count: the object is evictable only at zero.
+    pins: u32,
 }
 
 /// A byte-capacity tier holding [`CacheObject`]s with least-recently-used
@@ -16,7 +17,9 @@ struct Entry {
 ///
 /// Objects can be *pinned* while a batch of jobs processes them (the paper
 /// fixes a loaded structure partition in cache while rotating private
-/// tables, §3.2.3); pinned objects are never evicted.  Eviction scans for
+/// tables, §3.2.3); pinned objects are never evicted.  Pins are
+/// reference-counted so a wavefront of concurrently loaded slots can pin
+/// and unpin structures with overlapping lifetimes.  Eviction scans for
 /// the minimum timestamp, which is plenty at partition granularity (tens to
 /// a few thousand resident objects).
 #[derive(Clone, Debug)]
@@ -113,10 +116,8 @@ impl LruCache {
                 None => break,
             }
         }
-        self.entries.insert(
-            obj,
-            Entry { bytes, last_used: self.clock, pinned: false },
-        );
+        self.entries
+            .insert(obj, Entry { bytes, last_used: self.clock, pins: 0 });
         self.used += bytes;
         evicted
     }
@@ -129,18 +130,34 @@ impl LruCache {
         })
     }
 
-    /// Pins `obj` (no-op if absent).  Pinned objects are never evicted.
+    /// Pins `obj`, incrementing its pin count (no-op if absent).  Pinned
+    /// objects are never evicted.
     pub fn pin(&mut self, obj: &CacheObject) {
         if let Some(e) = self.entries.get_mut(obj) {
-            e.pinned = true;
+            e.pins += 1;
         }
     }
 
-    /// Unpins `obj` (no-op if absent).
+    /// Releases one pin of `obj` (no-op if absent or already unpinned).
+    /// The object becomes evictable when its count returns to zero.
     pub fn unpin(&mut self, obj: &CacheObject) {
         if let Some(e) = self.entries.get_mut(obj) {
-            e.pinned = false;
+            e.pins = e.pins.saturating_sub(1);
         }
+    }
+
+    /// Current pin count of `obj` (0 if absent or unpinned).
+    pub fn pin_count(&self, obj: &CacheObject) -> u32 {
+        self.entries.get(obj).map_or(0, |e| e.pins)
+    }
+
+    /// Total bytes currently pinned (the wavefront's resident footprint).
+    pub fn pinned_bytes(&self) -> u64 {
+        self.entries
+            .values()
+            .filter(|e| e.pins > 0)
+            .map(|e| e.bytes)
+            .sum()
     }
 
     /// Drops every resident object (e.g. between independent experiments).
@@ -167,7 +184,7 @@ impl LruCache {
     fn lru_victim(&self) -> Option<CacheObject> {
         self.entries
             .iter()
-            .filter(|(_, e)| !e.pinned)
+            .filter(|(_, e)| e.pins == 0)
             .min_by_key(|(_, e)| e.last_used)
             .map(|(o, _)| *o)
     }
@@ -252,6 +269,39 @@ mod tests {
         c.clear();
         assert!(c.is_empty());
         assert_eq!(c.used(), 0);
+    }
+
+    #[test]
+    fn nested_pins_require_matching_unpins() {
+        let mut c = LruCache::new(100);
+        c.insert(obj(0), 60);
+        // Two concurrent slots pin the same structure.
+        c.pin(&obj(0));
+        c.pin(&obj(0));
+        assert_eq!(c.pin_count(&obj(0)), 2);
+        assert_eq!(c.pinned_bytes(), 60);
+        c.unpin(&obj(0));
+        // One slot still holds it: eviction must not touch it.
+        c.insert(obj(1), 60);
+        assert!(c.contains(&obj(0)), "object evicted while still pinned");
+        c.unpin(&obj(0));
+        assert_eq!(c.pin_count(&obj(0)), 0);
+        c.insert(obj(2), 60);
+        assert!(
+            !c.contains(&obj(0)),
+            "fully unpinned object stays evictable"
+        );
+    }
+
+    #[test]
+    fn unpin_of_absent_or_unpinned_is_noop() {
+        let mut c = LruCache::new(100);
+        c.unpin(&obj(9));
+        c.insert(obj(0), 10);
+        c.unpin(&obj(0));
+        assert_eq!(c.pin_count(&obj(0)), 0);
+        c.pin(&obj(0));
+        assert_eq!(c.pin_count(&obj(0)), 1);
     }
 
     #[test]

@@ -77,13 +77,7 @@ pub struct TraceConfig {
 
 impl Default for TraceConfig {
     fn default() -> Self {
-        TraceConfig {
-            hours: 168,
-            base_rate: 1.0,
-            peak_rate: 5.0,
-            mean_duration: 2.5,
-            seed: 0xFACE,
-        }
+        TraceConfig { hours: 168, base_rate: 1.0, peak_rate: 5.0, mean_duration: 2.5, seed: 0xFACE }
     }
 }
 
@@ -168,7 +162,9 @@ mod tests {
         let counts = active_jobs_per_hour(&trace, cfg.hours);
         // Average over daily peak (hour 20) vs trough (hour 8) samples.
         let avg = |h0: u32| -> f64 {
-            let xs: Vec<f64> = (0..14).map(|d| counts[(d * 24 + h0) as usize] as f64).collect();
+            let xs: Vec<f64> = (0..14)
+                .map(|d| counts[(d * 24 + h0) as usize] as f64)
+                .collect();
             xs.iter().sum::<f64>() / xs.len() as f64
         };
         assert!(avg(20) > avg(8), "peak {} vs trough {}", avg(20), avg(8));

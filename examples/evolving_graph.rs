@@ -23,7 +23,9 @@ fn main() {
 
     // Two graph updates: timestamp 10 adds fresh follow edges, timestamp 20
     // removes a few old ones.
-    let adds: Vec<Edge> = (0..40).map(|i| Edge::unit(i * 7 % n, (i * 13 + 1) % n)).collect();
+    let adds: Vec<Edge> = (0..40)
+        .map(|i| Edge::unit(i * 7 % n, (i * 13 + 1) % n))
+        .collect();
     let touched = store.apply(10, &GraphDelta::adding(adds)).unwrap();
     println!("snapshot @10: re-versioned {touched} of 24 partitions");
     let removals: Vec<(u32, u32)> = store

@@ -11,7 +11,7 @@ use cgraph::algos::{Bfs, PageRank, Sssp, Wcc};
 use cgraph::baselines::BaselinePreset;
 use cgraph::core::{Engine, EngineConfig, JobEngine};
 use cgraph::graph::vertex_cut::VertexCutPartitioner;
-use cgraph::graph::{generate, Partitioner, PartitionSet};
+use cgraph::graph::{generate, PartitionSet, Partitioner};
 use cgraph::memsim::HierarchyConfig;
 
 fn submit_rotations<E: JobEngine>(engine: &mut E, rotations: u32) {
@@ -39,10 +39,12 @@ fn main() {
     let mut seq = BaselinePreset::Sequential.build_static(parts.clone(), 4, h);
     submit_rotations(&mut seq, 4);
     seq.run();
-    let seq_bytes =
-        seq.metrics().bytes_mem_to_cache + seq.metrics().bytes_disk_to_mem;
+    let seq_bytes = seq.metrics().bytes_mem_to_cache + seq.metrics().bytes_disk_to_mem;
 
-    println!("{:>5} {:>14} {:>15} {:>16}", "jobs", "modeled time", "LLC miss rate", "spared accesses");
+    println!(
+        "{:>5} {:>14} {:>15} {:>16}",
+        "jobs", "modeled time", "LLC miss rate", "spared accesses"
+    );
     for rotations in [1u32, 2, 4] {
         let mut engine = Engine::from_partitions(
             parts.clone(),
@@ -52,8 +54,7 @@ fn main() {
         let report = engine.run();
         // Scale the sequential volume to the same number of jobs.
         let seq_share = seq_bytes as f64 * rotations as f64 / 4.0;
-        let mine =
-            (report.metrics.bytes_mem_to_cache + report.metrics.bytes_disk_to_mem) as f64;
+        let mine = (report.metrics.bytes_mem_to_cache + report.metrics.bytes_disk_to_mem) as f64;
         println!(
             "{:>5} {:>11.2} ms {:>14.1}% {:>15.1}%",
             rotations * 4,

@@ -43,7 +43,10 @@ fn main() {
         h.cache_bytes >> 10,
     );
 
-    println!("{:<12} {:>14} {:>14}", "engine", "modeled time", "LLC miss rate");
+    println!(
+        "{:<12} {:>14} {:>14}",
+        "engine", "modeled time", "LLC miss rate"
+    );
     let mut cgraph_time = 0.0;
     for name in ["CGraph", "Seraph", "Sequential"] {
         let (secs, miss) = match name {

@@ -5,7 +5,7 @@
 use cgraph::algos::{reference, run_scc, Bfs, Katz, PageRank, Reachability, Sssp, Sswp, Wcc};
 use cgraph::core::{Engine, EngineConfig};
 use cgraph::graph::vertex_cut::VertexCutPartitioner;
-use cgraph::graph::{generate, Csr, Partitioner, PartitionSet};
+use cgraph::graph::{generate, Csr, PartitionSet, Partitioner};
 
 fn partitions(seed: u64) -> PartitionSet {
     let el = generate::rmat(9, 4, generate::RmatParams::default(), seed);
@@ -27,10 +27,7 @@ fn eight_concurrent_jobs_match_isolated_runs() {
         let a = e.submit(Sssp::new(src));
         let b = e.submit(Bfs::new(src));
         e.run();
-        iso.push((
-            e.results::<Sssp>(a).unwrap(),
-            e.results::<Bfs>(b).unwrap(),
-        ));
+        iso.push((e.results::<Sssp>(a).unwrap(), e.results::<Bfs>(b).unwrap()));
     }
     let mut e = engine(&ps);
     let pr_iso_id = e.submit(PageRank::new(0.85, 1e-7));
@@ -60,8 +57,8 @@ fn eight_concurrent_jobs_match_isolated_runs() {
     }
     // Reachability must agree with BFS-from-0 reachability.
     let reach = e.results::<Reachability>(rc).unwrap();
-    for v in 0..reach.len() {
-        assert_eq!(reach[v], iso[0].1[v] != u32::MAX, "reach v{v}");
+    for (v, &reachable) in reach.iter().enumerate() {
+        assert_eq!(reachable, iso[0].1[v] != u32::MAX, "reach v{v}");
     }
     let _ = (wc, sw);
 }
@@ -113,7 +110,10 @@ fn katz_concurrent_with_pagerank() {
     let ka_ref = reference::katz(&csr, 0.002, 1e-12, 100_000);
     let got = e.results::<Katz>(ka).unwrap();
     for v in 0..got.len() {
-        assert!((got[v] - ka_ref[v]).abs() < 1e-6 * ka_ref[v].max(1.0), "katz v{v}");
+        assert!(
+            (got[v] - ka_ref[v]).abs() < 1e-6 * ka_ref[v].max(1.0),
+            "katz v{v}"
+        );
     }
     assert!(e.job_done(pr));
 }

@@ -1,0 +1,175 @@
+//! Wavefront-scheduling semantics: `Scheduler::plan` at width 1 is the
+//! legacy `pick` (property-tested for both schedulers), plans are sane at
+//! any width, algorithm results are identical across widths, and the
+//! pipelined executor models fewer seconds than the single-slot schedule
+//! on the engine-comparison configuration.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use cgraph::algos::{Bfs, PageRank, Sssp, Wcc};
+use cgraph::core::{
+    Engine, EngineConfig, JobEngine, OrderScheduler, PriorityScheduler, Scheduler, SlotInfo,
+};
+use cgraph::graph::generate::Dataset;
+use cgraph::graph::snapshot::SnapshotStore;
+use cgraph::graph::vertex_cut::VertexCutPartitioner;
+use cgraph::graph::{generate, PartitionSet, Partitioner};
+use cgraph::memsim::HierarchyConfig;
+use cgraph_bench::{hierarchy_for, paper_mix, partitions_for, run_wavefront, Scale};
+
+/// Arbitrary non-empty slot sets, degrees/changes quantized to avoid
+/// meaningless float-tie flakiness.
+fn arb_slots() -> impl Strategy<Value = Vec<SlotInfo>> {
+    proptest::collection::vec((0u32..64, 0u32..4, 1usize..6, 0u64..500, 0u64..500), 1..24).prop_map(
+        |raw| {
+            raw.into_iter()
+                .map(|(pid, version, num_jobs, deg, chg)| SlotInfo {
+                    pid,
+                    version,
+                    num_jobs,
+                    avg_degree: deg as f64 / 10.0,
+                    avg_change: chg as f64 / 100.0,
+                })
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The default `plan` at width 1 is exactly the legacy single-slot
+    /// `pick` for the priority scheduler, at any θ.
+    #[test]
+    fn priority_plan_width_one_equals_pick(slots in arb_slots(), theta in 0u64..100) {
+        let mut s = PriorityScheduler::new(theta as f64 / 100.0);
+        let plan = s.plan(&slots, 1);
+        prop_assert_eq!(plan, vec![s.pick(&slots)]);
+    }
+
+    /// Same equivalence for the fixed-order ablation scheduler.
+    #[test]
+    fn order_plan_width_one_equals_pick(slots in arb_slots()) {
+        let mut s = OrderScheduler;
+        let plan = s.plan(&slots, 1);
+        prop_assert_eq!(plan, vec![s.pick(&slots)]);
+    }
+
+    /// Plans of any width are non-empty, duplicate-free, in range, and
+    /// sized `min(width, slots)`; the first choice is always `pick`.
+    #[test]
+    fn plans_are_wellformed(slots in arb_slots(), width in 1usize..20, theta in 0u64..100) {
+        let mut s = PriorityScheduler::new(theta as f64 / 100.0);
+        let plan = s.plan(&slots, width);
+        prop_assert_eq!(plan.len(), width.min(slots.len()));
+        prop_assert!(plan.iter().all(|&i| i < slots.len()));
+        let mut dedup = plan.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), plan.len(), "duplicate slots planned");
+        prop_assert_eq!(plan[0], s.pick(&slots), "first wave slot must be the pick");
+    }
+}
+
+fn partitions() -> PartitionSet {
+    let el = generate::rmat(10, 6, generate::RmatParams::default(), 77);
+    VertexCutPartitioner::new(16).partition(&el)
+}
+
+fn tight(ps: &PartitionSet) -> HierarchyConfig {
+    let total: u64 = ps.partitions().iter().map(|p| p.structure_bytes()).sum();
+    HierarchyConfig { cache_bytes: (total / 6).max(1), memory_bytes: total * 4 }
+}
+
+fn mix_results(ps: PartitionSet, width: usize) -> (Vec<f64>, Vec<f32>, Vec<u32>, Vec<u32>) {
+    let mut e = Engine::from_partitions(
+        ps.clone(),
+        EngineConfig { wavefront: width, hierarchy: tight(&ps), ..EngineConfig::default() },
+    );
+    let pr = e.submit(PageRank::default());
+    let ss = e.submit(Sssp::new(0));
+    let bf = e.submit(Bfs::new(0));
+    let wc = e.submit(Wcc);
+    assert!(e.run().completed, "width {width} must converge");
+    (
+        e.results::<PageRank>(pr).unwrap(),
+        e.results::<Sssp>(ss).unwrap(),
+        e.results::<Bfs>(bf).unwrap(),
+        e.results::<Wcc>(wc).unwrap(),
+    )
+}
+
+/// Any wavefront width converges to the same algorithm results: min-plus
+/// fixpoints (SSSP/BFS/WCC) exactly, PageRank within the convergence
+/// tolerance (its residual depends on the processing order).
+#[test]
+fn wavefront_widths_agree_on_results() {
+    let ps = partitions();
+    let base = mix_results(ps.clone(), 1);
+    for width in [2usize, 4, 8] {
+        let wide = mix_results(ps.clone(), width);
+        assert_eq!(wide.2, base.2, "BFS mismatch at width {width}");
+        assert_eq!(wide.3, base.3, "WCC mismatch at width {width}");
+        assert_eq!(wide.1, base.1, "SSSP mismatch at width {width}");
+        for v in 0..base.0.len() {
+            assert!(
+                (wide.0[v] - base.0[v]).abs() < 2e-3 * base.0[v].max(1.0),
+                "PageRank v{v} at width {width}: {} vs {}",
+                wide.0[v],
+                base.0[v]
+            );
+        }
+    }
+}
+
+/// Width 1 through the layered executor is the classic engine: a second
+/// engine at the default config produces identical counters (the
+/// engines-agree and determinism suites pin the rest).
+#[test]
+fn default_config_plans_single_slots() {
+    assert_eq!(EngineConfig::default().wavefront, 1);
+    let ps = partitions();
+    let run = |cfg: EngineConfig| {
+        let mut e = Engine::from_partitions(ps.clone(), cfg);
+        e.submit(Bfs::new(0));
+        e.submit(Wcc);
+        let before = e.global_metrics();
+        e.run_jobs();
+        e.global_metrics().since(&before)
+    };
+    let default = run(EngineConfig { hierarchy: tight(&ps), ..EngineConfig::default() });
+    let explicit =
+        run(EngineConfig { wavefront: 1, hierarchy: tight(&ps), ..EngineConfig::default() });
+    assert_eq!(default, explicit);
+}
+
+/// The acceptance check for the pipelined executor: on the
+/// engine-comparison bench configuration, planning a wavefront of k > 1
+/// slots models fewer seconds than the single-slot schedule, because
+/// slot i+1's Load overlaps slot i's Trigger inside every round.
+#[test]
+fn wavefront_pipelining_models_fewer_seconds() {
+    let scale = Scale { shrink: 7 };
+    let ds = Dataset::TwitterSim;
+    let ps = partitions_for(ds, scale);
+    let h = hierarchy_for(ds, &ps);
+    let store = Arc::new(SnapshotStore::new(ps));
+    let k1 = run_wavefront(&store, 2, h, 1, &paper_mix());
+    let k2 = run_wavefront(&store, 2, h, 2, &paper_mix());
+    let k4 = run_wavefront(&store, 2, h, 4, &paper_mix());
+    assert!(k1.completed && k2.completed && k4.completed);
+    assert!(
+        k2.modeled_seconds < k1.modeled_seconds,
+        "k=2 {:.6}s must beat k=1 {:.6}s",
+        k2.modeled_seconds,
+        k1.modeled_seconds
+    );
+    assert!(
+        k4.modeled_seconds < k1.modeled_seconds,
+        "k=4 {:.6}s must beat k=1 {:.6}s",
+        k4.modeled_seconds,
+        k1.modeled_seconds
+    );
+}

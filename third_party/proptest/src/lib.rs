@@ -1,0 +1,188 @@
+//! Minimal API-compatible stand-in for the `proptest` crate.
+//!
+//! Supports the surface the workspace's property tests use: the
+//! [`proptest!`] macro with `arg in strategy` bindings and an optional
+//! `#![proptest_config(..)]` header, range / tuple / [`collection::vec`]
+//! strategies, [`Strategy::prop_map`], and the `prop_assert*` macros.
+//!
+//! Failing inputs are *not* shrunk; instead every case's RNG seed is
+//! derived deterministically from the test's module path and the case
+//! index, so a failure reproduces identically on re-run and the panic
+//! message names the failing case.
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// FNV-1a hash used to derive per-test RNG seeds (stable across runs).
+pub const fn fnv1a(s: &str) -> u64 {
+    let bytes = s.as_bytes();
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    let mut i = 0;
+    while i < bytes.len() {
+        hash ^= bytes[i] as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        i += 1;
+    }
+    hash
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` that runs the body for `config.cases` generated
+/// inputs.  The body may use `prop_assert!` / `prop_assert_eq!` /
+/// `prop_assert_ne!`, which abort just the failing case with a message.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..(config.cases as u64) {
+                let mut __proptest_rng = $crate::test_runner::TestRng::for_case(
+                    $crate::fnv1a(concat!(module_path!(), "::", stringify!($name))),
+                    case,
+                );
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(
+                        &($strat),
+                        &mut __proptest_rng,
+                    );
+                )*
+                let outcome: ::std::result::Result<(), ::std::string::String> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(message) = outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        case,
+                        config.cases,
+                        message
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case
+/// (not the whole process) with an explanatory message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&($left), &($right));
+        if !(*l == *r) {
+            return ::std::result::Result::Err(format!(
+                "prop_assert_eq!({}, {}): {:?} != {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&($left), &($right));
+        if !(*l == *r) {
+            return ::std::result::Result::Err(format!(
+                "{} ({:?} != {:?})",
+                format!($($fmt)+),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&($left), &($right));
+        if *l == *r {
+            return ::std::result::Result::Err(format!(
+                "prop_assert_ne!({}, {}): both {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn evens() -> impl Strategy<Value = u32> {
+        (0u32..100).prop_map(|v| v * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(v in 5u32..25, f in 0.0f64..1.0) {
+            prop_assert!((5..25).contains(&v));
+            prop_assert!((0.0..1.0).contains(&f), "f out of range: {}", f);
+        }
+
+        #[test]
+        fn tuples_and_maps(pair in (0u32..10, 0u64..10), e in evens()) {
+            prop_assert!(pair.0 < 10 && pair.1 < 10);
+            prop_assert_eq!(e % 2, 0);
+        }
+
+        #[test]
+        fn vec_sizes(v in crate::collection::vec(0u32..5, 2..7)) {
+            prop_assert!((2..7).contains(&v.len()), "len {}", v.len());
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::test_runner::TestRng::for_case(42, 3);
+        let mut b = crate::test_runner::TestRng::for_case(42, 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_runner::TestRng::for_case(42, 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}
