@@ -182,13 +182,23 @@ impl StreamEngine {
             return false;
         };
 
-        // Load structure + private table through the shared ledger.
+        // Load structure + private table through the shared ledger,
+        // reading through the sharded store API: the partition resolves
+        // across shard chains transparently and any disk fetch is
+        // attributed to the owning shard's I/O lane, so baseline traffic
+        // is directly comparable with the CGraph engine's per-lane
+        // figures.
+        let lane = self.store.shard_of(pid);
         let skey = self.structure_key(j, pid);
         let sbytes = self.jobs[j].runtime.view().partition(pid).structure_bytes();
-        self.ledger.charge_access(j, skey, sbytes);
+        self.ledger.charge_access_on(lane, j, skey, sbytes);
         let tbytes = self.jobs[j].runtime.private_table_bytes(pid);
-        self.ledger
-            .charge_access(j, CacheObject::PrivateTable { job: j as u32, pid }, tbytes);
+        self.ledger.charge_access_on(
+            lane,
+            j,
+            CacheObject::PrivateTable { job: j as u32, pid },
+            tbytes,
+        );
 
         // Trigger: all workers serve this one job.
         let count = self.jobs[j].runtime.unprocessed_vertices(pid);
@@ -299,6 +309,11 @@ impl StreamEngine {
     /// Per-job attributed metrics.
     pub fn job_metrics(&self, job: JobId) -> JobMetrics {
         self.ledger.job_metrics(job as usize)
+    }
+
+    /// Disk bytes fetched through each snapshot-store shard's I/O lane.
+    pub fn shard_fetch_bytes(&self) -> &[u64] {
+        self.ledger.shard_fetch_bytes()
     }
 
     /// The configuration.
@@ -483,6 +498,37 @@ mod tests {
         let r = e.run();
         assert!(!r.completed);
         assert!(r.loads <= 3);
+    }
+
+    /// The sharded store is transparent to a streaming baseline: same
+    /// results and identical global counters at any shard count (only
+    /// the per-lane attribution of disk fetches differs).
+    #[test]
+    fn sharded_store_reads_transparently() {
+        let run = |shards: usize| {
+            let el = generate::cycle(32);
+            let ps = VertexCutPartitioner::new(8).partition(&el);
+            let store = std::sync::Arc::new(SnapshotStore::with_shards(ps, shards));
+            let mut e = StreamEngine::new(store, StreamConfig::default());
+            let j = e.submit(Bfs);
+            let report = e.run();
+            assert!(report.completed);
+            (
+                e.results::<Bfs>(j).unwrap(),
+                report.metrics,
+                e.shard_fetch_bytes().to_vec(),
+            )
+        };
+        let (res1, m1, lanes1) = run(1);
+        let (res4, m4, lanes4) = run(4);
+        assert_eq!(res1, res4);
+        assert_eq!(m1, m4, "global counters must not depend on sharding");
+        assert_eq!(lanes1.iter().sum::<u64>(), lanes4.iter().sum::<u64>());
+        assert!(lanes1.len() <= 1, "one lane when unsharded");
+        assert!(
+            lanes4.iter().filter(|&&b| b > 0).count() > 1,
+            "disk fetches must spread across shard lanes: {lanes4:?}"
+        );
     }
 
     #[test]

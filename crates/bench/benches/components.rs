@@ -78,6 +78,7 @@ fn bench_scheduler_pick(c: &mut Criterion) {
         .map(|i| SlotInfo {
             pid: i,
             version: 0,
+            shard: i as usize % 4,
             num_jobs: (i as usize * 7) % 9 + 1,
             avg_degree: (i as f64 * 1.37) % 40.0,
             avg_change: (i as f64 * 0.11) % 3.0,

@@ -6,7 +6,8 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use cgraph_bench::{
-    hierarchy_for, paper_mix, partitions_for, run_engine, run_wavefront, EngineKind, Scale,
+    hierarchy_for, out_of_core_hierarchy, paper_mix, partitions_for, run_engine, run_wavefront,
+    run_wavefront_cfg, EngineKind, Scale,
 };
 use cgraph_graph::generate::Dataset;
 use cgraph_graph::snapshot::SnapshotStore;
@@ -75,10 +76,41 @@ fn bench_wavefront_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+/// Shard/prefetch sweep: k = 4 waves on an out-of-core hierarchy
+/// (disk-bound loads) across `{shards} × {prefetch_depth}` — the
+/// three-stage pipeline's win over the fused two-stage Load.  The same
+/// grid is emitted machine-readably by the `bench_wavefront` binary.
+fn bench_prefetch_sweep(c: &mut Criterion) {
+    let scale = Scale { shrink: 7 };
+    let ds = Dataset::TwitterSim;
+    let ps = partitions_for(ds, scale);
+    let h = out_of_core_hierarchy(&ps);
+    let store = Arc::new(SnapshotStore::new(ps));
+    let mut group = c.benchmark_group("prefetch_sweep");
+    group.sample_size(10);
+    for (shards, depth) in [(1usize, 0usize), (4, 0), (4, 1), (4, 2)] {
+        let report = run_wavefront_cfg(&store, 2, h, 4, shards, depth, &paper_mix());
+        println!(
+            "prefetch_sweep/s={shards}_d={depth}: modeled {:.3} ms over {} loads",
+            report.modeled_seconds * 1e3,
+            report.loads
+        );
+        group.bench_with_input(
+            BenchmarkId::new("s_d", format!("{shards}_{depth}")),
+            &(shards, depth),
+            |b, &(shards, depth)| {
+                b.iter(|| run_wavefront_cfg(&store, 2, h, 4, shards, depth, &paper_mix()));
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_four_job_mix,
     bench_scheduler_ablation,
-    bench_wavefront_sweep
+    bench_wavefront_sweep,
+    bench_prefetch_sweep
 );
 criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! The wavefront/shard/prefetch sweep, machine-readable.
+//!
+//! Runs the paper's four-job mix through the CGraph engine over the
+//! `{wavefront} × {shards} × {prefetch_depth}` grid on an out-of-core
+//! hierarchy (disk-bound loads — the regime the prefetch pipeline
+//! targets), prints the table, and writes `BENCH_wavefront.json` so CI
+//! can track the perf trajectory point by point.
+//!
+//! Accepts the standard `--full` / `--tiny` scale flags; `--out PATH`
+//! overrides the JSON location.
+
+use std::sync::Arc;
+
+use cgraph_bench::{
+    out_of_core_hierarchy, paper_mix, partitions_for, print_table, wavefront_sweep,
+    wavefront_sweep_json, Scale,
+};
+use cgraph_graph::generate::Dataset;
+use cgraph_graph::snapshot::SnapshotStore;
+
+fn main() {
+    let scale = Scale::from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_wavefront.json")
+        .to_string();
+
+    let ds = Dataset::TwitterSim;
+    let ps = partitions_for(ds, scale);
+    let h = out_of_core_hierarchy(&ps);
+    // Lanes are driven per grid point via `EngineConfig::shards` (the
+    // engine takes the finer of config and store sharding, and both
+    // place round-robin), so a single-shard store keeps the `shards = 1`
+    // rows honest one-lane baselines.
+    let store = Arc::new(SnapshotStore::new(ps));
+
+    let grid = [
+        (1, 1, 0),
+        (2, 1, 0),
+        (4, 1, 0),
+        (2, 4, 0),
+        (4, 4, 0),
+        (2, 4, 1),
+        (4, 4, 1),
+        (2, 4, 2),
+        (4, 4, 2),
+    ];
+    let points = wavefront_sweep(&store, 2, h, &paper_mix(), &grid);
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("k={} s={} d={}", p.wavefront, p.shards, p.prefetch_depth),
+                format!("{:.3}", p.modeled_ms),
+                format!("{:.1}", p.wall_ms),
+                p.loads.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "wavefront sweep (out-of-core, four-job mix)",
+        &["config", "modeled ms", "wall ms", "loads"],
+        &rows,
+    );
+
+    let baseline = points
+        .iter()
+        .find(|p| p.wavefront == 4 && p.shards == 4 && p.prefetch_depth == 0)
+        .expect("grid holds the k=4 s=4 d=0 baseline");
+    let prefetched = points
+        .iter()
+        .find(|p| p.wavefront == 4 && p.shards == 4 && p.prefetch_depth == 2)
+        .expect("grid holds the k=4 s=4 d=2 point");
+    let reduction = 1.0 - prefetched.modeled_ms / baseline.modeled_ms;
+    println!(
+        "\nprefetch win at k=4 s=4: d=2 models {:.3} ms vs d=0 {:.3} ms ({:.1}% reduction)",
+        prefetched.modeled_ms,
+        baseline.modeled_ms,
+        reduction * 100.0
+    );
+
+    let json = wavefront_sweep_json(ds.name(), scale.shrink, &points);
+    std::fs::write(&out_path, json).expect("write BENCH_wavefront.json");
+    println!("wrote {out_path}");
+}

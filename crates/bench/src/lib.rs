@@ -74,6 +74,18 @@ pub fn hierarchy_for(ds: Dataset, ps: &PartitionSet) -> HierarchyConfig {
     HierarchyConfig { cache_bytes: (total / 10).max(4096), memory_bytes }
 }
 
+/// Simulated hierarchy that keeps the dataset out-of-core: memory holds
+/// ~70% of the structure bytes, so partition loads keep reaching disk —
+/// the bandwidth regime (0.5 GB/s disk vs 20 GB/s memory) where the
+/// sharded prefetch pipeline pays.
+pub fn out_of_core_hierarchy(ps: &PartitionSet) -> HierarchyConfig {
+    let total = structure_bytes(ps);
+    HierarchyConfig {
+        cache_bytes: (total / 10).max(4096),
+        memory_bytes: (total * 7 / 10).max(8192),
+    }
+}
+
 /// The engines compared across the figures.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EngineKind {
@@ -267,9 +279,31 @@ pub fn run_wavefront(
     width: usize,
     mix: &[(BenchmarkJob, u64)],
 ) -> cgraph_core::RunReport {
+    run_wavefront_cfg(store, workers, hierarchy, width, 1, 0, mix)
+}
+
+/// [`run_wavefront`] with the full pipeline configuration: `shards`
+/// stage-one I/O lanes and a `depth`-slot prefetch window.  At
+/// `shards = 1, depth = 0` this is exactly [`run_wavefront`].
+pub fn run_wavefront_cfg(
+    store: &Arc<SnapshotStore>,
+    workers: usize,
+    hierarchy: HierarchyConfig,
+    width: usize,
+    shards: usize,
+    depth: usize,
+    mix: &[(BenchmarkJob, u64)],
+) -> cgraph_core::RunReport {
     let mut engine = Engine::new(
         Arc::clone(store),
-        EngineConfig { workers, hierarchy, wavefront: width, ..EngineConfig::default() },
+        EngineConfig {
+            workers,
+            hierarchy,
+            wavefront: width,
+            shards,
+            prefetch_depth: depth,
+            ..EngineConfig::default()
+        },
     );
     submit_mix(&mut engine, mix);
     let mut report = engine.run_jobs();
@@ -284,6 +318,84 @@ pub fn run_wavefront(
         engine.pipeline_seconds()
     };
     report
+}
+
+/// One measured point of the wavefront/shard/prefetch sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepPoint {
+    /// Planned slots per round.
+    pub wavefront: usize,
+    /// Stage-one I/O lanes (snapshot-store shards).
+    pub shards: usize,
+    /// Prefetch window depth in wave slots.
+    pub prefetch_depth: usize,
+    /// Pipeline-modeled milliseconds.
+    pub modeled_ms: f64,
+    /// Wall-clock milliseconds of the run.
+    pub wall_ms: f64,
+    /// Partition loads performed.
+    pub loads: u64,
+}
+
+/// Runs the four-job mix once per `(wavefront, shards, prefetch_depth)`
+/// grid point and returns the measured sweep.
+pub fn wavefront_sweep(
+    store: &Arc<SnapshotStore>,
+    workers: usize,
+    hierarchy: HierarchyConfig,
+    mix: &[(BenchmarkJob, u64)],
+    grid: &[(usize, usize, usize)],
+) -> Vec<SweepPoint> {
+    grid.iter()
+        .map(|&(wavefront, shards, prefetch_depth)| {
+            let start = std::time::Instant::now();
+            let report = run_wavefront_cfg(
+                store,
+                workers,
+                hierarchy,
+                wavefront,
+                shards,
+                prefetch_depth,
+                mix,
+            );
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            assert!(report.completed, "sweep point must converge");
+            SweepPoint {
+                wavefront,
+                shards,
+                prefetch_depth,
+                modeled_ms: report.modeled_seconds * 1e3,
+                wall_ms,
+                loads: report.loads,
+            }
+        })
+        .collect()
+}
+
+/// Serializes a sweep as the machine-readable `BENCH_wavefront.json`
+/// tracked by CI (hand-rolled writer: the workspace is offline and
+/// carries no serde).
+pub fn wavefront_sweep_json(dataset: &str, scale_shrink: u32, points: &[SweepPoint]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"dataset\": \"{dataset}\",\n"));
+    s.push_str(&format!("  \"scale_shrink\": {scale_shrink},\n"));
+    s.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"wavefront\": {}, \"shards\": {}, \"prefetch_depth\": {}, \
+             \"modeled_ms\": {:.6}, \"wall_ms\": {:.3}, \"loads\": {}}}{}\n",
+            p.wavefront,
+            p.shards,
+            p.prefetch_depth,
+            p.modeled_ms,
+            p.wall_ms,
+            p.loads,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
 }
 
 /// The paper's standard four-job mix at timestamp 0.
@@ -433,6 +545,29 @@ mod tests {
                 assert!((0.0..=1.0).contains(&j.access_ratio), "{}", j.name);
             }
         }
+    }
+
+    #[test]
+    fn sweep_measures_and_serializes() {
+        let s = Scale { shrink: 7 };
+        let ps = partitions_for(Dataset::TwitterSim, s);
+        let h = out_of_core_hierarchy(&ps);
+        assert!(
+            h.memory_bytes < structure_bytes(&ps),
+            "must stay out-of-core"
+        );
+        let store = Arc::new(SnapshotStore::new(ps));
+        let grid = [(1, 1, 0), (4, 4, 2)];
+        let points = wavefront_sweep(&store, 2, h, &paper_mix(), &grid);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(p.modeled_ms > 0.0 && p.loads > 0);
+        }
+        let json = wavefront_sweep_json("twitter-sim", s.shrink, &points);
+        assert!(json.contains("\"points\": ["));
+        assert!(json.contains("\"prefetch_depth\": 2"));
+        assert_eq!(json.matches("wavefront").count(), 2);
+        assert!(!json.contains("},\n  ]"), "no trailing comma");
     }
 
     #[test]

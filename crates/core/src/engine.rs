@@ -11,7 +11,8 @@ use cgraph_graph::snapshot::SnapshotStore;
 use cgraph_graph::PartitionSet;
 use cgraph_memsim::{CostModel, HierarchyConfig, JobMetrics, Metrics};
 
-use crate::exec::{ChargeLedger, SlotPlanner};
+use crate::exec::wavefront::RoundBuffers;
+use crate::exec::{ChargeLedger, PrefetchQueue, SlotPlanner};
 use crate::job::{JobId, JobRuntime, TypedJob};
 use crate::program::VertexProgram;
 use crate::scheduler::{OrderScheduler, PriorityScheduler, Scheduler};
@@ -66,6 +67,24 @@ pub struct EngineConfig {
     /// [`crate::exec::wavefront`]).  Algorithm results are identical at
     /// any width; only the access schedule and modeled makespan change.
     pub wavefront: usize,
+    /// Snapshot-store shards modeled as independent stage-one (disk →
+    /// memory) I/O lanes.  A physically sharded store always wins: its
+    /// shard count and round-robin placement define the lanes, keeping
+    /// modeled parallelism and per-lane attribution aligned with the
+    /// actual chains (and comparable with `StreamEngine`'s).  This knob
+    /// only takes effect over a single-shard store, where it models the
+    /// lane layout a `with_shards` store of the same count would have.
+    /// At 1 (the default) there is a single lane — the PR 1 model.
+    pub shards: usize,
+    /// Prefetch window depth: how many wave slots ahead the
+    /// [`crate::exec::PrefetchQueue`] may issue a slot's disk fetch on
+    /// its shard's lane while earlier slots install and compute.  At 0
+    /// (the default) Load stays the synchronous fused stage of PR 1 —
+    /// `shards = 1, prefetch_depth = 0` reproduces PR 1 bit-for-bit.
+    /// Depths > 0 never change algorithm results or traffic counters,
+    /// only the overlap the round's modeled time credits (and the probe
+    /// scans' parallel wall-clock drain).
+    pub prefetch_depth: usize,
     /// Safety valve: abort `run` after this many partition loads (a
     /// round never splits, so a wide wavefront may finish the round it
     /// started when the valve trips).
@@ -82,6 +101,8 @@ impl Default for EngineConfig {
             straggler_split: true,
             scheduler: SchedulerKind::Priority { theta: 0.5 },
             wavefront: 1,
+            shards: 1,
+            prefetch_depth: 0,
             max_loads: u64::MAX,
         }
     }
@@ -139,6 +160,8 @@ pub struct Engine {
     pub(crate) jobs: Vec<JobEntry>,
     pub(crate) ledger: ChargeLedger,
     pub(crate) planner: SlotPlanner,
+    pub(crate) prefetch: PrefetchQueue,
+    pub(crate) round: RoundBuffers,
     pub(crate) loads: u64,
     pub(crate) pipeline_seconds: f64,
 }
@@ -150,6 +173,16 @@ impl Engine {
             SchedulerKind::Priority { theta } => Box::new(PriorityScheduler::new(theta)),
             SchedulerKind::FixedOrder => Box::new(OrderScheduler),
         };
+        // A physically sharded store dictates the lanes, keeping the
+        // model and per-lane attribution aligned with the actual chains;
+        // `config.shards` only models lanes over an unsharded store
+        // (both place round-robin, so equal counts coincide).
+        let lanes = if store.num_shards() > 1 {
+            store.num_shards()
+        } else {
+            config.shards.max(1)
+        };
+        let prefetch = PrefetchQueue::new(lanes, config.prefetch_depth);
         Engine {
             config,
             store,
@@ -157,6 +190,8 @@ impl Engine {
             jobs: Vec::new(),
             ledger: ChargeLedger::new(config.hierarchy),
             planner: SlotPlanner::new(),
+            prefetch,
+            round: RoundBuffers::default(),
             loads: 0,
             pipeline_seconds: 0.0,
         }
@@ -215,9 +250,10 @@ impl Engine {
                 break;
             }
             let picks = {
+                let lanes = self.prefetch.shards();
                 let runtimes: Vec<&dyn JobRuntime> =
                     self.jobs.iter().map(|entry| &*entry.runtime).collect();
-                let infos = self.planner.infos(&runtimes);
+                let infos = self.planner.infos(&runtimes, lanes);
                 self.scheduler.plan(&infos, width)
             };
             let round_seconds = self.exec_round(&picks);
@@ -315,6 +351,19 @@ impl Engine {
     /// across widths.
     pub fn pipeline_seconds(&self) -> f64 {
         self.pipeline_seconds
+    }
+
+    /// The prefetch queue: the stage-one lane count (snapshot-store
+    /// shards) and window depth this engine executes with.
+    pub fn prefetch_queue(&self) -> &PrefetchQueue {
+        &self.prefetch
+    }
+
+    /// Disk bytes fetched through each shard's stage-one I/O lane so far
+    /// (index = shard; may be shorter than the shard count when tail
+    /// lanes never saw disk traffic).
+    pub fn shard_fetch_bytes(&self) -> &[u64] {
+        self.ledger.shard_fetch_bytes()
     }
 
     /// Modeled makespan of everything run so far (linear model over the

@@ -20,12 +20,19 @@ use crate::job::{JobRuntime, ProcessStats, PushStats};
 pub struct ChargeLedger {
     hierarchy: MemoryHierarchy,
     job_metrics: Vec<JobMetrics>,
+    /// Disk → memory bytes charged through each shard's stage-one I/O
+    /// lane (grown on demand; empty while no lane saw disk traffic).
+    shard_fetch_bytes: Vec<u64>,
 }
 
 impl ChargeLedger {
     /// Creates a ledger over a fresh hierarchy with the given capacities.
     pub fn new(config: HierarchyConfig) -> Self {
-        ChargeLedger { hierarchy: MemoryHierarchy::new(config), job_metrics: Vec::new() }
+        ChargeLedger {
+            hierarchy: MemoryHierarchy::new(config),
+            job_metrics: Vec::new(),
+            shard_fetch_bytes: Vec::new(),
+        }
     }
 
     /// Adds an attribution slot for a newly submitted job.
@@ -44,6 +51,33 @@ impl ChargeLedger {
             jm.attributed_bytes += bytes as f64;
         }
         outcome
+    }
+
+    /// [`charge_access`](Self::charge_access) through shard lane `shard`:
+    /// any disk→memory traffic the access causes is additionally
+    /// attributed to that stage-one I/O lane, giving the prefetch
+    /// pipeline its per-shard fetch-utilization figure.
+    pub fn charge_access_on(
+        &mut self,
+        shard: usize,
+        job: usize,
+        obj: CacheObject,
+        bytes: u64,
+    ) -> AccessOutcome {
+        let outcome = self.charge_access(job, obj, bytes);
+        if outcome.bytes_from_disk > 0 {
+            if self.shard_fetch_bytes.len() <= shard {
+                self.shard_fetch_bytes.resize(shard + 1, 0);
+            }
+            self.shard_fetch_bytes[shard] += outcome.bytes_from_disk;
+        }
+        outcome
+    }
+
+    /// Disk bytes fetched per shard lane (index = shard id).  Shorter
+    /// than the shard count when the tail lanes never saw disk traffic.
+    pub fn shard_fetch_bytes(&self) -> &[u64] {
+        &self.shard_fetch_bytes
     }
 
     /// Folds one Trigger pass's compute counts into the job's and the
@@ -177,5 +211,21 @@ mod tests {
     fn out_of_range_job_metrics_default() {
         let l = ledger();
         assert_eq!(l.job_metrics(99), JobMetrics::default());
+    }
+
+    #[test]
+    fn shard_lanes_attribute_only_disk_traffic() {
+        let mut l = ledger();
+        let a = CacheObject::Structure { pid: 0, version: 0 };
+        let b = CacheObject::Structure { pid: 1, version: 0 };
+        // Cold: both go to disk, on different lanes.
+        l.charge_access_on(0, 0, a, 40);
+        l.charge_access_on(2, 0, b, 30);
+        assert_eq!(l.shard_fetch_bytes(), &[40, 0, 30]);
+        // Warm re-access on lane 2: cache hit, no disk, lane unchanged.
+        l.charge_access_on(2, 1, a, 40);
+        assert_eq!(l.shard_fetch_bytes(), &[40, 0, 30]);
+        // Global metrics agree with the plain charging path.
+        assert_eq!(l.metrics().bytes_disk_to_mem, 70);
     }
 }

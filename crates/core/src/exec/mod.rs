@@ -20,11 +20,18 @@
 //!   time overlaps slot *i+1*'s Load with slot *i*'s Trigger (two-stage
 //!   flow-shop makespan).  At `k = 1` the executor reproduces the
 //!   original single-slot engine exactly.
+//! * [`prefetch`] — the asynchronous-prefetch stage-one scheduler: the
+//!   [`PrefetchQueue`] issues wave slots' disk fetches on per-shard I/O
+//!   lanes up to `prefetch_depth` slots early and prices rounds with the
+//!   three-stage pipeline makespan (disk-fetch → memory-install →
+//!   trigger).  At depth 0 it degenerates to the two-stage model above.
 
 pub mod ledger;
 pub mod planner;
+pub mod prefetch;
 pub mod wavefront;
 
 pub use ledger::ChargeLedger;
 pub use planner::{SlotKey, SlotPlanner};
+pub use prefetch::{pipeline_makespan, PrefetchQueue};
 pub use wavefront::flowshop_makespan;

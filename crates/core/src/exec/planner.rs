@@ -103,9 +103,13 @@ impl SlotPlanner {
     }
 
     /// Describes every pending slot to the scheduler, in key order —
-    /// the same `SlotInfo` the legacy full rescan produced.
-    pub fn infos(&mut self, runtimes: &[&dyn JobRuntime]) -> Vec<SlotInfo> {
+    /// the same `SlotInfo` the legacy full rescan produced.  `shards`
+    /// is the engine's stage-one lane count: each slot carries its
+    /// round-robin lane so the scheduler can interleave shards when
+    /// priorities tie.
+    pub fn infos(&mut self, runtimes: &[&dyn JobRuntime], shards: usize) -> Vec<SlotInfo> {
         self.rebuild_index();
+        let shards = shards.max(1);
         self.slots
             .iter()
             .map(|(&(pid, version), jobs)| {
@@ -118,6 +122,7 @@ impl SlotPlanner {
                 SlotInfo {
                     pid,
                     version,
+                    shard: pid as usize % shards,
                     num_jobs: jobs.len(),
                     avg_degree: part.avg_degree(),
                     avg_change,
@@ -269,12 +274,13 @@ mod tests {
         let mut p = SlotPlanner::new();
         p.track_job(0, runtimes[0], true);
         p.track_job(1, runtimes[1], true);
-        let infos = p.infos(&runtimes);
+        let infos = p.infos(&runtimes, 2);
         assert_eq!(infos.len(), p.len());
         for (i, info) in infos.iter().enumerate() {
             let (key, jobs) = p.slot(i);
             assert_eq!((info.pid, info.version), key);
             assert_eq!(info.num_jobs, jobs.len());
+            assert_eq!(info.shard, info.pid as usize % 2, "round-robin lane");
             // Identical jobs on identical views: both pend everywhere.
             assert_eq!(info.num_jobs, 2);
         }

@@ -4,7 +4,11 @@
 //!
 //! 1. **Load** — each planned slot's structure partition and private
 //!    tables are charged through the [`ChargeLedger`](super::ChargeLedger)
-//!    in plan order, structures staying pinned for the whole round.
+//!    in plan order, structures staying pinned for the whole round.  With
+//!    an active [`PrefetchQueue`](super::PrefetchQueue) the wave's
+//!    stage-one probe scans are issued through the shared worker pool in
+//!    one parallel drain first, and the slot's disk fetch is priced on
+//!    its snapshot-store shard's I/O lane rather than the shared channel.
 //! 2. **Trigger** — every slot's chunk tasks drain through one shared
 //!    [`TaskPool`] pass, so cores finishing one slot's jobs immediately
 //!    pick up the next slot's chunks instead of idling behind a straggler.
@@ -14,17 +18,20 @@
 //! With a wavefront of width 1 the executor degenerates to the original
 //! single-slot engine: identical access sequence, identical batching,
 //! identical per-batch chunk drains — bit-for-bit the legacy behavior.
-//! With width > 1 the modeled round time accounts for the pipelining:
-//! slot *i+1*'s Load (serialized on the shared memory channel) overlaps
-//! slot *i*'s Trigger (on the worker cores), a classic two-machine
-//! flow shop whose makespan [`flowshop_makespan`] computes exactly.
+//! With width > 1 and `prefetch_depth = 0` the modeled round time is the
+//! two-machine flow shop of PR 1 ([`flowshop_makespan`]): slot *i+1*'s
+//! fused Load overlapping slot *i*'s Trigger.  With `prefetch_depth > 0`
+//! Load splits into disk-fetch (per-shard lanes, issued up to `depth`
+//! slots early) and memory-install (shared channel), and the round is
+//! priced by the three-stage
+//! [`pipeline_makespan`](super::prefetch::pipeline_makespan).
 
 use cgraph_memsim::{CacheObject, Metrics};
 
 use crate::engine::Engine;
 use crate::exec::planner::SlotKey;
 use crate::job::{JobRuntime, ProcessStats};
-use crate::workers::TaskPool;
+use crate::workers::{ProbeTask, TaskPool};
 
 /// Makespan of a fixed-sequence two-stage pipeline: stage-one times
 /// `loads` (serialized, e.g. the shared memory channel) feed stage-two
@@ -46,6 +53,54 @@ pub fn flowshop_makespan(loads: &[f64], triggers: &[f64]) -> f64 {
     best
 }
 
+/// Reusable per-round scratch: the wave description and the stage-time
+/// vectors.  Kept on the [`Engine`] across rounds so the hot loop stops
+/// recloning job lists and rebuilding batch vectors every round — after
+/// the first round at a given wave shape, a round allocates nothing
+/// here.
+#[derive(Default)]
+pub(crate) struct RoundBuffers {
+    /// Planned slots as `(key, start, end)` ranges into `jobs`.
+    slots: Vec<(SlotKey, usize, usize)>,
+    /// Every planned slot's interested jobs, flattened.
+    jobs: Vec<usize>,
+    /// Stage-one probe tasks (active prefetch only).
+    probes: Vec<ProbeTask>,
+    /// Probe results aligned with `jobs` (active prefetch only).
+    unprocessed: Vec<u64>,
+    /// Per-slot fused Load seconds (two-stage model).
+    load: Vec<f64>,
+    /// Per-slot disk-fetch seconds (three-stage model).
+    fetch: Vec<f64>,
+    /// Per-slot memory-install seconds (three-stage model).
+    install: Vec<f64>,
+    /// Per-slot Trigger seconds.
+    trigger: Vec<f64>,
+    /// Per-slot stage-one I/O lane.
+    lanes: Vec<usize>,
+    /// Deduplicated jobs due a Push check this round.
+    push_jobs: Vec<usize>,
+    /// One batch's unprocessed counts (straggler detection).
+    batch_unprocessed: Vec<u64>,
+}
+
+impl RoundBuffers {
+    fn begin(&mut self, nslots: usize) {
+        self.slots.clear();
+        self.jobs.clear();
+        self.probes.clear();
+        self.unprocessed.clear();
+        self.load.clear();
+        self.fetch.clear();
+        self.install.clear();
+        self.trigger.clear();
+        self.trigger.resize(nslots, 0.0);
+        self.lanes.clear();
+        self.push_jobs.clear();
+        self.batch_unprocessed.clear();
+    }
+}
+
 impl Engine {
     /// Executes one round over the planned slots (indices into the slot
     /// planner's ordered view) and returns the round's modeled seconds
@@ -58,37 +113,59 @@ impl Engine {
         // its per-batch chunk drains (which fix the thread-pool task sets);
         // wider waves pool every slot's tasks into one drain.
         let pipelined = picks.len() > 1;
+        // The prefetch queue only engages on multi-slot waves: a single
+        // slot has nothing to overlap, and `depth = 0` must stay on the
+        // two-stage path exactly.
+        let prefetching = pipelined && self.prefetch.is_active();
 
-        let slots: Vec<(SlotKey, Vec<usize>)> = picks
-            .iter()
-            .map(|&idx| {
-                let (key, jobs) = self.planner.slot(idx);
-                (key, jobs.to_vec())
-            })
-            .collect();
+        let mut round = std::mem::take(&mut self.round);
+        round.begin(picks.len());
+        for &idx in picks {
+            let (key, jobs) = self.planner.slot(idx);
+            let start = round.jobs.len();
+            round.jobs.extend_from_slice(jobs);
+            round.slots.push((key, start, round.jobs.len()));
+        }
 
-        let mut load_secs = vec![0.0f64; slots.len()];
-        let mut trigger_secs = vec![0.0f64; slots.len()];
+        // --- Prefetch: issue the wave's stage-one probe scans through
+        // the worker pool in one parallel drain, before the serial charge
+        // loop consumes the counts batch by batch. ---
+        if prefetching {
+            for &((pid, _), start, end) in &round.slots {
+                for job_slot in start..end {
+                    round.probes.push(ProbeTask { job_slot, pid });
+                }
+            }
+            let runtimes: Vec<&dyn JobRuntime> =
+                round.jobs.iter().map(|&j| &*self.jobs[j].runtime).collect();
+            self.prefetch
+                .probe_wave(workers, &runtimes, &round.probes, &mut round.unprocessed);
+        }
+
         let mut results: Vec<(usize, usize, ProcessStats)> = Vec::new();
         let mut pool = TaskPool::new();
+        let mut batch_rt: Vec<(usize, &dyn JobRuntime)> = Vec::new();
 
         // --- Load (and, at width 1, per-batch Trigger) ---
-        for (si, ((pid, version), job_idxs)) in slots.iter().enumerate() {
-            let (pid, version) = (*pid, *version);
+        for (si, &((pid, version), start, end)) in round.slots.iter().enumerate() {
             let before = *self.ledger.metrics();
             let structure = CacheObject::Structure { pid, version };
-            let sbytes = self.jobs[job_idxs[0]]
+            let sbytes = self.jobs[round.jobs[start]]
                 .runtime
                 .view()
                 .partition(pid)
                 .structure_bytes();
+            let lane = self.prefetch.lane_of(pid);
+            round.lanes.push(lane);
             let mut pinned = false;
-            for batch in job_idxs.chunks(batch_size) {
+            let mut off = start;
+            while off < end {
+                let batch_end = (off + batch_size).min(end);
                 // Each job in the batch touches the structure partition;
                 // after the first touch it is pinned resident for the
                 // whole round (§3.2.3).
-                for &j in batch {
-                    self.ledger.charge_access(j, structure, sbytes);
+                for &j in &round.jobs[off..batch_end] {
+                    self.ledger.charge_access_on(lane, j, structure, sbytes);
                     if !pinned {
                         self.ledger.pin(&structure);
                         pinned = true;
@@ -96,36 +173,57 @@ impl Engine {
                 }
                 // Load the batch's private tables (structure stays
                 // pinned; only job-specific tables rotate).
-                for &j in batch {
+                for &j in &round.jobs[off..batch_end] {
                     let tbytes = self.jobs[j].runtime.private_table_bytes(pid);
-                    self.ledger.charge_access(
+                    self.ledger.charge_access_on(
+                        lane,
                         j,
                         CacheObject::PrivateTable { job: j as u32, pid },
                         tbytes,
                     );
                 }
-                let unprocessed: Vec<u64> = batch
-                    .iter()
-                    .map(|&j| self.jobs[j].runtime.unprocessed_vertices(pid))
-                    .collect();
-                let runtimes: Vec<(usize, &dyn JobRuntime)> =
-                    batch.iter().map(|&j| (j, &*self.jobs[j].runtime)).collect();
+                round.batch_unprocessed.clear();
+                if prefetching {
+                    round
+                        .batch_unprocessed
+                        .extend_from_slice(&round.unprocessed[off..batch_end]);
+                } else {
+                    round.batch_unprocessed.extend(
+                        round.jobs[off..batch_end]
+                            .iter()
+                            .map(|&j| self.jobs[j].runtime.unprocessed_vertices(pid)),
+                    );
+                }
+                batch_rt.clear();
+                batch_rt.extend(
+                    round.jobs[off..batch_end]
+                        .iter()
+                        .map(|&j| (j, &*self.jobs[j].runtime)),
+                );
                 pool.plan_slot_batch(
                     si,
                     pid,
-                    &runtimes,
-                    &unprocessed,
-                    workers.max(batch.len()),
+                    &batch_rt,
+                    &round.batch_unprocessed,
+                    workers.max(batch_end - off),
                     self.config.straggler_split,
                 );
                 if !pipelined {
                     results.extend(pool.run(workers));
                 }
+                off = batch_end;
             }
             // Trigger compute has not been charged yet, so this interval
-            // is pure data access: the slot's Load leg.
+            // is pure data access: the slot's Load leg — fused for the
+            // two-stage model, split disk/memory for the three-stage one.
             let delta = self.ledger.metrics().since(&before);
-            (load_secs[si], _) = cost.stage_seconds(&delta, workers);
+            if prefetching {
+                let stages = cost.stage_seconds(&delta, workers);
+                round.fetch.push(stages.fetch);
+                round.install.push(stages.install);
+            } else {
+                round.load.push(cost.access_seconds(&delta));
+            }
         }
 
         // --- Trigger: drain every slot's tasks in one scoped pass ---
@@ -133,6 +231,7 @@ impl Engine {
             results = pool.run(workers);
         }
         drop(pool);
+        drop(batch_rt);
         for (si, j, stats) in results {
             self.ledger.charge_compute(j, stats);
             let as_metrics = Metrics {
@@ -140,15 +239,14 @@ impl Engine {
                 edge_ops: stats.edge_ops,
                 ..Metrics::default()
             };
-            trigger_secs[si] += cost.stage_seconds(&as_metrics, workers).1;
+            round.trigger[si] += cost.compute_seconds(&as_metrics) / workers.max(1) as f64;
         }
-        for ((pid, version), job_idxs) in &slots {
-            for &j in job_idxs {
-                self.jobs[j].runtime.mark_processed(*pid);
-                self.planner.note_processed(j, (*pid, *version));
+        for &((pid, version), start, end) in &round.slots {
+            for &j in &round.jobs[start..end] {
+                self.jobs[j].runtime.mark_processed(pid);
+                self.planner.note_processed(j, (pid, version));
             }
-            self.ledger
-                .unpin(&CacheObject::Structure { pid: *pid, version: *version });
+            self.ledger.unpin(&CacheObject::Structure { pid, version });
         }
         // Slot keys are distinct, so one unpin per slot must release the
         // whole wave's pinned footprint (pins are reference-counted).
@@ -160,13 +258,11 @@ impl Engine {
 
         // --- Push for every job that finished its iteration ---
         let push_before = *self.ledger.metrics();
-        let mut push_jobs: Vec<usize> = slots
-            .iter()
-            .flat_map(|(_, jobs)| jobs.iter().copied())
-            .collect();
-        push_jobs.sort_unstable();
-        push_jobs.dedup();
-        for j in push_jobs {
+        round.push_jobs.extend_from_slice(&round.jobs);
+        round.push_jobs.sort_unstable();
+        round.push_jobs.dedup();
+        for idx in 0..round.push_jobs.len() {
+            let j = round.push_jobs[idx];
             let skip = {
                 let entry = &self.jobs[j];
                 entry.done || entry.runtime.is_converged() || !entry.runtime.iteration_complete()
@@ -190,9 +286,17 @@ impl Engine {
             }
         }
         let push_delta = self.ledger.metrics().since(&push_before);
-        let (push_access, push_compute) = cost.stage_seconds(&push_delta, workers);
+        let push_access = cost.access_seconds(&push_delta);
+        let push_compute = cost.compute_seconds(&push_delta) / workers.max(1) as f64;
 
-        flowshop_makespan(&load_secs, &trigger_secs) + push_access + push_compute
+        let wave = if prefetching {
+            self.prefetch
+                .makespan(&round.fetch, &round.install, &round.trigger, &round.lanes)
+        } else {
+            flowshop_makespan(&round.load, &round.trigger)
+        };
+        self.round = round;
+        wave + push_access + push_compute
     }
 }
 

@@ -38,7 +38,7 @@ pub mod workers;
 
 pub use api::JobEngine;
 pub use engine::{Engine, EngineConfig, RunReport, SchedulerKind, SyncStrategy};
-pub use exec::{ChargeLedger, SlotPlanner};
+pub use exec::{ChargeLedger, PrefetchQueue, SlotPlanner};
 pub use job::{JobId, JobRuntime, ProcessStats, PushStats, TypedJob};
 pub use program::{EdgeDirection, VertexInfo, VertexProgram};
 pub use scheduler::{OrderScheduler, PriorityScheduler, Scheduler, SlotInfo};

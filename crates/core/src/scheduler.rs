@@ -10,6 +10,9 @@ pub struct SlotInfo {
     pub pid: PartitionId,
     /// Snapshot version of the partition.
     pub version: VersionId,
+    /// The snapshot-store shard (stage-one I/O lane) the partition is
+    /// placed on; slots on distinct shards can fetch in parallel.
+    pub shard: usize,
     /// `N(P)`: jobs that will process this slot now (temporal correlation).
     pub num_jobs: usize,
     /// `D(P)`: average whole-graph degree of the partition's replicas.
@@ -87,6 +90,52 @@ impl PriorityScheduler {
 }
 
 impl Scheduler for PriorityScheduler {
+    /// Greedy repeated `pick`, with a shard-aware tie-break: among slots
+    /// of exactly the winning priority, prefer one on a shard the wave
+    /// has not claimed yet, so the prefetch pipeline's stage-one I/O
+    /// lanes stay busy instead of queueing behind one shard.  With one
+    /// shard (or no exact ties) this reduces to the default greedy plan,
+    /// keeping the single-shard schedule bit-for-bit.
+    fn plan(&mut self, slots: &[SlotInfo], width: usize) -> Vec<usize> {
+        let width = width.clamp(1, slots.len());
+        let mut remaining: Vec<usize> = (0..slots.len()).collect();
+        let mut chosen = Vec::with_capacity(width);
+        let mut used_shards: Vec<usize> = Vec::with_capacity(width);
+        for _ in 0..width {
+            // The maxima are re-derived from the live remainder exactly
+            // as `pick` would, so the first strict maximum matches it.
+            let dmax = remaining
+                .iter()
+                .map(|&i| slots[i].avg_degree)
+                .fold(0.0, f64::max);
+            let cmax = remaining
+                .iter()
+                .map(|&i| slots[i].avg_change)
+                .fold(0.0, f64::max);
+            // One pass: track `pick`'s answer (first strict maximum) and
+            // the first same-priority slot on a shard the wave has not
+            // claimed — spreading ties across shards costs no priority.
+            let mut best = 0usize;
+            let mut best_pri = f64::NEG_INFINITY;
+            let mut tied_unused: Option<usize> = None;
+            for (pos, &i) in remaining.iter().enumerate() {
+                let pri = self.priority(&slots[i], dmax, cmax);
+                let unused = || !used_shards.contains(&slots[i].shard);
+                if pri > best_pri {
+                    best_pri = pri;
+                    best = pos;
+                    tied_unused = if unused() { Some(pos) } else { None };
+                } else if pri == best_pri && tied_unused.is_none() && unused() {
+                    tied_unused = Some(pos);
+                }
+            }
+            let local = tied_unused.unwrap_or(best);
+            used_shards.push(slots[remaining[local]].shard);
+            chosen.push(remaining.remove(local));
+        }
+        chosen
+    }
+
     fn pick(&mut self, slots: &[SlotInfo]) -> usize {
         let dmax = slots.iter().map(|s| s.avg_degree).fold(0.0, f64::max);
         let cmax = slots.iter().map(|s| s.avg_change).fold(0.0, f64::max);
@@ -136,7 +185,11 @@ mod tests {
     use super::*;
 
     fn slot(pid: u32, jobs: usize, deg: f64, chg: f64) -> SlotInfo {
-        SlotInfo { pid, version: 0, num_jobs: jobs, avg_degree: deg, avg_change: chg }
+        SlotInfo { pid, version: 0, shard: 0, num_jobs: jobs, avg_degree: deg, avg_change: chg }
+    }
+
+    fn sharded(pid: u32, shard: usize, jobs: usize) -> SlotInfo {
+        SlotInfo { pid, version: 0, shard, num_jobs: jobs, avg_degree: 1.0, avg_change: 1.0 }
     }
 
     #[test]
@@ -217,6 +270,30 @@ mod tests {
         assert_eq!(wave, vec![1, 2], "most jobs first, then next best");
         let full = s.plan(&slots, 3);
         assert_eq!(full, vec![1, 2, 0]);
+    }
+
+    /// When priorities tie exactly, the wave spreads across shards so
+    /// stage-one I/O lanes fetch in parallel — without ever outranking a
+    /// strictly higher-priority slot.
+    #[test]
+    fn plan_interleaves_shards_on_ties() {
+        let mut s = PriorityScheduler::new(0.0);
+        // pids 0..3 on shards 0,0,1,1, all tied at 2 jobs.
+        let slots = [
+            sharded(0, 0, 2),
+            sharded(1, 0, 2),
+            sharded(2, 1, 2),
+            sharded(3, 1, 2),
+        ];
+        let wave = s.plan(&slots, 4);
+        // First the pick (pid 0, shard 0), then the tie on the unused
+        // shard 1 (pid 2), then fall back to first-max order.
+        assert_eq!(wave, vec![0, 2, 1, 3]);
+        // A strictly higher-priority slot still wins regardless of shard;
+        // the tie behind it then prefers the unclaimed shard.
+        let slots = [sharded(0, 0, 2), sharded(1, 0, 5), sharded(2, 1, 2)];
+        let wave = s.plan(&slots, 3);
+        assert_eq!(wave, vec![1, 2, 0], "priority first, then shard spread");
     }
 
     #[test]

@@ -81,6 +81,67 @@ pub fn run_chunk_tasks(
     totals
 }
 
+/// One stage-one prefetch probe: count the unprocessed active vertices
+/// job `job_slot` still has on partition `pid` — the per-slot Load
+/// preparation scan the prefetch queue runs through the pool ahead of
+/// the serial charge loop, instead of serially between chunk drains.
+#[derive(Clone, Copy, Debug)]
+pub struct ProbeTask {
+    /// Index into the job slice handed to [`run_probe_tasks`].
+    pub job_slot: usize,
+    /// Partition to probe.
+    pub pid: PartitionId,
+}
+
+/// A probe is one cache-friendly bitmap/replica scan, so a scoped-thread
+/// drain only pays off once a wave carries at least this many probes;
+/// below it the spawn overhead dominates and the serial path wins.
+const PARALLEL_PROBE_THRESHOLD: usize = 32;
+
+/// Executes the probes on up to `workers` threads, writing each probe's
+/// count to the matching index of `out` (cleared and resized first).
+/// Probes are pure reads, so the result is independent of threading.
+pub fn run_probe_tasks(
+    workers: usize,
+    jobs: &[&dyn JobRuntime],
+    tasks: &[ProbeTask],
+    out: &mut Vec<u64>,
+) {
+    out.clear();
+    out.resize(tasks.len(), 0);
+    if tasks.is_empty() {
+        return;
+    }
+    let threads = workers.max(1).min(tasks.len());
+    if threads == 1 || tasks.len() < PARALLEL_PROBE_THRESHOLD {
+        for (slot, t) in tasks.iter().enumerate() {
+            out[slot] = jobs[t.job_slot].unprocessed_vertices(t.pid);
+        }
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, u64)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, u64)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= tasks.len() {
+                        break;
+                    }
+                    let t = tasks[i];
+                    local.push((i, jobs[t.job_slot].unprocessed_vertices(t.pid)));
+                }
+                collected.lock().extend(local);
+            });
+        }
+    });
+    for (i, count) in collected.into_inner() {
+        out[i] = count;
+    }
+}
+
 /// Builds the chunk-task list for one batch of jobs processing `pid`.
 ///
 /// Every job gets one chunk; when `straggler_split` is on and cores remain
@@ -213,5 +274,66 @@ mod tests {
         chunks.sort_unstable();
         assert_eq!(chunks, vec![0, 1, 2, 3]);
         assert!(tasks.iter().all(|t| t.pid == 3 && t.nchunks == 4));
+    }
+
+    #[test]
+    fn probe_results_match_serial_counts() {
+        use crate::job::TypedJob;
+        use crate::program::{VertexInfo, VertexProgram};
+        use cgraph_graph::snapshot::SnapshotStore;
+        use cgraph_graph::vertex_cut::VertexCutPartitioner;
+        use cgraph_graph::{generate, Partitioner, Weight};
+        use std::sync::Arc;
+
+        struct Bfs;
+        impl VertexProgram for Bfs {
+            type Value = u32;
+            fn init(&self, info: &VertexInfo) -> (u32, u32) {
+                if info.vid == 0 {
+                    (u32::MAX, 0)
+                } else {
+                    (u32::MAX, u32::MAX)
+                }
+            }
+            fn identity(&self) -> u32 {
+                u32::MAX
+            }
+            fn acc(&self, a: u32, b: u32) -> u32 {
+                a.min(b)
+            }
+            fn is_active(&self, value: &u32, delta: &u32) -> bool {
+                delta < value
+            }
+            fn compute(&self, _i: &VertexInfo, value: u32, delta: u32) -> (u32, Option<u32>) {
+                if delta < value {
+                    (delta, Some(delta))
+                } else {
+                    (value, None)
+                }
+            }
+            fn edge_contrib(&self, basis: u32, _w: Weight, _i: &VertexInfo) -> u32 {
+                basis.saturating_add(1)
+            }
+        }
+
+        let el = generate::cycle(32);
+        let ps = VertexCutPartitioner::new(4).partition(&el);
+        let store = Arc::new(SnapshotStore::new(ps));
+        let job = TypedJob::new(0, Bfs, store.base_view());
+        let jobs: Vec<&dyn JobRuntime> = vec![&job];
+        // Enough probes to clear the parallel threshold and exercise the
+        // scoped-thread drain.
+        let tasks: Vec<ProbeTask> = (0..48)
+            .map(|i| ProbeTask { job_slot: 0, pid: i % 4 })
+            .collect();
+        let mut parallel = Vec::new();
+        run_probe_tasks(4, &jobs, &tasks, &mut parallel);
+        let serial: Vec<u64> = tasks
+            .iter()
+            .map(|t| job.unprocessed_vertices(t.pid))
+            .collect();
+        assert_eq!(parallel, serial);
+        run_probe_tasks(4, &jobs, &[], &mut parallel);
+        assert!(parallel.is_empty());
     }
 }

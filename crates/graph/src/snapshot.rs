@@ -71,35 +71,106 @@ impl std::fmt::Display for SnapshotError {
 
 impl std::error::Error for SnapshotError {}
 
-/// One snapshot's accumulated state (override maps are cumulative, so a
-/// view resolves everything with a single lookup, no chain walking).
+/// One snapshot's vertex-level state plus the shard chain heads visible
+/// at this snapshot (override maps are cumulative, so a view resolves
+/// everything with a single lookup, no chain walking).
 #[derive(Debug)]
 struct SnapshotRecord {
     timestamp: u64,
-    overrides: HashMap<PartitionId, Arc<Partition>>,
-    versions: Vec<VersionId>,
+    /// Per shard: how many of that shard's records this snapshot sees
+    /// (0 = the base).  Partition-level state lives in the shards.
+    shard_heads: Vec<usize>,
     master_over: HashMap<VertexId, PartitionId>,
     replica_over: HashMap<VertexId, Vec<PartitionId>>,
     degree_over: HashMap<VertexId, (u32, u32)>,
 }
 
+/// Partition-level overrides accumulated along one shard's delta chain.
+#[derive(Clone, Debug, Default)]
+struct ShardRecord {
+    overrides: HashMap<PartitionId, Arc<Partition>>,
+    versions: HashMap<PartitionId, VersionId>,
+}
+
+/// One shard of a [`ShardedSnapshotStore`]: an independent, append-only
+/// delta chain over the partitions placed on it.  A shard's chain grows
+/// only when a delta re-versions one of *its* partitions, so shards
+/// evolve independently — which is what lets the executor treat them as
+/// parallel stage-one I/O lanes (one disk fetch in flight per shard).
+#[derive(Clone, Debug, Default)]
+pub struct SnapshotShard {
+    records: Vec<ShardRecord>,
+}
+
+impl SnapshotShard {
+    /// Number of records in this shard's chain.
+    pub fn num_records(&self) -> usize {
+        self.records.len()
+    }
+
+    /// The cumulative chain state after `head` records (`0` = base).
+    fn at(&self, head: usize) -> Option<&ShardRecord> {
+        head.checked_sub(1).map(|i| &self.records[i])
+    }
+}
+
 /// The store: a base [`PartitionSet`] (timestamp 0) plus incremental
-/// snapshots.
+/// snapshots, with the partition delta chains sharded round-robin
+/// (`pid % shards`) across independently `Arc`'d [`SnapshotShard`]s.
+/// Vertex-level overrides (masters, replica lists, degrees) span
+/// partitions and therefore stay store-global; [`GraphView`] resolves
+/// across shards transparently, so shard count never changes what any
+/// view observes — only how the chains are laid out and which I/O lane
+/// a partition load occupies.
 #[derive(Debug)]
-pub struct SnapshotStore {
+pub struct ShardedSnapshotStore {
     base: PartitionSet,
+    shards: Vec<Arc<SnapshotShard>>,
     records: Vec<SnapshotRecord>,
 }
 
-impl SnapshotStore {
-    /// Wraps a base partitioned graph as snapshot timestamp 0.
+/// The ubiquitous single-`Arc` spelling: a [`ShardedSnapshotStore`]
+/// defaults to one shard via [`ShardedSnapshotStore::new`].
+pub type SnapshotStore = ShardedSnapshotStore;
+
+impl ShardedSnapshotStore {
+    /// Wraps a base partitioned graph as snapshot timestamp 0, on a
+    /// single shard.
     pub fn new(base: PartitionSet) -> Self {
-        SnapshotStore { base, records: Vec::new() }
+        Self::with_shards(base, 1)
+    }
+
+    /// Wraps a base graph with its partitions placed round-robin across
+    /// `shards` shards (clamped to `1..=num_partitions`).
+    pub fn with_shards(base: PartitionSet, shards: usize) -> Self {
+        let shards = shards.clamp(1, base.num_partitions().max(1));
+        ShardedSnapshotStore {
+            base,
+            shards: (0..shards)
+                .map(|_| Arc::new(SnapshotShard::default()))
+                .collect(),
+            records: Vec::new(),
+        }
     }
 
     /// The base graph.
     pub fn base(&self) -> &PartitionSet {
         &self.base
+    }
+
+    /// Number of shards partitions are placed across.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard partition `pid` is placed on (round-robin placement).
+    pub fn shard_of(&self, pid: PartitionId) -> usize {
+        pid as usize % self.shards.len()
+    }
+
+    /// One shard's delta chain (each shard is its own `Arc`).
+    pub fn shard(&self, shard: usize) -> &Arc<SnapshotShard> {
+        &self.shards[shard]
     }
 
     /// Number of snapshots applied on top of the base.
@@ -110,6 +181,26 @@ impl SnapshotStore {
     /// Timestamp of the newest snapshot (0 if only the base exists).
     pub fn latest_timestamp(&self) -> u64 {
         self.records.last().map_or(0, |r| r.timestamp)
+    }
+
+    /// The shard chain state partition `pid` resolves against at store
+    /// record `record` (`None` = base).
+    fn shard_state(&self, record: Option<usize>, pid: PartitionId) -> Option<&ShardRecord> {
+        let rec = &self.records[record?];
+        let s = self.shard_of(pid);
+        self.shards[s].at(rec.shard_heads[s])
+    }
+
+    fn partition_at(&self, record: Option<usize>, pid: PartitionId) -> &Arc<Partition> {
+        self.shard_state(record, pid)
+            .and_then(|r| r.overrides.get(&pid))
+            .unwrap_or_else(|| self.base.partition(pid))
+    }
+
+    fn version_at(&self, record: Option<usize>, pid: PartitionId) -> VersionId {
+        self.shard_state(record, pid)
+            .and_then(|r| r.versions.get(&pid).copied())
+            .unwrap_or(0)
     }
 
     /// Applies a delta, creating a new snapshot at `timestamp`.
@@ -127,12 +218,8 @@ impl SnapshotStore {
         let np = self.base.num_partitions();
 
         // Resolve helpers against the current (latest) state.
-        let resolve = |pid: PartitionId| -> &Arc<Partition> {
-            self.records
-                .last()
-                .and_then(|r| r.overrides.get(&pid))
-                .unwrap_or_else(|| self.base.partition(pid))
-        };
+        let cur = self.records.len().checked_sub(1);
+        let resolve = |pid: PartitionId| -> &Arc<Partition> { self.partition_at(cur, pid) };
         let replicas = |v: VertexId| -> &[PartitionId] {
             self.records
                 .last()
@@ -279,35 +366,45 @@ impl SnapshotStore {
             master_over.insert(v, new_master);
         }
 
-        // 6. Patch master metadata inside the rebuilt partitions.
+        // 6. Patch master metadata and group rebuilt partitions by the
+        //    shard that owns them.
         let master_lookup = |v: VertexId| -> PartitionId {
             master_over
                 .get(&v)
                 .copied()
                 .unwrap_or_else(|| self.base.master_of(v))
         };
-        let overrides: HashMap<PartitionId, Arc<Partition>> = {
-            let mut map: HashMap<PartitionId, Arc<Partition>> = self
-                .records
-                .last()
-                .map(|r| r.overrides.clone())
-                .unwrap_or_default();
-            for (pid, mut p) in rebuilt {
-                p.patch_masters(&master_lookup);
-                map.insert(pid, Arc::new(p));
-            }
-            map
-        };
+        let mut by_shard: HashMap<usize, Vec<(PartitionId, Partition)>> = HashMap::new();
+        for (pid, mut p) in rebuilt {
+            p.patch_masters(&master_lookup);
+            by_shard
+                .entry(pid as usize % self.shards.len())
+                .or_default()
+                .push((pid, p));
+        }
 
-        // 7. Version vector and degree overrides.
-        let mut versions = self
+        // 7. Append one record to each affected shard's chain (cumulative
+        //    within the shard; untouched shards keep their head).
+        let mut shard_heads: Vec<usize> = self
             .records
             .last()
-            .map(|r| r.versions.clone())
-            .unwrap_or_else(|| vec![0; np]);
-        for &pid in &affected {
-            versions[pid as usize] += 1;
+            .map(|r| r.shard_heads.clone())
+            .unwrap_or_else(|| vec![0; self.shards.len()]);
+        for (s, parts) in by_shard {
+            let mut rec = self.shards[s]
+                .at(shard_heads[s])
+                .cloned()
+                .unwrap_or_default();
+            for (pid, p) in parts {
+                *rec.versions.entry(pid).or_insert(0) += 1;
+                rec.overrides.insert(pid, Arc::new(p));
+            }
+            let shard = Arc::make_mut(&mut self.shards[s]);
+            shard.records.push(rec);
+            shard_heads[s] = shard.records.len();
         }
+
+        // 8. Degree overrides and the snapshot's vertex-level record.
         let mut degree_over = self
             .records
             .last()
@@ -319,8 +416,7 @@ impl SnapshotStore {
 
         self.records.push(SnapshotRecord {
             timestamp,
-            overrides,
-            versions,
+            shard_heads,
             master_over,
             replica_over,
             degree_over,
@@ -347,6 +443,10 @@ impl SnapshotStore {
 }
 
 /// A consistent, immutable view of the graph at one snapshot.
+///
+/// Views resolve partition state across the store's shards
+/// transparently: a partition lookup walks to the owning shard's chain
+/// head as of this snapshot, so callers never see the sharding.
 #[derive(Clone, Debug)]
 pub struct GraphView {
     store: Arc<SnapshotStore>,
@@ -374,18 +474,27 @@ impl GraphView {
         self.store.base.num_vertices()
     }
 
-    /// The partition `pid` as seen by this view.
+    /// Number of shards of the underlying store.
+    pub fn num_shards(&self) -> usize {
+        self.store.num_shards()
+    }
+
+    /// The shard partition `pid` is placed on.
+    pub fn shard_of(&self, pid: PartitionId) -> usize {
+        self.store.shard_of(pid)
+    }
+
+    /// The partition `pid` as seen by this view (resolved through the
+    /// owning shard's chain).
     pub fn partition(&self, pid: PartitionId) -> &Arc<Partition> {
-        self.rec()
-            .and_then(|r| r.overrides.get(&pid))
-            .unwrap_or_else(|| self.store.base.partition(pid))
+        self.store.partition_at(self.record, pid)
     }
 
     /// The version of partition `pid` (0 = base).  Two views share the
     /// physical partition — and therefore its cache residency — exactly
     /// when their versions match.
     pub fn version_of(&self, pid: PartitionId) -> VersionId {
-        self.rec().map_or(0, |r| r.versions[pid as usize])
+        self.store.version_at(self.record, pid)
     }
 
     /// Master partition of `v` in this view.
@@ -594,6 +703,101 @@ mod tests {
         assert_eq!(v.master_of(1), NO_PARTITION);
         assert!(v.replicas_of(1).is_empty());
         assert_eq!(v.degree_of(1), (0, 0));
+    }
+
+    /// Shard count is invisible to views: every partition, version, and
+    /// edge list is identical at any placement — only the chain layout
+    /// and the `shard_of` lane assignment differ.
+    #[test]
+    fn sharding_is_transparent_to_views() {
+        let build = |shards: usize| {
+            let el = GraphBuilder::new(8)
+                .edges([
+                    (0, 1),
+                    (1, 2),
+                    (2, 3),
+                    (3, 4),
+                    (4, 5),
+                    (5, 6),
+                    (6, 7),
+                    (7, 0),
+                ])
+                .build();
+            let mut s = ShardedSnapshotStore::with_shards(
+                VertexCutPartitioner::new(4).partition(&el),
+                shards,
+            );
+            s.apply(1, &GraphDelta::adding([Edge::unit(0, 2)])).unwrap();
+            s.apply(2, &GraphDelta::adding([Edge::unit(3, 7)])).unwrap();
+            s.apply(3, &GraphDelta::removing([(0, 2)])).unwrap();
+            Arc::new(s)
+        };
+        let single = build(1);
+        let sharded = build(4);
+        assert_eq!(single.num_shards(), 1);
+        assert_eq!(sharded.num_shards(), 4);
+        for ts in [0, 1, 2, 3] {
+            let a = single.view_at(ts);
+            let b = sharded.view_at(ts);
+            assert_eq!(a.timestamp(), b.timestamp());
+            for pid in 0..4 {
+                assert_eq!(a.version_of(pid), b.version_of(pid), "ts {ts} pid {pid}");
+                assert_eq!(
+                    a.partition(pid).edges_global(),
+                    b.partition(pid).edges_global(),
+                    "ts {ts} pid {pid}"
+                );
+            }
+            for v in 0..8 {
+                assert_eq!(a.master_of(v), b.master_of(v));
+                assert_eq!(a.degree_of(v), b.degree_of(v));
+            }
+        }
+    }
+
+    /// Placement is round-robin and shard chains grow independently:
+    /// a delta touching only shard `s`'s partitions leaves every other
+    /// shard's chain untouched.
+    #[test]
+    fn shard_chains_grow_independently() {
+        let el = GraphBuilder::new(8)
+            .edges([
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 0),
+            ])
+            .build();
+        let mut s =
+            ShardedSnapshotStore::with_shards(VertexCutPartitioner::new(4).partition(&el), 4);
+        for pid in 0..4u32 {
+            assert_eq!(s.shard_of(pid), pid as usize % 4);
+        }
+        let before: Vec<usize> = (0..4).map(|x| s.shard(x).num_records()).collect();
+        assert_eq!(before, vec![0; 4]);
+        s.apply(1, &GraphDelta::adding([Edge::unit(0, 2)])).unwrap();
+        let after: Vec<usize> = (0..4).map(|x| s.shard(x).num_records()).collect();
+        let grown = after.iter().sum::<usize>();
+        assert!(grown >= 1, "at least one shard chain must grow");
+        assert!(
+            after.contains(&0),
+            "a one-partition delta must leave some shard untouched: {after:?}"
+        );
+    }
+
+    /// Shard count clamps to the partition count so placement never
+    /// leaves a shard unaddressable.
+    #[test]
+    fn shards_clamp_to_partitions() {
+        let el = GraphBuilder::new(4).edges([(0, 1), (1, 2), (2, 3)]).build();
+        let s = ShardedSnapshotStore::with_shards(VertexCutPartitioner::new(2).partition(&el), 64);
+        assert_eq!(s.num_shards(), 2);
+        let s0 = ShardedSnapshotStore::with_shards(VertexCutPartitioner::new(2).partition(&el), 0);
+        assert_eq!(s0.num_shards(), 1);
     }
 
     #[test]

@@ -7,6 +7,43 @@
 
 use crate::metrics::{JobMetrics, Metrics};
 
+/// The three pipeline stage times of one metrics interval, as charged by
+/// the wavefront executor's cost model:
+///
+/// 1. **fetch** — disk → memory transfer time.  The slowest resource
+///    (`disk_bandwidth`), but shardable: each snapshot-store shard is an
+///    independent I/O lane, so fetches of slots on distinct shards
+///    proceed in parallel when a prefetch queue issues them early.
+/// 2. **install** — memory → cache transfer time plus per-miss latency,
+///    serialized on the one shared memory channel.
+/// 3. **compute** — Trigger work, divided across the worker cores.
+///
+/// `fetch + install` is exactly the old two-stage "access" leg, so a
+/// pipeline that fuses the first two stages reproduces the two-stage
+/// flow-shop model.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StageTimes {
+    /// Stage one: disk → memory fetch seconds (per-shard I/O lanes).
+    pub fetch: f64,
+    /// Stage two: memory → cache install seconds (shared channel).
+    pub install: f64,
+    /// Stage three: parallelized compute seconds (worker cores).
+    pub compute: f64,
+}
+
+impl StageTimes {
+    /// The fused data-access leg (`fetch + install`) — the stage-one
+    /// time of the two-stage model.
+    pub fn access(&self) -> f64 {
+        self.fetch + self.install
+    }
+
+    /// Linear (no-overlap) total of all three stages.
+    pub fn total(&self) -> f64 {
+        self.fetch + self.install + self.compute
+    }
+}
+
 /// Cost parameters, loosely calibrated to the paper's platform (4-way
 /// 8-core Xeon E5-2670, 64 GB RAM, magnetic disk).
 #[derive(Clone, Copy, Debug)]
@@ -60,16 +97,19 @@ impl CostModel {
         self.access_seconds(m) + self.compute_seconds(m) / workers.max(1) as f64
     }
 
-    /// The `(access, compute)` stage times of a metrics interval — the
-    /// Load and Trigger legs the pipelined executor overlaps.  Access
-    /// serializes on the shared channel; compute is divided across
-    /// `workers`.  Their sum equals [`total_seconds`](Self::total_seconds)
-    /// for the same interval.
-    pub fn stage_seconds(&self, m: &Metrics, workers: usize) -> (f64, f64) {
-        (
-            self.access_seconds(m),
-            self.compute_seconds(m) / workers.max(1) as f64,
-        )
+    /// The three stage times of a metrics interval — disk fetch, memory
+    /// install, and Trigger compute — the legs the pipelined executor
+    /// overlaps (see [`StageTimes`]).  `fetch + install` equals
+    /// [`access_seconds`](Self::access_seconds) and the three-way total
+    /// equals [`total_seconds`](Self::total_seconds) for the same
+    /// interval (up to float regrouping).
+    pub fn stage_seconds(&self, m: &Metrics, workers: usize) -> StageTimes {
+        StageTimes {
+            fetch: m.bytes_disk_to_mem as f64 / self.disk_bandwidth,
+            install: m.bytes_mem_to_cache as f64 / self.mem_bandwidth
+                + m.cache_misses as f64 * self.miss_latency,
+            compute: self.compute_seconds(m) / workers.max(1) as f64,
+        }
     }
 
     /// Modeled CPU utilization in `[0, 1]`: useful compute over total
@@ -156,10 +196,30 @@ mod tests {
             ..Metrics::default()
         };
         for w in [1, 4, 16] {
-            let (access, compute) = cm.stage_seconds(&m, w);
-            assert!((access + compute - cm.total_seconds(&m, w)).abs() < 1e-12);
-            assert!(access > 0.0 && compute > 0.0);
+            let st = cm.stage_seconds(&m, w);
+            assert!((st.access() + st.compute - cm.total_seconds(&m, w)).abs() < 1e-12);
+            assert!((st.total() - cm.total_seconds(&m, w)).abs() < 1e-12);
+            assert!(st.fetch > 0.0 && st.install > 0.0 && st.compute > 0.0);
         }
+    }
+
+    #[test]
+    fn stage_split_separates_disk_from_memory() {
+        let cm = CostModel::default();
+        let disk_only = Metrics { bytes_disk_to_mem: 1 << 30, ..Metrics::default() };
+        let st = cm.stage_seconds(&disk_only, 4);
+        assert!(st.fetch > 0.0);
+        assert_eq!(st.install, 0.0);
+        assert_eq!(st.compute, 0.0);
+        let mem_only = Metrics { bytes_mem_to_cache: 1 << 30, ..Metrics::default() };
+        let st = cm.stage_seconds(&mem_only, 4);
+        assert_eq!(st.fetch, 0.0);
+        assert!(st.install > 0.0);
+        // Disk is the order-of-magnitude slower stage for equal bytes.
+        assert!(
+            cm.stage_seconds(&disk_only, 4).fetch > 10.0 * st.install,
+            "disk fetch must dominate memory install"
+        );
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod lru;
 pub mod metrics;
 pub mod object;
 
-pub use cost::CostModel;
+pub use cost::{CostModel, StageTimes};
 pub use hierarchy::{AccessOutcome, HierarchyConfig, MemoryHierarchy};
 pub use lru::LruCache;
 pub use metrics::{JobMetrics, Metrics};
