@@ -1,0 +1,98 @@
+//! Trace → arrival-stream adapter: `cgraph_trace::JobSpan`s become
+//! [`Arrival`]s carrying real vertex programs.
+//!
+//! The trace crate names job *kinds*; this adapter binds each kind to
+//! the concrete program the serving layer submits.  [`JobKind::Scc`]
+//! maps to [`Wcc`]: the multi-phase SCC driver needs host-side
+//! coordination between phases that a fire-and-forget arrival stream
+//! cannot carry, so its trace slot is served by the single-program
+//! min-label propagation its coloring phase is built on (same
+//! high-coverage access profile).
+
+use cgraph_core::serve::Arrival;
+use cgraph_core::JobEngine;
+use cgraph_trace::{JobKind, JobSpan};
+
+use crate::{Bfs, PageRank, Sssp, Wcc};
+
+/// Builds the arrival for one trace span.  `index` is the span's
+/// position in the trace (it seeds per-job source vertices, rotating
+/// through `source_mod` distinct sources like the benchmark harness);
+/// `seconds_per_hour` compresses trace hours onto the serving clock.
+pub fn arrival_for<E: JobEngine + 'static>(
+    span: &JobSpan,
+    index: usize,
+    seconds_per_hour: f64,
+    source_mod: u32,
+) -> Arrival<E> {
+    let at = span.submit_seconds(seconds_per_hour);
+    let src = (index as u32).wrapping_mul(17) % source_mod.max(1);
+    match span.kind {
+        JobKind::PageRank => Arrival::new(at, "PageRank", move |e: &mut E, ts| {
+            e.submit_program_at(PageRank::default(), ts)
+        }),
+        JobKind::Sssp => Arrival::new(at, "SSSP", move |e: &mut E, ts| {
+            e.submit_program_at(Sssp::new(src), ts)
+        }),
+        JobKind::Scc => Arrival::new(at, "WCC", move |e: &mut E, ts| e.submit_program_at(Wcc, ts)),
+        JobKind::Bfs => Arrival::new(at, "BFS", move |e: &mut E, ts| {
+            e.submit_program_at(Bfs::new(src), ts)
+        }),
+    }
+}
+
+/// Adapts a whole generated trace into an arrival stream, in trace
+/// order.  `source_mod` should not exceed the graph's vertex count
+/// (sources rotate over `0..source_mod`).
+pub fn trace_arrivals<E: JobEngine + 'static>(
+    trace: &[JobSpan],
+    seconds_per_hour: f64,
+    source_mod: u32,
+) -> Vec<Arrival<E>> {
+    trace
+        .iter()
+        .enumerate()
+        .map(|(i, span)| arrival_for(span, i, seconds_per_hour, source_mod))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgraph_core::{Engine, EngineConfig};
+    use cgraph_graph::vertex_cut::VertexCutPartitioner;
+    use cgraph_graph::{generate, Partitioner};
+
+    fn span(kind: JobKind, hour: f64) -> JobSpan {
+        JobSpan { submit_hour: hour, end_hour: hour + 1.0, kind }
+    }
+
+    #[test]
+    fn kinds_map_to_programs_and_times_rescale() {
+        let trace = [
+            span(JobKind::PageRank, 0.0),
+            span(JobKind::Sssp, 1.0),
+            span(JobKind::Scc, 2.0),
+            span(JobKind::Bfs, 3.0),
+        ];
+        let arrivals = trace_arrivals::<Engine>(&trace, 0.5, 16);
+        let names: Vec<&str> = arrivals.iter().map(|a| a.name).collect();
+        assert_eq!(names, vec!["PageRank", "SSSP", "WCC", "BFS"]);
+        let ats: Vec<f64> = arrivals.iter().map(|a| a.at).collect();
+        assert_eq!(ats, vec![0.0, 0.5, 1.0, 1.5]);
+    }
+
+    #[test]
+    fn submitted_arrivals_run_to_correct_results() {
+        let ps = VertexCutPartitioner::new(4).partition(&generate::cycle(16));
+        let mut engine = Engine::from_partitions(ps, EngineConfig::default());
+        let trace = [span(JobKind::Bfs, 0.0)];
+        for a in trace_arrivals::<Engine>(&trace, 1.0, 1) {
+            let ts = a.bind_timestamp();
+            a.submit(&mut engine, ts);
+        }
+        assert!(engine.run().completed);
+        let d = engine.results::<Bfs>(0).unwrap();
+        assert_eq!(d[5], 5, "BFS from source 0 on a 16-cycle");
+    }
+}

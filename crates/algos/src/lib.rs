@@ -15,8 +15,11 @@
 //! * [`Reachability`] — forward reachability closure.
 //!
 //! [`reference`] holds simple single-threaded implementations of the same
-//! algorithms used to validate every engine in the workspace.
+//! algorithms used to validate every engine in the workspace, and
+//! [`arrivals`] adapts `cgraph_trace` job spans into the serving layer's
+//! arrival stream with these programs bound.
 
+pub mod arrivals;
 pub mod bfs;
 pub mod katz;
 pub mod pagerank;
@@ -27,6 +30,7 @@ pub mod sssp;
 pub mod sswp;
 pub mod wcc;
 
+pub use arrivals::{arrival_for, trace_arrivals};
 pub use bfs::Bfs;
 pub use katz::Katz;
 pub use pagerank::PageRank;

@@ -22,7 +22,9 @@
 //! every interested job, in one common, correlations-aware order.
 
 pub mod preset;
+pub mod serve;
 pub mod stream;
 
 pub use preset::BaselinePreset;
+pub use serve::FifoServe;
 pub use stream::{Interleave, StreamConfig, StreamEngine, StructureSharing};

@@ -1,0 +1,131 @@
+//! The serving sweep, machine-readable.
+//!
+//! Generates a diurnal arrival trace (`cgraph-trace`), rescales it onto
+//! the serving clock, and drives it through the CGraph `ServeLoop` over
+//! an `{admission_window} × {wavefront}` grid, plus the FIFO streaming
+//! baseline — printing the latency/throughput table and writing
+//! `BENCH_serve.json` so CI can track the serving trajectory point by
+//! point.  The `window = 0` rows are the FIFO-admission denominators
+//! the spared-loads figures compare against.
+//!
+//! Accepts the standard `--full` / `--tiny` scale flags; `--out PATH`
+//! overrides the JSON location.
+
+use std::sync::Arc;
+
+use cgraph_bench::{
+    hierarchy_for, partitions_for, print_table, serve_sweep, serve_sweep_json, serve_trace_stream,
+    Scale,
+};
+use cgraph_graph::generate::Dataset;
+use cgraph_graph::snapshot::SnapshotStore;
+use cgraph_trace::{generate_trace, TraceConfig};
+
+/// Virtual seconds per trace hour: compresses the diurnal trace so
+/// arrival gaps land on the same scale as modeled execution time.
+const SECONDS_PER_HOUR: f64 = 0.02;
+
+fn main() {
+    let scale = Scale::from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_serve.json")
+        .to_string();
+
+    let ds = Dataset::TwitterSim;
+    let ps = partitions_for(ds, scale);
+    let h = hierarchy_for(ds, &ps);
+    let store = Arc::new(SnapshotStore::new(ps));
+
+    // A short diurnal burst: enough concurrent arrivals to batch, small
+    // enough for CI smoke mode.
+    let hours = if scale.shrink >= 7 { 4 } else { 8 };
+    let trace_cfg =
+        TraceConfig { hours, base_rate: 2.0, peak_rate: 6.0, mean_duration: 1.0, seed: 0xFACE };
+    let trace = generate_trace(&trace_cfg);
+
+    // Windows in virtual seconds (0 = FIFO admission); each wavefront's
+    // zero row is its spared-loads denominator.
+    let grid = [
+        (0.0, 1),
+        (0.01, 1),
+        (0.05, 1),
+        (0.0, 4),
+        (0.01, 4),
+        (0.05, 4),
+    ];
+    let points = serve_sweep(&store, 2, h, &trace, SECONDS_PER_HOUR, &grid);
+    let stream = serve_trace_stream(&store, 2, h, &trace, SECONDS_PER_HOUR);
+
+    let fmt_s = |x: f64| format!("{:.2}", x * 1e3);
+    let mut rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("w={:.2}ms k={}", p.admission_window * 1e3, p.wavefront),
+                p.jobs.to_string(),
+                format!("{:.1}", p.throughput),
+                fmt_s(p.mean_latency),
+                fmt_s(p.p99_latency),
+                p.loads.to_string(),
+                format!("{:.1}%", p.spared_vs_fifo * 100.0),
+            ]
+        })
+        .collect();
+    rows.push(vec![
+        "stream-fifo".to_string(),
+        stream.jobs.len().to_string(),
+        format!("{:.1}", stream.throughput()),
+        fmt_s(stream.mean_latency()),
+        fmt_s(stream.latency_percentile(99.0)),
+        stream.loads.to_string(),
+        "-".to_string(),
+    ]);
+    print_table(
+        &format!(
+            "serving sweep ({} jobs over {hours} trace hours)",
+            trace.len()
+        ),
+        &[
+            "config",
+            "jobs",
+            "jobs/s",
+            "mean lat ms",
+            "p99 lat ms",
+            "loads",
+            "spared",
+        ],
+        &rows,
+    );
+
+    let fifo = points
+        .iter()
+        .find(|p| p.admission_window == 0.0 && p.wavefront == 1)
+        .expect("grid holds the w=0 k=1 FIFO baseline");
+    let windowed = points
+        .iter()
+        .filter(|p| p.wavefront == 1 && p.admission_window > 0.0)
+        .max_by(|a, b| {
+            a.spared_vs_fifo
+                .partial_cmp(&b.spared_vs_fifo)
+                .expect("finite")
+        })
+        .expect("grid holds a windowed k=1 point");
+    println!(
+        "\nadmission win at k=1: window {:.0} ms spares {:.1}% of FIFO's {} loads \
+         (p99 latency {:.2} ms vs {:.2} ms)",
+        windowed.admission_window * 1e3,
+        windowed.spared_vs_fifo * 100.0,
+        fifo.loads,
+        windowed.p99_latency * 1e3,
+        fifo.p99_latency * 1e3,
+    );
+
+    let json = serve_sweep_json(ds.name(), scale.shrink, &points);
+    std::fs::write(&out_path, json).expect("write BENCH_serve.json");
+    println!("wrote {out_path}");
+}

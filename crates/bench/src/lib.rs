@@ -11,14 +11,17 @@
 
 use std::sync::Arc;
 
-use cgraph_algos::{Bfs, PageRank, SccDriver, Sssp};
-use cgraph_baselines::BaselinePreset;
-use cgraph_core::{Engine, EngineConfig, JobEngine, JobId, SchedulerKind};
+use cgraph_algos::{trace_arrivals, Bfs, PageRank, SccDriver, Sssp};
+use cgraph_baselines::{BaselinePreset, FifoServe, StreamConfig, StreamEngine};
+use cgraph_core::{
+    Engine, EngineConfig, JobEngine, JobId, SchedulerKind, ServeConfig, ServeLoop, ServeReport,
+};
 use cgraph_graph::generate::Dataset;
 use cgraph_graph::snapshot::{GraphDelta, SnapshotStore};
 use cgraph_graph::vertex_cut::VertexCutPartitioner;
 use cgraph_graph::{Edge, EdgeList, PartitionSet, Partitioner};
 use cgraph_memsim::{HierarchyConfig, JobMetrics, Metrics};
+use cgraph_trace::JobSpan;
 
 pub use cgraph_algos::BenchmarkJob;
 
@@ -391,6 +394,159 @@ pub fn wavefront_sweep_json(dataset: &str, scale_shrink: u32, points: &[SweepPoi
             p.modeled_ms,
             p.wall_ms,
             p.loads,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Serves a generated trace through the CGraph [`ServeLoop`]:
+/// arrivals rescaled by `seconds_per_hour`, admitted under `window`
+/// (virtual seconds), executed at wavefront `width`.  Sources rotate
+/// over 64 vertices like [`submit_mix`].
+pub fn serve_trace(
+    store: &Arc<SnapshotStore>,
+    workers: usize,
+    hierarchy: HierarchyConfig,
+    trace: &[JobSpan],
+    seconds_per_hour: f64,
+    window: f64,
+    width: usize,
+) -> ServeReport {
+    let engine = Engine::new(
+        Arc::clone(store),
+        EngineConfig { workers, hierarchy, wavefront: width, ..EngineConfig::default() },
+    );
+    let mut serve = ServeLoop::new(
+        engine,
+        ServeConfig { admission_window: window, time_scale: 1.0 },
+    );
+    serve.offer_all(trace_arrivals(trace, seconds_per_hour, 64));
+    serve.serve()
+}
+
+/// Serves the same trace through the FIFO streaming baseline
+/// ([`FifoServe`] over a [`StreamEngine`]) — the serving layer's
+/// comparison denominator.
+pub fn serve_trace_stream(
+    store: &Arc<SnapshotStore>,
+    workers: usize,
+    hierarchy: HierarchyConfig,
+    trace: &[JobSpan],
+    seconds_per_hour: f64,
+) -> ServeReport {
+    let engine = StreamEngine::new(
+        Arc::clone(store),
+        StreamConfig { workers, hierarchy, ..StreamConfig::default() },
+    );
+    let mut serve = FifoServe::new(engine, 1.0);
+    serve.offer_all(trace_arrivals(trace, seconds_per_hour, 64));
+    serve.serve()
+}
+
+/// One measured point of the serving sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct ServePoint {
+    /// Admission window in virtual seconds.
+    pub admission_window: f64,
+    /// Wavefront width the engine executed with.
+    pub wavefront: usize,
+    /// Jobs served.
+    pub jobs: usize,
+    /// Jobs per virtual second of makespan.
+    pub throughput: f64,
+    /// Mean end-to-end latency (virtual seconds).
+    pub mean_latency: f64,
+    /// 99th-percentile end-to-end latency.
+    pub p99_latency: f64,
+    /// Partition loads performed.
+    pub loads: u64,
+    /// Fraction of the same-wavefront FIFO (window 0) run's loads spared.
+    pub spared_vs_fifo: f64,
+    /// Wall-clock milliseconds of the serve run.
+    pub wall_ms: f64,
+}
+
+/// Serves the trace once per `(admission_window, wavefront)` grid point
+/// and returns the measured sweep.  Every wavefront's `window = 0` row
+/// is the FIFO denominator for that wavefront's `spared_vs_fifo`
+/// figures (0.0 when the grid carries no such row).
+pub fn serve_sweep(
+    store: &Arc<SnapshotStore>,
+    workers: usize,
+    hierarchy: HierarchyConfig,
+    trace: &[JobSpan],
+    seconds_per_hour: f64,
+    grid: &[(f64, usize)],
+) -> Vec<ServePoint> {
+    let reports: Vec<(f64, usize, ServeReport, f64)> = grid
+        .iter()
+        .map(|&(window, width)| {
+            let start = std::time::Instant::now();
+            let report = serve_trace(
+                store,
+                workers,
+                hierarchy,
+                trace,
+                seconds_per_hour,
+                window,
+                width,
+            );
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            assert!(report.completed, "sweep point must serve to convergence");
+            (window, width, report, wall_ms)
+        })
+        .collect();
+    reports
+        .iter()
+        .map(|&(window, width, ref report, wall_ms)| {
+            let fifo_loads = reports
+                .iter()
+                .find(|&&(w, k, ..)| w == 0.0 && k == width)
+                .map(|(_, _, r, _)| r.loads);
+            let spared_vs_fifo = match fifo_loads {
+                Some(f) if f > 0 => 1.0 - report.loads as f64 / f as f64,
+                _ => 0.0,
+            };
+            ServePoint {
+                admission_window: window,
+                wavefront: width,
+                jobs: report.jobs.len(),
+                throughput: report.throughput(),
+                mean_latency: report.mean_latency(),
+                p99_latency: report.latency_percentile(99.0),
+                loads: report.loads,
+                spared_vs_fifo,
+                wall_ms,
+            }
+        })
+        .collect()
+}
+
+/// Serializes a serving sweep as the machine-readable
+/// `BENCH_serve.json` tracked by CI (hand-rolled like
+/// [`wavefront_sweep_json`]: the workspace is offline, no serde).
+pub fn serve_sweep_json(dataset: &str, scale_shrink: u32, points: &[ServePoint]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"dataset\": \"{dataset}\",\n"));
+    s.push_str(&format!("  \"scale_shrink\": {scale_shrink},\n"));
+    s.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"admission_window\": {:.6}, \"wavefront\": {}, \"jobs\": {}, \
+             \"throughput\": {:.6}, \"mean_latency\": {:.6}, \"p99_latency\": {:.6}, \
+             \"loads\": {}, \"spared_vs_fifo\": {:.6}, \"wall_ms\": {:.3}}}{}\n",
+            p.admission_window,
+            p.wavefront,
+            p.jobs,
+            p.throughput,
+            p.mean_latency,
+            p.p99_latency,
+            p.loads,
+            p.spared_vs_fifo,
+            p.wall_ms,
             if i + 1 < points.len() { "," } else { "" }
         ));
     }

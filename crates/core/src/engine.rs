@@ -8,9 +8,10 @@
 use std::sync::Arc;
 
 use cgraph_graph::snapshot::SnapshotStore;
-use cgraph_graph::PartitionSet;
+use cgraph_graph::{PartitionSet, ShardPlacement};
 use cgraph_memsim::{CostModel, HierarchyConfig, JobMetrics, Metrics};
 
+use crate::exec::ledger::JobTiming;
 use crate::exec::wavefront::RoundBuffers;
 use crate::exec::{ChargeLedger, PrefetchQueue, SlotPlanner};
 use crate::job::{JobId, JobRuntime, TypedJob};
@@ -58,6 +59,13 @@ pub struct EngineConfig {
     pub straggler_split: bool,
     /// Partition-loading scheduler.
     pub scheduler: SchedulerKind,
+    /// Whole-wave scheduler lookahead: when set, rounds are planned via
+    /// [`Scheduler::plan_with_jobs`] so candidate waves are scored by
+    /// shared-job overlap (two slots serving the same job pair are
+    /// planned together even when a disjoint slot carries equal
+    /// priority) instead of the greedy repeated `pick`.  Off by default
+    /// — the default plan is bit-for-bit the classic schedule.
+    pub lookahead: bool,
     /// Wavefront width: how many slots the scheduler plans per round.
     ///
     /// At 1 (the default) the engine reproduces the classic single-slot
@@ -100,6 +108,7 @@ impl Default for EngineConfig {
             sync: SyncStrategy::BatchedSorted,
             straggler_split: true,
             scheduler: SchedulerKind::Priority { theta: 0.5 },
+            lookahead: false,
             wavefront: 1,
             shards: 1,
             prefetch_depth: 0,
@@ -173,16 +182,17 @@ impl Engine {
             SchedulerKind::Priority { theta } => Box::new(PriorityScheduler::new(theta)),
             SchedulerKind::FixedOrder => Box::new(OrderScheduler),
         };
-        // A physically sharded store dictates the lanes, keeping the
-        // model and per-lane attribution aligned with the actual chains;
-        // `config.shards` only models lanes over an unsharded store
-        // (both place round-robin, so equal counts coincide).
-        let lanes = if store.num_shards() > 1 {
-            store.num_shards()
+        // A physically sharded store dictates the lanes *and* the
+        // placement, keeping the model and per-lane attribution aligned
+        // with the actual chains; `config.shards` only models round-robin
+        // lanes over an unsharded store (both default to round-robin, so
+        // equal counts coincide).
+        let (lanes, placement) = if store.num_shards() > 1 {
+            (store.num_shards(), store.placement())
         } else {
-            config.shards.max(1)
+            (config.shards.max(1), ShardPlacement::RoundRobin)
         };
-        let prefetch = PrefetchQueue::new(lanes, config.prefetch_depth);
+        let prefetch = PrefetchQueue::with_placement(lanes, config.prefetch_depth, placement);
         Engine {
             config,
             store,
@@ -223,7 +233,67 @@ impl Engine {
         id
     }
 
-    /// Runs all submitted jobs to convergence (Alg. 3).
+    /// Retires jobs that converged outside a Push of their own (kept
+    /// from the classic loop head: no hierarchy eviction).
+    fn retire_converged(&mut self) {
+        for j in 0..self.jobs.len() {
+            if !self.jobs[j].done && self.jobs[j].runtime.is_converged() {
+                self.jobs[j].done = true;
+                self.planner.retire_job(j);
+            }
+        }
+    }
+
+    /// Executes exactly one scheduling round — the loop body of
+    /// [`run`](Self::run): retire already-converged jobs, plan a
+    /// wavefront over the pending slots, Load–Trigger–Push it, and
+    /// advance the load and pipeline-time counters.  Returns `false`
+    /// (executing nothing) when no slot is pending.
+    ///
+    /// This is the serving layer's entry point: a driver can interleave
+    /// `submit_at` calls between rounds — newly admitted jobs join the
+    /// slot planner immediately and are scheduled from the next round
+    /// on, matching the paper's runtime registration of new jobs.
+    pub fn step_round(&mut self) -> bool {
+        if !self.prepare_round() {
+            return false;
+        }
+        self.exec_planned_round();
+        true
+    }
+
+    /// Retires converged jobs and reports whether any slot is pending —
+    /// the round-boundary state `run`'s valve checks consult.
+    fn prepare_round(&mut self) -> bool {
+        self.retire_converged();
+        !self.planner.is_empty()
+    }
+
+    /// Plans and executes one round over the (non-empty) pending slots.
+    fn exec_planned_round(&mut self) {
+        let width = self.config.wavefront.max(1);
+        let picks = {
+            let lanes = self.prefetch.shards();
+            let placement = self.prefetch.placement();
+            let runtimes: Vec<&dyn JobRuntime> =
+                self.jobs.iter().map(|entry| &*entry.runtime).collect();
+            let infos = self.planner.infos(&runtimes, lanes, placement);
+            drop(runtimes);
+            if self.config.lookahead {
+                let slot_jobs = self.planner.slot_job_lists();
+                self.scheduler.plan_with_jobs(&infos, &slot_jobs, width)
+            } else {
+                self.scheduler.plan(&infos, width)
+            }
+        };
+        let round_seconds = self.exec_round(&picks);
+        self.pipeline_seconds += round_seconds;
+        self.loads += picks.len() as u64;
+    }
+
+    /// Runs all submitted jobs to convergence (Alg. 3): `while
+    /// step_round() {}` plus the `max_loads` valve checked between
+    /// rounds, exactly as the classic loop did.
     ///
     /// Jobs submitted after a `run` returns are picked up by the next call,
     /// matching the paper's runtime registration of new jobs.
@@ -233,32 +303,12 @@ impl Engine {
         let start_pipeline = self.pipeline_seconds;
         let width = self.config.wavefront.max(1);
         let mut completed = true;
-        loop {
-            // Retire jobs that converged outside a Push of their own
-            // (kept from the classic loop head: no hierarchy eviction).
-            for j in 0..self.jobs.len() {
-                if !self.jobs[j].done && self.jobs[j].runtime.is_converged() {
-                    self.jobs[j].done = true;
-                    self.planner.retire_job(j);
-                }
-            }
-            if self.planner.is_empty() {
-                break;
-            }
+        while self.prepare_round() {
             if self.loads - start_loads >= self.config.max_loads {
                 completed = false;
                 break;
             }
-            let picks = {
-                let lanes = self.prefetch.shards();
-                let runtimes: Vec<&dyn JobRuntime> =
-                    self.jobs.iter().map(|entry| &*entry.runtime).collect();
-                let infos = self.planner.infos(&runtimes, lanes);
-                self.scheduler.plan(&infos, width)
-            };
-            let round_seconds = self.exec_round(&picks);
-            self.pipeline_seconds += round_seconds;
-            self.loads += picks.len() as u64;
+            self.exec_planned_round();
         }
         let metrics = self.ledger.metrics().since(&start_metrics);
         // Width 1 keeps the classic linear figure bit-for-bit; wider
@@ -312,6 +362,25 @@ impl Engine {
     /// Per-job attributed metrics.
     pub fn job_metrics(&self, job: JobId) -> JobMetrics {
         self.ledger.job_metrics(job as usize)
+    }
+
+    /// Records a served job's arrival and admission times (virtual
+    /// seconds) in the ledger — called by the serving layer at the
+    /// moment it releases the job from its admission queue.
+    pub fn record_admission(&mut self, job: JobId, arrival: f64, admitted: f64) {
+        self.ledger
+            .record_admission(job as usize, arrival, admitted);
+    }
+
+    /// Records a served job's convergence time (virtual seconds).
+    /// Idempotent: only the first completion sticks.
+    pub fn record_completion(&mut self, job: JobId, at: f64) {
+        self.ledger.record_completion(job as usize, at);
+    }
+
+    /// The job's serve-layer timing, if it was admitted through one.
+    pub fn job_timing(&self, job: JobId) -> Option<JobTiming> {
+        self.ledger.job_timing(job as usize)
     }
 
     /// Number of submitted jobs.

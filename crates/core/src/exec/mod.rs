@@ -31,7 +31,7 @@ pub mod planner;
 pub mod prefetch;
 pub mod wavefront;
 
-pub use ledger::ChargeLedger;
+pub use ledger::{ChargeLedger, JobTiming};
 pub use planner::{SlotKey, SlotPlanner};
 pub use prefetch::{pipeline_makespan, PrefetchQueue};
 pub use wavefront::flowshop_makespan;

@@ -12,7 +12,7 @@
 
 use std::collections::BTreeMap;
 
-use cgraph_graph::{PartitionId, VersionId};
+use cgraph_graph::{PartitionId, ShardPlacement, VersionId};
 
 use crate::job::JobRuntime;
 use crate::scheduler::SlotInfo;
@@ -104,10 +104,15 @@ impl SlotPlanner {
 
     /// Describes every pending slot to the scheduler, in key order —
     /// the same `SlotInfo` the legacy full rescan produced.  `shards`
-    /// is the engine's stage-one lane count: each slot carries its
-    /// round-robin lane so the scheduler can interleave shards when
-    /// priorities tie.
-    pub fn infos(&mut self, runtimes: &[&dyn JobRuntime], shards: usize) -> Vec<SlotInfo> {
+    /// is the engine's stage-one lane count and `placement` its
+    /// partition→lane assignment: each slot carries its lane so the
+    /// scheduler can interleave shards when priorities tie.
+    pub fn infos(
+        &mut self,
+        runtimes: &[&dyn JobRuntime],
+        shards: usize,
+        placement: ShardPlacement,
+    ) -> Vec<SlotInfo> {
         self.rebuild_index();
         let shards = shards.max(1);
         self.slots
@@ -122,13 +127,21 @@ impl SlotPlanner {
                 SlotInfo {
                     pid,
                     version,
-                    shard: pid as usize % shards,
+                    shard: placement.shard_of(pid, shards),
                     num_jobs: jobs.len(),
                     avg_degree: part.avg_degree(),
                     avg_change,
                 }
             })
             .collect()
+    }
+
+    /// Every pending slot's interested-job list, in the same key order
+    /// as [`infos`](Self::infos) — the whole-wave overlap input of the
+    /// lookahead scheduler.
+    pub fn slot_job_lists(&mut self) -> Vec<&[usize]> {
+        self.rebuild_index();
+        self.slots.values().map(Vec::as_slice).collect()
     }
 
     fn add_job_slots(&mut self, job: usize, keys: Vec<SlotKey>) {
@@ -274,7 +287,7 @@ mod tests {
         let mut p = SlotPlanner::new();
         p.track_job(0, runtimes[0], true);
         p.track_job(1, runtimes[1], true);
-        let infos = p.infos(&runtimes, 2);
+        let infos = p.infos(&runtimes, 2, ShardPlacement::RoundRobin);
         assert_eq!(infos.len(), p.len());
         for (i, info) in infos.iter().enumerate() {
             let (key, jobs) = p.slot(i);
@@ -283,6 +296,12 @@ mod tests {
             assert_eq!(info.shard, info.pid as usize % 2, "round-robin lane");
             // Identical jobs on identical views: both pend everywhere.
             assert_eq!(info.num_jobs, 2);
+        }
+        // Job lists line up with the info order and are ascending.
+        let lists = p.slot_job_lists();
+        assert_eq!(lists.len(), infos.len());
+        for jobs in lists {
+            assert_eq!(jobs, &[0, 1]);
         }
     }
 

@@ -20,7 +20,7 @@
 //! flow-shop of [`super::wavefront::flowshop_makespan`] — which is why
 //! `prefetch_depth = 0` reproduces PR 1 bit-for-bit.
 
-use cgraph_graph::PartitionId;
+use cgraph_graph::{PartitionId, ShardPlacement};
 
 use crate::job::JobRuntime;
 use crate::workers::{run_probe_tasks, ProbeTask};
@@ -74,21 +74,30 @@ pub fn pipeline_makespan(
 }
 
 /// The stage-one scheduler of the wavefront executor: owns the lane
-/// placement (`pid % shards`, mirroring the sharded snapshot store's
-/// round-robin placement) and the prefetch window, issues the wave's
-/// probe scans through the worker pool, and prices waves under the
-/// three-stage pipeline model.
+/// placement (mirroring the sharded snapshot store's partition→shard
+/// assignment) and the prefetch window, issues the wave's probe scans
+/// through the worker pool, and prices waves under the three-stage
+/// pipeline model.
 #[derive(Clone, Copy, Debug)]
 pub struct PrefetchQueue {
     shards: usize,
     depth: usize,
+    placement: ShardPlacement,
 }
 
 impl PrefetchQueue {
-    /// A queue over `shards` stage-one I/O lanes with a `depth`-slot
-    /// prefetch window (`depth = 0` disables asynchronous fetch).
+    /// A queue over `shards` round-robin stage-one I/O lanes with a
+    /// `depth`-slot prefetch window (`depth = 0` disables asynchronous
+    /// fetch).
     pub fn new(shards: usize, depth: usize) -> Self {
-        PrefetchQueue { shards: shards.max(1), depth }
+        Self::with_placement(shards, depth, ShardPlacement::RoundRobin)
+    }
+
+    /// A queue whose lane assignment follows `placement` — the engine
+    /// passes the backing store's placement so modeled lanes and actual
+    /// shard chains always agree.
+    pub fn with_placement(shards: usize, depth: usize, placement: ShardPlacement) -> Self {
+        PrefetchQueue { shards: shards.max(1), depth, placement }
     }
 
     /// Number of stage-one I/O lanes (snapshot-store shards).
@@ -106,9 +115,14 @@ impl PrefetchQueue {
         self.depth > 0
     }
 
+    /// The partition→lane placement strategy.
+    pub fn placement(&self) -> ShardPlacement {
+        self.placement
+    }
+
     /// The I/O lane partition `pid` fetches on.
     pub fn lane_of(&self, pid: PartitionId) -> usize {
-        pid as usize % self.shards
+        self.placement.shard_of(pid, self.shards)
     }
 
     /// Issues a wave's stage-one probe scans (per-(slot, job) unprocessed
@@ -233,5 +247,17 @@ mod tests {
         let off = PrefetchQueue::new(0, 0);
         assert_eq!(off.shards(), 1, "lanes clamp to one");
         assert!(!off.is_active());
+    }
+
+    #[test]
+    fn lane_placement_follows_strategy() {
+        let hashed = PrefetchQueue::with_placement(4, 2, ShardPlacement::Hash);
+        assert_eq!(hashed.placement(), ShardPlacement::Hash);
+        for pid in 0..16u32 {
+            assert_eq!(hashed.lane_of(pid), ShardPlacement::Hash.shard_of(pid, 4));
+        }
+        let rr = PrefetchQueue::new(4, 2);
+        assert_eq!(rr.placement(), ShardPlacement::RoundRobin);
+        assert_eq!(rr.lane_of(6), 2);
     }
 }

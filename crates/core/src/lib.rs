@@ -21,7 +21,11 @@
 //!   and the pipelined wavefront round executor.
 //! * [`scheduler`] — the correlations-aware priority scheduler
 //!   (`Pri(P) = N(P) + θ·D(P)·C(P)`, Eq. 1) and the fixed-order ablation,
-//!   extended to plan multi-slot wavefronts.
+//!   extended to plan multi-slot wavefronts (optionally with whole-wave
+//!   shared-job lookahead, `EngineConfig::lookahead`).
+//! * [`serve`] — the online serving layer: an admission-controlled
+//!   arrival stream released as version-keyed waves, interleaved with
+//!   execution round by round through [`Engine::step_round`].
 //!
 //! Concrete algorithms (PageRank, SSSP, BFS, WCC, SCC, …) live in
 //! `cgraph-algos`; baseline engines that drive the *same* job runtimes with
@@ -33,12 +37,14 @@ pub mod exec;
 pub mod job;
 pub mod program;
 pub mod scheduler;
+pub mod serve;
 pub mod state;
 pub mod workers;
 
 pub use api::JobEngine;
 pub use engine::{Engine, EngineConfig, RunReport, SchedulerKind, SyncStrategy};
-pub use exec::{ChargeLedger, PrefetchQueue, SlotPlanner};
+pub use exec::{ChargeLedger, JobTiming, PrefetchQueue, SlotPlanner};
 pub use job::{JobId, JobRuntime, ProcessStats, PushStats, TypedJob};
 pub use program::{EdgeDirection, VertexInfo, VertexProgram};
 pub use scheduler::{OrderScheduler, PriorityScheduler, Scheduler, SlotInfo};
+pub use serve::{AdmissionController, Arrival, JobLatency, ServeConfig, ServeLoop, ServeReport};

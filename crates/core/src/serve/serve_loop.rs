@@ -1,0 +1,202 @@
+//! The round-interleaved serving driver.
+
+use crate::engine::Engine;
+use crate::job::JobId;
+use crate::serve::admission::{AdmissionController, Arrival};
+use crate::serve::report::{JobLatency, ServeReport};
+
+/// Serving-layer configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Bounded deferral window of the admission controller, in virtual
+    /// seconds.  0 = FIFO admission.
+    pub admission_window: f64,
+    /// Virtual seconds the clock advances per modeled execution second
+    /// (1.0 = the engine's cost model *is* the wall clock; larger
+    /// values model an arrival stream slow relative to execution).
+    pub time_scale: f64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { admission_window: 0.0, time_scale: 1.0 }
+    }
+}
+
+/// Drives an [`Engine`] from a timed arrival stream, interleaving
+/// admission with execution one scheduling round at a time:
+///
+/// 1. release every due admission wave (version-keyed, see
+///    [`AdmissionController`]) and submit its jobs — each binds the
+///    newest snapshot at its *arrival* time;
+/// 2. execute one [`Engine::step_round`] and advance the virtual clock
+///    by the round's modeled makespan (scaled by
+///    [`ServeConfig::time_scale`]);
+/// 3. stamp completions for jobs that converged, then repeat; when the
+///    engine idles, jump the clock to the next admission deadline.
+///
+/// Queue wait and end-to-end latency flow through the engine's
+/// [`ChargeLedger`](crate::ChargeLedger)
+/// ([`Engine::record_admission`] / [`Engine::record_completion`]) and
+/// surface in the final [`ServeReport`].
+pub struct ServeLoop {
+    engine: Engine,
+    admission: AdmissionController<Engine>,
+    time_scale: f64,
+    clock: f64,
+    /// Every admitted job, in admission order.
+    tracked: Vec<(JobId, &'static str)>,
+    /// Admitted jobs not yet stamped complete.
+    open: Vec<JobId>,
+    waves: u64,
+    rounds: u64,
+}
+
+impl ServeLoop {
+    /// Wraps an engine for serving.  Jobs already submitted to the
+    /// engine run alongside the stream but are not tracked in reports.
+    pub fn new(engine: Engine, config: ServeConfig) -> Self {
+        assert!(
+            config.time_scale.is_finite() && config.time_scale > 0.0,
+            "time scale must be finite and > 0"
+        );
+        ServeLoop {
+            engine,
+            admission: AdmissionController::new(config.admission_window),
+            time_scale: config.time_scale,
+            clock: 0.0,
+            tracked: Vec::new(),
+            open: Vec::new(),
+            waves: 0,
+            rounds: 0,
+        }
+    }
+
+    /// Queues one arrival.
+    pub fn offer(&mut self, arrival: Arrival) {
+        self.admission.offer(arrival);
+    }
+
+    /// Queues a whole stream of arrivals.
+    pub fn offer_all<I: IntoIterator<Item = Arrival>>(&mut self, arrivals: I) {
+        for a in arrivals {
+            self.offer(a);
+        }
+    }
+
+    /// The current virtual time.
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// The wrapped engine (read access; results, metrics, store).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Unwraps the engine, e.g. to extract typed results after serving.
+    pub fn into_engine(self) -> Engine {
+        self.engine
+    }
+
+    /// Releases every due arrival into the engine, stamping admissions.
+    fn admit_due(&mut self) -> bool {
+        let wave = self.admission.release(self.clock, self.engine.store());
+        if wave.is_empty() {
+            return false;
+        }
+        self.waves += 1;
+        for a in wave {
+            let (at, name, ts) = (a.at, a.name, a.bind_timestamp());
+            let id = a.submit(&mut self.engine, ts);
+            self.engine.record_admission(id, at, self.clock);
+            self.tracked.push((id, name));
+            self.open.push(id);
+        }
+        true
+    }
+
+    /// Stamps completion for every open job that has converged.
+    fn note_completions(&mut self) {
+        let clock = self.clock;
+        let engine = &mut self.engine;
+        self.open.retain(|&id| {
+            if engine.job_done(id) {
+                engine.record_completion(id, clock);
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Serves the stream to exhaustion: admits, executes, and advances
+    /// virtual time until the queue is empty and the engine idle — or
+    /// until the engine's `max_loads` valve trips (checked between
+    /// rounds like [`Engine::run`]'s loop).  A valve-truncated serve
+    /// reports `completed = false`, stamps still-running jobs with the
+    /// stop-time as their completion, and leaves unadmitted arrivals
+    /// queued for a later `serve` call.
+    pub fn serve(&mut self) -> ServeReport {
+        let start_loads = self.engine.total_loads();
+        let start_pipeline = self.engine.pipeline_seconds();
+        let (start_waves, start_rounds) = (self.waves, self.rounds);
+        let report_from = self.tracked.len();
+        let max_loads = self.engine.config().max_loads;
+        let mut completed = true;
+        loop {
+            if self.admit_due() {
+                // Jobs converged at submission complete with zero
+                // execution latency.
+                self.note_completions();
+            }
+            if self.engine.total_loads() - start_loads >= max_loads {
+                completed = self.open.is_empty() && self.admission.is_empty();
+                break;
+            }
+            let before = self.engine.pipeline_seconds();
+            if self.engine.step_round() {
+                self.rounds += 1;
+                self.clock += (self.engine.pipeline_seconds() - before) * self.time_scale;
+                self.note_completions();
+                continue;
+            }
+            // Engine idle: jump to the next admission deadline, or stop
+            // once the stream is exhausted.
+            match self.admission.next_deadline() {
+                Some(t) => self.clock = self.clock.max(t),
+                None => break,
+            }
+        }
+        // Resolve truncated jobs at the stop-time so the report is
+        // total; `completed` records that they were cut short.
+        let clock = self.clock;
+        for &id in &self.open {
+            self.engine.record_completion(id, clock);
+        }
+        self.open.clear();
+        let jobs: Vec<JobLatency> = self.tracked[report_from..]
+            .iter()
+            .map(|&(id, name)| {
+                let t = self.engine.job_timing(id).expect("admitted jobs are timed");
+                JobLatency {
+                    job: id,
+                    name,
+                    arrival: t.arrival,
+                    admitted: t.admitted,
+                    completed: t.completed.expect("served jobs are complete"),
+                }
+            })
+            .collect();
+        ServeReport::new(
+            "cgraph-serve",
+            self.admission.window(),
+            jobs,
+            self.waves - start_waves,
+            self.rounds - start_rounds,
+            self.engine.total_loads() - start_loads,
+            self.engine.pipeline_seconds() - start_pipeline,
+            completed,
+        )
+    }
+}

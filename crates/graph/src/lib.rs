@@ -47,7 +47,9 @@ pub use builder::GraphBuilder;
 pub use csr::Csr;
 pub use edge::{Edge, EdgeList};
 pub use partition::{Partition, PartitionSet, VertexMeta};
-pub use snapshot::{GraphDelta, GraphView, ShardedSnapshotStore, SnapshotShard, SnapshotStore};
+pub use snapshot::{
+    GraphDelta, GraphView, ShardPlacement, ShardedSnapshotStore, SnapshotShard, SnapshotStore,
+};
 pub use types::{LocalId, PartitionId, VersionId, VertexId, Weight, NO_PARTITION};
 
 /// A strategy that turns an edge list into a [`PartitionSet`].

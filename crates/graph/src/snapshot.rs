@@ -92,6 +92,34 @@ struct ShardRecord {
     versions: HashMap<PartitionId, VersionId>,
 }
 
+/// How partitions are assigned to the shards of a
+/// [`ShardedSnapshotStore`] (and therefore which stage-one I/O lane a
+/// partition load occupies).  Placement never changes what any view
+/// observes — only the chain layout and lane attribution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ShardPlacement {
+    /// `pid % shards`: consecutive partitions land on distinct shards,
+    /// so an in-order scan naturally interleaves lanes.
+    #[default]
+    RoundRobin,
+    /// Fibonacci-hashed (`pid * 2^64/φ`): decorrelates the lane from the
+    /// partition id, so placement stays balanced when the workload's
+    /// partition footprint is itself strided or clustered.
+    Hash,
+}
+
+impl ShardPlacement {
+    /// The shard partition `pid` lands on under this placement.
+    pub fn shard_of(self, pid: PartitionId, shards: usize) -> usize {
+        match self {
+            ShardPlacement::RoundRobin => pid as usize % shards,
+            ShardPlacement::Hash => {
+                (((pid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) % shards
+            }
+        }
+    }
+}
+
 /// One shard of a [`ShardedSnapshotStore`]: an independent, append-only
 /// delta chain over the partitions placed on it.  A shard's chain grows
 /// only when a delta re-versions one of *its* partitions, so shards
@@ -126,6 +154,7 @@ impl SnapshotShard {
 pub struct ShardedSnapshotStore {
     base: PartitionSet,
     shards: Vec<Arc<SnapshotShard>>,
+    placement: ShardPlacement,
     records: Vec<SnapshotRecord>,
 }
 
@@ -143,12 +172,19 @@ impl ShardedSnapshotStore {
     /// Wraps a base graph with its partitions placed round-robin across
     /// `shards` shards (clamped to `1..=num_partitions`).
     pub fn with_shards(base: PartitionSet, shards: usize) -> Self {
+        Self::with_placement(base, shards, ShardPlacement::RoundRobin)
+    }
+
+    /// Wraps a base graph with its partitions assigned to `shards` shards
+    /// (clamped to `1..=num_partitions`) under the given placement.
+    pub fn with_placement(base: PartitionSet, shards: usize, placement: ShardPlacement) -> Self {
         let shards = shards.clamp(1, base.num_partitions().max(1));
         ShardedSnapshotStore {
             base,
             shards: (0..shards)
                 .map(|_| Arc::new(SnapshotShard::default()))
                 .collect(),
+            placement,
             records: Vec::new(),
         }
     }
@@ -163,9 +199,14 @@ impl ShardedSnapshotStore {
         self.shards.len()
     }
 
-    /// The shard partition `pid` is placed on (round-robin placement).
+    /// The shard partition `pid` is placed on.
     pub fn shard_of(&self, pid: PartitionId) -> usize {
-        pid as usize % self.shards.len()
+        self.placement.shard_of(pid, self.shards.len())
+    }
+
+    /// The partition→shard placement strategy.
+    pub fn placement(&self) -> ShardPlacement {
+        self.placement
     }
 
     /// One shard's delta chain (each shard is its own `Arc`).
@@ -181,6 +222,17 @@ impl ShardedSnapshotStore {
     /// Timestamp of the newest snapshot (0 if only the base exists).
     pub fn latest_timestamp(&self) -> u64 {
         self.records.last().map_or(0, |r| r.timestamp)
+    }
+
+    /// The snapshot timestamp a job arriving at `ts` binds to: the newest
+    /// snapshot whose timestamp does not exceed `ts` (0 = the base).  Two
+    /// jobs with equal bind timestamps observe identical partition
+    /// versions everywhere — the key the serving layer batches waves by.
+    pub fn snapshot_at(&self, ts: u64) -> u64 {
+        // Records are strictly ascending by timestamp (`apply` enforces
+        // it), so the bind point is a partition point.
+        let idx = self.records.partition_point(|r| r.timestamp <= ts);
+        idx.checked_sub(1).map_or(0, |i| self.records[i].timestamp)
     }
 
     /// The shard chain state partition `pid` resolves against at store
@@ -378,7 +430,7 @@ impl ShardedSnapshotStore {
         for (pid, mut p) in rebuilt {
             p.patch_masters(&master_lookup);
             by_shard
-                .entry(pid as usize % self.shards.len())
+                .entry(self.shard_of(pid))
                 .or_default()
                 .push((pid, p));
         }
@@ -798,6 +850,89 @@ mod tests {
         assert_eq!(s.num_shards(), 2);
         let s0 = ShardedSnapshotStore::with_shards(VertexCutPartitioner::new(2).partition(&el), 0);
         assert_eq!(s0.num_shards(), 1);
+    }
+
+    /// Hash placement is as transparent as round-robin: every view
+    /// resolves identically; only the lane assignment differs.
+    #[test]
+    fn hash_placement_is_transparent_to_views() {
+        let build = |placement: ShardPlacement| {
+            let el = GraphBuilder::new(8)
+                .edges([
+                    (0, 1),
+                    (1, 2),
+                    (2, 3),
+                    (3, 4),
+                    (4, 5),
+                    (5, 6),
+                    (6, 7),
+                    (7, 0),
+                ])
+                .build();
+            let mut s = ShardedSnapshotStore::with_placement(
+                VertexCutPartitioner::new(4).partition(&el),
+                2,
+                placement,
+            );
+            s.apply(1, &GraphDelta::adding([Edge::unit(0, 2)])).unwrap();
+            s.apply(2, &GraphDelta::removing([(3, 4)])).unwrap();
+            Arc::new(s)
+        };
+        let rr = build(ShardPlacement::RoundRobin);
+        let hashed = build(ShardPlacement::Hash);
+        assert_eq!(hashed.placement(), ShardPlacement::Hash);
+        for ts in [0, 1, 2] {
+            let a = rr.view_at(ts);
+            let b = hashed.view_at(ts);
+            for pid in 0..4 {
+                assert_eq!(a.version_of(pid), b.version_of(pid), "ts {ts} pid {pid}");
+                assert_eq!(
+                    a.partition(pid).edges_global(),
+                    b.partition(pid).edges_global(),
+                    "ts {ts} pid {pid}"
+                );
+            }
+        }
+        // The store's lane assignment follows the placement function.
+        for pid in 0..4u32 {
+            assert_eq!(hashed.shard_of(pid), ShardPlacement::Hash.shard_of(pid, 2));
+        }
+    }
+
+    #[test]
+    fn hash_placement_spreads_and_stays_in_range() {
+        for shards in [1usize, 2, 3, 8] {
+            let lanes: Vec<usize> = (0..64u32)
+                .map(|pid| ShardPlacement::Hash.shard_of(pid, shards))
+                .collect();
+            assert!(lanes.iter().all(|&l| l < shards));
+            for lane in 0..shards {
+                assert!(
+                    lanes.contains(&lane),
+                    "lane {lane} unused at {shards} shards"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_at_returns_bind_timestamp() {
+        let mut s = store_mut();
+        assert_eq!(s.snapshot_at(0), 0);
+        assert_eq!(s.snapshot_at(99), 0);
+        s.apply(10, &GraphDelta::adding([Edge::unit(0, 2)]))
+            .unwrap();
+        s.apply(20, &GraphDelta::adding([Edge::unit(0, 3)]))
+            .unwrap();
+        assert_eq!(s.snapshot_at(9), 0);
+        assert_eq!(s.snapshot_at(10), 10);
+        assert_eq!(s.snapshot_at(19), 10);
+        assert_eq!(s.snapshot_at(25), 20);
+        // snapshot_at agrees with the view a job would actually bind.
+        let s = Arc::new(s);
+        for ts in [0, 9, 10, 15, 20, 99] {
+            assert_eq!(s.snapshot_at(ts), s.view_at(ts).timestamp());
+        }
     }
 
     #[test]

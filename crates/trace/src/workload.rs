@@ -58,6 +58,19 @@ impl JobSpan {
     pub fn active_at(&self, t: f64) -> bool {
         self.submit_hour <= t && t < self.end_hour
     }
+
+    /// The traced duration in hours.
+    pub fn duration_hours(&self) -> f64 {
+        self.end_hour - self.submit_hour
+    }
+
+    /// Submission time rescaled to virtual seconds — the serving
+    /// layer's clock unit.  `seconds_per_hour` compresses the trace so
+    /// arrival gaps land on the same scale as modeled execution time
+    /// (the real trace spans a week; a simulated run spans milliseconds).
+    pub fn submit_seconds(&self, seconds_per_hour: f64) -> f64 {
+        self.submit_hour * seconds_per_hour
+    }
 }
 
 /// Trace-generation parameters.
@@ -186,6 +199,14 @@ mod tests {
         let counts = active_jobs_per_hour(&generate_trace(&cfg), cfg.hours);
         let max = *counts.iter().max().unwrap();
         assert!(max >= 10, "peak concurrency {max} too low");
+    }
+
+    #[test]
+    fn submit_seconds_rescales_hours() {
+        let s = JobSpan { submit_hour: 2.5, end_hour: 4.0, kind: JobKind::Bfs };
+        assert!((s.submit_seconds(3600.0) - 9000.0).abs() < 1e-9);
+        assert!((s.submit_seconds(0.01) - 0.025).abs() < 1e-12);
+        assert!((s.duration_hours() - 1.5).abs() < 1e-12);
     }
 
     #[test]

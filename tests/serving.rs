@@ -1,0 +1,373 @@
+//! The online serving layer: determinism, latency invariants, FIFO
+//! degeneration, engines agreeing under mid-run arrivals, and the
+//! pinned version-keyed-admission win over FIFO.
+
+use std::sync::Arc;
+
+use cgraph::algos::{trace_arrivals, Bfs, PageRank, Sssp, Wcc};
+use cgraph::baselines::{FifoServe, StreamConfig, StreamEngine};
+use cgraph::core::{Engine, EngineConfig, JobEngine, ServeConfig, ServeLoop, ServeReport};
+use cgraph::graph::snapshot::{GraphDelta, SnapshotStore};
+use cgraph::graph::vertex_cut::VertexCutPartitioner;
+use cgraph::graph::{generate, Edge, Partitioner, ShardPlacement};
+use cgraph::trace::{generate_trace, JobSpan, TraceConfig};
+
+/// Virtual seconds per trace hour for the test streams.
+const SPH: f64 = 0.02;
+
+/// PageRank accumulates deltas with `+=`, so a different access order
+/// legitimately reorders float additions; everything else in the mix is
+/// a min/max accumulator and must agree exactly.
+fn assert_ranks_close(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}");
+    for (v, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            (x - y).abs() <= 1e-9 * x.abs().max(1.0),
+            "{what}: v{v}: {x} vs {y}"
+        );
+    }
+}
+
+fn store() -> Arc<SnapshotStore> {
+    let el = generate::rmat(9, 6, generate::RmatParams::default(), 77);
+    Arc::new(SnapshotStore::new(
+        VertexCutPartitioner::new(12).partition(&el),
+    ))
+}
+
+fn trace() -> Vec<JobSpan> {
+    generate_trace(&TraceConfig {
+        hours: 3,
+        base_rate: 2.0,
+        peak_rate: 6.0,
+        mean_duration: 1.0,
+        seed: 0xBEEF,
+    })
+}
+
+fn serve(store: &Arc<SnapshotStore>, trace: &[JobSpan], window: f64) -> (ServeReport, Engine) {
+    let engine = Engine::new(Arc::clone(store), EngineConfig::default());
+    let mut sl = ServeLoop::new(
+        engine,
+        ServeConfig { admission_window: window, time_scale: 1.0 },
+    );
+    sl.offer_all(trace_arrivals(trace, SPH, 64));
+    let report = sl.serve();
+    (report, sl.into_engine())
+}
+
+/// Same trace + seed ⇒ bit-identical serve reports (latencies, loads,
+/// waves — everything).
+#[test]
+fn serving_is_deterministic() {
+    let st = store();
+    let tr = trace();
+    for window in [0.0, 0.02] {
+        let (a, _) = serve(&st, &tr, window);
+        let (b, _) = serve(&st, &tr, window);
+        assert_eq!(a, b, "serve must be fully deterministic at window {window}");
+    }
+}
+
+/// Every served job obeys the latency ordering: arrival ≤ admission ≤
+/// completion, so waits and latencies are non-negative.
+#[test]
+fn latency_invariants_hold() {
+    let st = store();
+    let tr = trace();
+    for window in [0.0, 0.01, 0.05] {
+        let (report, _) = serve(&st, &tr, window);
+        assert!(report.completed);
+        assert_eq!(report.jobs.len(), tr.len(), "every arrival is served");
+        for j in &report.jobs {
+            assert!(j.wait() >= 0.0, "{}: wait {}", j.name, j.wait());
+            assert!(
+                j.completed >= j.admitted,
+                "{}: completed {} before admission {}",
+                j.name,
+                j.completed,
+                j.admitted
+            );
+            assert!(j.latency() >= 0.0);
+        }
+        // Waves only fire forced: every admission instant must carry at
+        // least one job whose deferral had expired (the rest ride).
+        let mut instants: Vec<f64> = report.jobs.iter().map(|j| j.admitted).collect();
+        instants.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        instants.dedup();
+        for t in instants {
+            assert!(
+                report
+                    .jobs
+                    .iter()
+                    .any(|j| j.admitted == t && j.arrival + window <= t),
+                "wave at {t} fired with no expired deferral (window {window})"
+            );
+        }
+        assert!(report.makespan > 0.0);
+        assert!(report.throughput() > 0.0);
+        assert!(report.latency_percentile(99.0) >= report.latency_percentile(50.0));
+    }
+}
+
+/// `admission_window = 0` degenerates to FIFO: a hand-rolled
+/// submit-on-arrival driver over `step_round` produces the identical
+/// load count and identical results.
+#[test]
+fn window_zero_degenerates_to_fifo() {
+    let st = store();
+    let tr = trace();
+    let (report, served_engine) = serve(&st, &tr, 0.0);
+
+    // Hand-rolled FIFO: admit everything due, run one round, repeat.
+    let mut engine = Engine::new(Arc::clone(&st), EngineConfig::default());
+    let mut arrivals = trace_arrivals::<Engine>(&tr, SPH, 64);
+    arrivals.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("finite"));
+    let mut pending = arrivals.into_iter().peekable();
+    let mut clock = 0.0f64;
+    loop {
+        while pending.peek().is_some_and(|a| a.at <= clock) {
+            let a = pending.next().expect("peeked");
+            let ts = a.bind_timestamp();
+            a.submit(&mut engine, ts);
+        }
+        let before = engine.pipeline_seconds();
+        if engine.step_round() {
+            clock += engine.pipeline_seconds() - before;
+            continue;
+        }
+        match pending.peek() {
+            Some(a) => clock = clock.max(a.at),
+            None => break,
+        }
+    }
+    assert_eq!(report.loads, engine.total_loads(), "FIFO load-for-load");
+    for j in 0..tr.len() as u32 {
+        assert_eq!(
+            served_engine.job_iterations(j),
+            engine.job_iterations(j),
+            "job {j} iteration count"
+        );
+    }
+}
+
+/// Jobs arriving mid-run produce identical algorithm results at every
+/// admission window and on the streaming FIFO baseline — admission
+/// changes latency and sharing, never results (binding is by arrival).
+#[test]
+fn engines_agree_under_mid_run_arrivals() {
+    let st = store();
+    // A fixed four-kind burst with staggered arrivals keeps the typed
+    // result extraction simple: trace order is PageRank, SSSP, WCC, BFS.
+    let tr: Vec<JobSpan> = (0..8)
+        .map(|i| JobSpan {
+            submit_hour: i as f64 * 0.2,
+            end_hour: i as f64 * 0.2 + 1.0,
+            kind: cgraph::trace::JobKind::ROTATION[i % 4],
+        })
+        .collect();
+    let (_, fifo) = serve(&st, &tr, 0.0);
+    let (_, windowed) = serve(&st, &tr, 0.05);
+    let mut stream = FifoServe::new(
+        StreamEngine::new(Arc::clone(&st), StreamConfig::default()),
+        1.0,
+    );
+    stream.offer_all(trace_arrivals(&tr, SPH, 64));
+    stream.serve();
+    let stream = stream.into_engine();
+
+    for base in [0u32, 4] {
+        let pr = fifo.results::<PageRank>(base).unwrap();
+        assert_ranks_close(
+            &pr,
+            &windowed.results::<PageRank>(base).unwrap(),
+            "windowed",
+        );
+        assert_ranks_close(&pr, &stream.results::<PageRank>(base).unwrap(), "stream");
+        let ss = fifo.results::<Sssp>(base + 1).unwrap();
+        assert_eq!(ss, windowed.results::<Sssp>(base + 1).unwrap());
+        assert_eq!(ss, stream.results::<Sssp>(base + 1).unwrap());
+        let wc = fifo.results::<Wcc>(base + 2).unwrap();
+        assert_eq!(wc, windowed.results::<Wcc>(base + 2).unwrap());
+        assert_eq!(wc, stream.results::<Wcc>(base + 2).unwrap());
+        let bf = fifo.results::<Bfs>(base + 3).unwrap();
+        assert_eq!(bf, windowed.results::<Bfs>(base + 3).unwrap());
+        assert_eq!(bf, stream.results::<Bfs>(base + 3).unwrap());
+    }
+}
+
+/// Binding is by *arrival*, not admission: on an evolving store, a job
+/// arriving after a snapshot observes it even when a wide window delays
+/// its execution, and a job arriving before never does.
+#[test]
+fn deferred_jobs_keep_their_arrival_snapshot() {
+    let el = generate::cycle(32);
+    let mut st = SnapshotStore::new(VertexCutPartitioner::new(8).partition(&el));
+    // Snapshot at virtual-second 1 (bind key 1): shortcut edge 0→16.
+    st.apply(1, &GraphDelta::adding([Edge::unit(0, 16)]))
+        .unwrap();
+    let st = Arc::new(st);
+    // Two BFS jobs from vertex 0: one arrives before the snapshot, one
+    // after; both defer in a wide window.
+    let tr = [
+        JobSpan { submit_hour: 0.0, end_hour: 1.0, kind: cgraph::trace::JobKind::Bfs },
+        JobSpan { submit_hour: 2.0, end_hour: 3.0, kind: cgraph::trace::JobKind::Bfs },
+    ];
+    // 1 trace hour = 1 virtual second here so arrivals land at ts 0 and 2.
+    let (report, engine) = {
+        let e = Engine::new(Arc::clone(&st), EngineConfig::default());
+        let mut sl = ServeLoop::new(e, ServeConfig { admission_window: 10.0, time_scale: 1.0 });
+        sl.offer_all(trace_arrivals(&tr, 1.0, 1));
+        let r = sl.serve();
+        (r, sl.into_engine())
+    };
+    assert_eq!(report.jobs.len(), 2);
+    let before = engine.results::<Bfs>(0).unwrap();
+    let after = engine.results::<Bfs>(1).unwrap();
+    assert_eq!(before[16], 16, "pre-snapshot job never sees the shortcut");
+    assert_eq!(after[16], 1, "post-snapshot job binds the new snapshot");
+}
+
+/// The acceptance pin: on a `generate_trace` workload, version-keyed
+/// admission with a nonzero window beats FIFO admission (window 0) by
+/// at least 10% in spared partition loads.
+#[test]
+fn windowed_admission_spares_at_least_10_percent_of_loads() {
+    let st = store();
+    let tr = trace();
+    let (fifo, _) = serve(&st, &tr, 0.0);
+    let (windowed, _) = serve(&st, &tr, 0.02);
+    assert_eq!(fifo.jobs.len(), windowed.jobs.len());
+    let spared = windowed.spared_loads_vs(&fifo);
+    assert!(
+        spared >= 0.10,
+        "windowed admission must spare ≥10% of FIFO's loads: {} vs {} ({:.1}%)",
+        windowed.loads,
+        fifo.loads,
+        spared * 100.0
+    );
+    // The tradeoff is real: batching defers execution, so waits grow.
+    assert!(windowed.mean_wait() >= fifo.mean_wait());
+}
+
+/// The engine's `max_loads` valve applies while serving too: serving
+/// stops between rounds once the budget is spent, reports
+/// `completed = false`, and keeps unadmitted arrivals queued.
+#[test]
+fn serve_honors_max_loads_valve() {
+    let st = store();
+    let tr = trace();
+    let engine = Engine::new(
+        Arc::clone(&st),
+        EngineConfig { max_loads: 20, ..EngineConfig::default() },
+    );
+    let mut sl = ServeLoop::new(
+        engine,
+        ServeConfig { admission_window: 0.0, time_scale: 1.0 },
+    );
+    sl.offer_all(trace_arrivals(&tr, SPH, 64));
+    let report = sl.serve();
+    assert!(!report.completed, "valve must truncate this stream");
+    assert!(report.loads >= 20, "valve trips only after the budget");
+    assert!(
+        report.loads < 100,
+        "a tripped valve must stop promptly: {} loads",
+        report.loads
+    );
+    for j in &report.jobs {
+        assert!(j.completed.is_finite(), "truncated jobs still resolve");
+    }
+}
+
+/// The CGraph serving layer also spares loads against the streaming
+/// FIFO baseline, which shares cache residency but never loads.
+#[test]
+fn serving_beats_stream_fifo_denominator() {
+    let st = store();
+    let tr = trace();
+    let (windowed, _) = serve(&st, &tr, 0.02);
+    let mut stream = FifoServe::new(
+        StreamEngine::new(Arc::clone(&st), StreamConfig::default()),
+        1.0,
+    );
+    stream.offer_all(trace_arrivals(&tr, SPH, 64));
+    let baseline = stream.serve();
+    assert_eq!(baseline.jobs.len(), windowed.jobs.len());
+    assert!(
+        windowed.spared_loads_vs(&baseline) > 0.10,
+        "CGraph serving {} loads vs stream FIFO {}",
+        windowed.loads,
+        baseline.loads
+    );
+}
+
+/// Scheduler lookahead is results-transparent and plans no worse a
+/// schedule: identical algorithm outputs, load count within the greedy
+/// plan's, and the default-off path untouched.
+#[test]
+fn lookahead_agrees_on_results() {
+    let run = |lookahead: bool| {
+        let st = store();
+        let mut e = Engine::new(
+            Arc::clone(&st),
+            EngineConfig { wavefront: 4, lookahead, ..EngineConfig::default() },
+        );
+        let pr = e.submit_program(PageRank::default());
+        let bf = e.submit_program(Bfs::new(0));
+        let ss = e.submit_program(Sssp::new(3));
+        let report = e.run();
+        assert!(report.completed);
+        (
+            e.results::<PageRank>(pr).unwrap(),
+            e.results::<Bfs>(bf).unwrap(),
+            e.results::<Sssp>(ss).unwrap(),
+            report.loads,
+        )
+    };
+    let (pr_g, bf_g, ss_g, loads_greedy) = run(false);
+    let (pr_l, bf_l, ss_l, loads_look) = run(true);
+    assert_ranks_close(&pr_g, &pr_l, "lookahead PageRank");
+    assert_eq!(bf_g, bf_l);
+    assert_eq!(ss_g, ss_l);
+    // Overlap-first planning may reorder rounds but must not blow up
+    // the load count.
+    assert!(
+        (loads_look as f64) <= loads_greedy as f64 * 1.05,
+        "lookahead {loads_look} vs greedy {loads_greedy}"
+    );
+    assert!(!EngineConfig::default().lookahead, "lookahead defaults off");
+}
+
+/// Hash shard placement is transparent to execution: identical results
+/// and global counters, with lanes following the store's placement.
+#[test]
+fn hash_placement_serves_identically() {
+    let el = generate::rmat(9, 6, generate::RmatParams::default(), 77);
+    let ps = VertexCutPartitioner::new(12).partition(&el);
+    let run = |placement: ShardPlacement| {
+        let st = Arc::new(SnapshotStore::with_placement(ps.clone(), 4, placement));
+        let mut e = Engine::new(
+            Arc::clone(&st),
+            EngineConfig { wavefront: 2, prefetch_depth: 1, ..EngineConfig::default() },
+        );
+        let bf = e.submit_program(Bfs::new(0));
+        let report = e.run();
+        assert!(report.completed);
+        for pid in 0..12u32 {
+            assert_eq!(
+                e.prefetch_queue().lane_of(pid),
+                st.shard_of(pid),
+                "engine lanes must follow store placement"
+            );
+        }
+        (e.results::<Bfs>(bf).unwrap(), report.metrics, report.loads)
+    };
+    let (res_rr, m_rr, loads_rr) = run(ShardPlacement::RoundRobin);
+    let (res_h, m_h, loads_h) = run(ShardPlacement::Hash);
+    assert_eq!(res_rr, res_h);
+    assert_eq!(loads_rr, loads_h);
+    assert_eq!(
+        m_rr, m_h,
+        "global counters must not depend on shard placement"
+    );
+}
