@@ -4,9 +4,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use cgraph_algos::{Bfs, PageRank, Sssp, Wcc};
+use cgraph_bench::ingest_stream;
 use cgraph_core::scheduler::{OrderScheduler, PriorityScheduler, Scheduler, SlotInfo};
 use cgraph_core::{Engine, EngineConfig, SyncStrategy};
 use cgraph_graph::core_subgraph::{CoreSubgraphPartitioner, CoreThreshold};
+use cgraph_graph::snapshot::{CompactionPolicy, SnapshotStore};
 use cgraph_graph::vertex_cut::VertexCutPartitioner;
 use cgraph_graph::{generate, EdgeList, Partitioner};
 use cgraph_memsim::{CacheObject, LruCache};
@@ -144,6 +146,32 @@ fn bench_algorithms(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_ingest_sweep(c: &mut Criterion) {
+    // Layered delta-chain ingest vs the pre-layering cumulative layout
+    // (EveryK(1): full state on every record) on a 48-delta stream.
+    let el = generate::cycle(2048);
+    let ps = VertexCutPartitioner::new(64).partition(&el);
+    let stream = ingest_stream(2048, 48, 32);
+    let mut group = c.benchmark_group("ingest_sweep");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("cumulative_k1", CompactionPolicy::EveryK(1)),
+        ("layered_off", CompactionPolicy::Off),
+        ("layered_k16", CompactionPolicy::default()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut s = SnapshotStore::new(ps.clone()).with_compaction(policy);
+                for (i, d) in stream.iter().enumerate() {
+                    s.apply((i as u64 + 1) * 10, d).unwrap();
+                }
+                s.num_snapshots()
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_partitioners,
@@ -151,6 +179,7 @@ criterion_group!(
     bench_straggler_split,
     bench_scheduler_pick,
     bench_lru,
-    bench_algorithms
+    bench_algorithms,
+    bench_ingest_sweep
 );
 criterion_main!(benches);

@@ -17,7 +17,7 @@ use cgraph_core::{
     Engine, EngineConfig, JobEngine, JobId, SchedulerKind, ServeConfig, ServeLoop, ServeReport,
 };
 use cgraph_graph::generate::Dataset;
-use cgraph_graph::snapshot::{GraphDelta, SnapshotStore};
+use cgraph_graph::snapshot::{CompactionPolicy, GraphDelta, SnapshotStore};
 use cgraph_graph::vertex_cut::VertexCutPartitioner;
 use cgraph_graph::{Edge, EdgeList, PartitionSet, Partitioner};
 use cgraph_memsim::{HierarchyConfig, JobMetrics, Metrics};
@@ -610,6 +610,177 @@ pub fn evolving_store(
             .expect("evolving delta applies");
     }
     Arc::new(store)
+}
+
+/// A deterministic ingest stream for the O(Δ) snapshot-chain benchmarks.
+///
+/// Each delta adds `per_delta` edges from two fixed, well-separated
+/// source vertices — so few partitions rebuild, and (because every delta
+/// also removes the previous delta's edges) those partitions never grow
+/// — to destinations scattered over the whole vertex range, so the
+/// accumulated vertex-override state grows with every delta.  The
+/// pre-layering cumulative layout recloned all of that state per apply;
+/// the layered chain writes only the delta.
+pub fn ingest_stream(n: u32, deltas: usize, per_delta: usize) -> Vec<GraphDelta> {
+    let edge = |i: usize, j: usize| -> Edge {
+        let k = (i * per_delta + j) as u32;
+        let src = (k % 2) * (n / 2);
+        let mut dst = k.wrapping_mul(2654435761) % n;
+        if dst == src {
+            dst = (dst + 1) % n;
+        }
+        Edge::unit(src, dst)
+    };
+    (0..deltas)
+        .map(|i| {
+            let additions: Vec<Edge> = (0..per_delta).map(|j| edge(i, j)).collect();
+            let removals: Vec<(u32, u32)> = if i == 0 {
+                Vec::new()
+            } else {
+                (0..per_delta)
+                    .map(|j| {
+                        let e = edge(i - 1, j);
+                        (e.src, e.dst)
+                    })
+                    .collect()
+            };
+            GraphDelta { additions, removals }
+        })
+        .collect()
+}
+
+/// One sampled point of an ingest run: state after `chain_len` deltas.
+#[derive(Clone, Debug)]
+pub struct IngestPoint {
+    /// Deltas applied so far.
+    pub chain_len: usize,
+    /// Cumulative apply wall time up to this chain length, µs.
+    pub cum_apply_us: f64,
+    /// Resident bytes held by the delta chains beyond the base graph.
+    pub override_bytes: u64,
+    /// Mean latest-view partition+version lookup cost, ns (must stay
+    /// flat in chain length: the current-state index answers in O(1)).
+    pub latest_lookup_ns: f64,
+}
+
+/// One compaction policy's full pass over an ingest stream.
+#[derive(Clone, Debug)]
+pub struct IngestRun {
+    /// Human-readable policy label.
+    pub policy: String,
+    /// Samples at each requested chain length.
+    pub points: Vec<IngestPoint>,
+    /// Per-apply wall time, µs, for every delta in order.
+    pub apply_us: Vec<f64>,
+}
+
+impl IngestRun {
+    /// Total ingest wall time, µs.
+    pub fn total_us(&self) -> f64 {
+        self.apply_us.iter().sum()
+    }
+
+    /// Mean per-apply wall time over `range`, µs.
+    pub fn mean_us(&self, range: std::ops::Range<usize>) -> f64 {
+        let s = &self.apply_us[range];
+        s.iter().sum::<f64>() / s.len() as f64
+    }
+}
+
+/// Applies `stream` to a fresh store under `policy`, sampling cost,
+/// resident bytes, and latest-view lookup time at each chain length in
+/// `marks`.
+pub fn ingest_run(
+    policy_label: &str,
+    policy: CompactionPolicy,
+    base: &PartitionSet,
+    stream: &[GraphDelta],
+    marks: &[usize],
+) -> IngestRun {
+    let mut store = SnapshotStore::new(base.clone()).with_compaction(policy);
+    let np = base.num_partitions() as u32;
+    let mut apply_us = Vec::with_capacity(stream.len());
+    let mut points = Vec::new();
+    for (i, d) in stream.iter().enumerate() {
+        let start = std::time::Instant::now();
+        store
+            .apply((i as u64 + 1) * 10, d)
+            .expect("ingest delta applies");
+        apply_us.push(start.elapsed().as_secs_f64() * 1e6);
+        if marks.contains(&(i + 1)) {
+            let override_bytes = store.override_bytes();
+            // Probe the latest view (GraphView needs the Arc spelling;
+            // nothing else holds a reference, so unwrap round-trips).
+            let arc = Arc::new(store);
+            let view = arc.latest();
+            let rounds = 64usize;
+            let start = std::time::Instant::now();
+            let mut acc = 0u64;
+            for _ in 0..rounds {
+                for pid in 0..np {
+                    acc += view.version_of(pid) as u64;
+                    acc += view.partition(pid).num_edges() as u64;
+                }
+            }
+            let latest_lookup_ns =
+                start.elapsed().as_secs_f64() * 1e9 / (rounds as f64 * np as f64);
+            std::hint::black_box(acc);
+            drop(view);
+            store = Arc::try_unwrap(arc).expect("probe view dropped");
+            points.push(IngestPoint {
+                chain_len: i + 1,
+                cum_apply_us: apply_us.iter().sum(),
+                override_bytes,
+                latest_lookup_ns,
+            });
+        }
+    }
+    IngestRun { policy: policy_label.to_string(), points, apply_us }
+}
+
+/// Serializes ingest runs as the machine-readable `BENCH_ingest.json`
+/// tracked by CI (hand-rolled writer: the workspace is offline and
+/// carries no serde).
+pub fn ingest_sweep_json(
+    dataset: &str,
+    vertices: u32,
+    per_delta: usize,
+    runs: &[IngestRun],
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"dataset\": \"{dataset}\",\n"));
+    s.push_str(&format!("  \"vertices\": {vertices},\n"));
+    s.push_str(&format!("  \"edges_per_delta\": {per_delta},\n"));
+    s.push_str("  \"runs\": [\n");
+    for (r, run) in runs.iter().enumerate() {
+        let n = run.apply_us.len();
+        s.push_str(&format!(
+            "    {{\"policy\": \"{}\", \"total_apply_us\": {:.1}, \
+             \"mean_first50_us\": {:.2}, \"mean_last50_us\": {:.2}, \"points\": [\n",
+            run.policy,
+            run.total_us(),
+            run.mean_us(0..50.min(n)),
+            run.mean_us(n.saturating_sub(50)..n),
+        ));
+        for (i, p) in run.points.iter().enumerate() {
+            s.push_str(&format!(
+                "      {{\"chain_len\": {}, \"cum_apply_us\": {:.1}, \
+                 \"override_bytes\": {}, \"latest_lookup_ns\": {:.1}}}{}\n",
+                p.chain_len,
+                p.cum_apply_us,
+                p.override_bytes,
+                p.latest_lookup_ns,
+                if i + 1 < run.points.len() { "," } else { "" }
+            ));
+        }
+        s.push_str(&format!(
+            "    ]}}{}\n",
+            if r + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
 }
 
 /// Prints an aligned table.

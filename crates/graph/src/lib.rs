@@ -48,7 +48,8 @@ pub use csr::Csr;
 pub use edge::{Edge, EdgeList};
 pub use partition::{Partition, PartitionSet, VertexMeta};
 pub use snapshot::{
-    GraphDelta, GraphView, ShardPlacement, ShardedSnapshotStore, SnapshotShard, SnapshotStore,
+    CompactionPolicy, GraphDelta, GraphView, ShardPlacement, ShardedSnapshotStore, SnapshotShard,
+    SnapshotStore,
 };
 pub use types::{LocalId, PartitionId, VersionId, VertexId, Weight, NO_PARTITION};
 

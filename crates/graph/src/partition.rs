@@ -83,11 +83,14 @@ impl Partition {
                 .binary_search(&vid)
                 .expect("endpoint must be a replica") as LocalId
         };
+        // Localize each edge once; the CSR passes below reuse the pair.
+        let localized: Vec<(LocalId, LocalId)> =
+            edges.iter().map(|e| (local(e.src), local(e.dst))).collect();
 
         // Out CSR.
         let mut out_counts = vec![0u32; nv + 1];
-        for e in edges {
-            out_counts[local(e.src) as usize + 1] += 1;
+        for &(s, _) in &localized {
+            out_counts[s as usize + 1] += 1;
         }
         for i in 0..nv {
             out_counts[i + 1] += out_counts[i];
@@ -96,18 +99,17 @@ impl Partition {
         let mut cursor = out_counts;
         let mut out_targets = vec![0 as LocalId; edges.len()];
         let mut out_weights = vec![0.0 as Weight; edges.len()];
-        for e in edges {
-            let s = local(e.src) as usize;
-            let slot = cursor[s] as usize;
-            out_targets[slot] = local(e.dst);
+        for (e, &(s, d)) in edges.iter().zip(&localized) {
+            let slot = cursor[s as usize] as usize;
+            out_targets[slot] = d;
             out_weights[slot] = e.weight;
-            cursor[s] += 1;
+            cursor[s as usize] += 1;
         }
 
         // In CSR over the same edge set.
         let mut in_counts = vec![0u32; nv + 1];
-        for e in edges {
-            in_counts[local(e.dst) as usize + 1] += 1;
+        for &(_, d) in &localized {
+            in_counts[d as usize + 1] += 1;
         }
         for i in 0..nv {
             in_counts[i + 1] += in_counts[i];
@@ -116,12 +118,11 @@ impl Partition {
         let mut cursor = in_counts;
         let mut in_sources = vec![0 as LocalId; edges.len()];
         let mut in_weights = vec![0.0 as Weight; edges.len()];
-        for e in edges {
-            let d = local(e.dst) as usize;
-            let slot = cursor[d] as usize;
-            in_sources[slot] = local(e.src);
+        for (e, &(s, d)) in edges.iter().zip(&localized) {
+            let slot = cursor[d as usize] as usize;
+            in_sources[slot] = s;
             in_weights[slot] = e.weight;
-            cursor[d] += 1;
+            cursor[d as usize] += 1;
         }
 
         let mut degree_sum = 0u64;

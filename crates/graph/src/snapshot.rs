@@ -6,8 +6,32 @@
 //! other partitions are inherited, which is exactly what lets jobs bound to
 //! different snapshots keep *sharing* the unchanged structure partitions in
 //! cache (the effect Figs. 16–19 measure).
+//!
+//! # Layered delta chains
+//!
+//! Records are *layered*: each [`SnapshotRecord`] (vertex level) and
+//! `ShardRecord` (partition level) stores only the entries **its** delta
+//! touched, so writing a record costs O(|delta|) however long the chain
+//! grows — never O(accumulated state).  (Checkpoint stamping, when a
+//! policy schedules one, additionally clones the accumulated overrides;
+//! see [`CompactionPolicy`].)  Three resolution regimes follow:
+//!
+//! - **Latest view**: the store maintains one incrementally updated
+//!   current-state index, so every lookup at the newest snapshot is a
+//!   single hash probe — O(1) in chain length.
+//! - **Historical view**: a lookup walks its chain backwards (newest
+//!   record first) until it finds the key or hits a *checkpoint* — a
+//!   record onto which the full cumulative state has been materialized.
+//! - **Base view**: resolves straight against the base [`PartitionSet`].
+//!
+//! [`CompactionPolicy`] bounds the historical walk: `EveryK(k)` (the
+//! default, k = 16) materializes a checkpoint every `k` applied deltas,
+//! capping any walk at `2k - 1` records; `Off` disables auto-compaction
+//! (a manual [`ShardedSnapshotStore::compact`] is still available).
+//! Layering and compaction are pure representation: they never change
+//! what any view observes.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use crate::edge::{Edge, EdgeList};
@@ -71,24 +95,98 @@ impl std::fmt::Display for SnapshotError {
 
 impl std::error::Error for SnapshotError {}
 
-/// One snapshot's vertex-level state plus the shard chain heads visible
-/// at this snapshot (override maps are cumulative, so a view resolves
-/// everything with a single lookup, no chain walking).
+/// When the store materializes checkpoints along the delta chains.
+///
+/// A checkpoint is the full cumulative state stamped onto an existing
+/// record; a historical lookup's backward walk stops at the first one it
+/// meets.  Compaction is pure representation — it bounds walk length and
+/// never changes what any view observes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CompactionPolicy {
+    /// No automatic checkpoints: a historical walk may span the whole
+    /// chain.  [`ShardedSnapshotStore::compact`] still works manually.
+    Off,
+    /// Materialize a checkpoint every `k` applied deltas (`k` is clamped
+    /// to at least 1), capping any historical walk at `2k - 1` records.
+    /// `EveryK(1)` reproduces the pre-layering cumulative layout: every
+    /// record carries full state, at O(accumulated) cost per apply.
+    EveryK(usize),
+}
+
+impl Default for CompactionPolicy {
+    /// Checkpoint every 16 deltas: historical walks touch at most 31
+    /// records.  Stamping a checkpoint clones the accumulated override
+    /// state `S`, so apply is O(|delta| + S/k) amortized — strictly
+    /// O(|delta|) only under [`CompactionPolicy::Off`]; pruning
+    /// checkpointed prefixes (true log compaction) is future work.
+    fn default() -> Self {
+        CompactionPolicy::EveryK(16)
+    }
+}
+
+impl CompactionPolicy {
+    /// Whether a checkpoint is due after `applied` total deltas.
+    fn due(self, applied: usize) -> bool {
+        match self {
+            CompactionPolicy::Off => false,
+            CompactionPolicy::EveryK(k) => applied.is_multiple_of(k.max(1)),
+        }
+    }
+}
+
+/// One snapshot's vertex-level **delta**: only the vertices this delta
+/// touched, plus the shard chain heads visible at this snapshot.
+/// Unchanged vertices resolve through older records or the nearest
+/// checkpoint (see the module docs).
 #[derive(Debug)]
 struct SnapshotRecord {
     timestamp: u64,
     /// Per shard: how many of that shard's records this snapshot sees
     /// (0 = the base).  Partition-level state lives in the shards.
     shard_heads: Vec<usize>,
-    master_over: HashMap<VertexId, PartitionId>,
-    replica_over: HashMap<VertexId, Vec<PartitionId>>,
-    degree_over: HashMap<VertexId, (u32, u32)>,
+    master_delta: HashMap<VertexId, PartitionId>,
+    replica_delta: HashMap<VertexId, Vec<PartitionId>>,
+    degree_delta: HashMap<VertexId, (u32, u32)>,
+    /// Full cumulative vertex state as of this record, when compaction
+    /// materialized one here.  A backward walk stops at the first
+    /// checkpoint it meets.
+    checkpoint: Option<VertexCheckpoint>,
 }
 
-/// Partition-level overrides accumulated along one shard's delta chain.
+/// Materialized cumulative vertex-level state (checkpoint payload).
+#[derive(Clone, Debug, Default)]
+struct VertexCheckpoint {
+    master: HashMap<VertexId, PartitionId>,
+    replicas: HashMap<VertexId, Vec<PartitionId>>,
+    degree: HashMap<VertexId, (u32, u32)>,
+}
+
+/// Partition-level overrides contributed by **one** delta to one shard's
+/// chain (plus an optional materialized cumulative checkpoint).
 #[derive(Clone, Debug, Default)]
 struct ShardRecord {
     overrides: HashMap<PartitionId, Arc<Partition>>,
+    versions: HashMap<PartitionId, VersionId>,
+    checkpoint: Option<ShardCheckpoint>,
+}
+
+/// Materialized cumulative partition state for one shard.
+#[derive(Clone, Debug, Default)]
+struct ShardCheckpoint {
+    overrides: HashMap<PartitionId, Arc<Partition>>,
+    versions: HashMap<PartitionId, VersionId>,
+}
+
+/// The store's incrementally maintained current state: every override
+/// accumulated along the chain, updated in place by `apply` (O(|delta|)
+/// per update).  Lookups at the *latest* snapshot resolve here with a
+/// single probe instead of walking the chain.
+#[derive(Clone, Debug, Default)]
+struct CurrentIndex {
+    master: HashMap<VertexId, PartitionId>,
+    replicas: HashMap<VertexId, Vec<PartitionId>>,
+    degree: HashMap<VertexId, (u32, u32)>,
+    parts: HashMap<PartitionId, Arc<Partition>>,
     versions: HashMap<PartitionId, VersionId>,
 }
 
@@ -136,9 +234,12 @@ impl SnapshotShard {
         self.records.len()
     }
 
-    /// The cumulative chain state after `head` records (`0` = base).
-    fn at(&self, head: usize) -> Option<&ShardRecord> {
-        head.checked_sub(1).map(|i| &self.records[i])
+    /// Number of records carrying a materialized checkpoint.
+    pub fn num_checkpoints(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.checkpoint.is_some())
+            .count()
     }
 }
 
@@ -150,12 +251,19 @@ impl SnapshotShard {
 /// across shards transparently, so shard count never changes what any
 /// view observes — only how the chains are laid out and which I/O lane
 /// a partition load occupies.
+///
+/// Records are layered (see the module docs): `apply` is O(|delta|) in
+/// chain length, latest-view lookups are O(1) via the current-state
+/// index, and historical lookups walk backwards at most to the nearest
+/// checkpoint ([`CompactionPolicy`]).
 #[derive(Debug)]
 pub struct ShardedSnapshotStore {
     base: PartitionSet,
     shards: Vec<Arc<SnapshotShard>>,
     placement: ShardPlacement,
     records: Vec<SnapshotRecord>,
+    current: CurrentIndex,
+    compaction: CompactionPolicy,
 }
 
 /// The ubiquitous single-`Arc` spelling: a [`ShardedSnapshotStore`]
@@ -186,7 +294,22 @@ impl ShardedSnapshotStore {
                 .collect(),
             placement,
             records: Vec::new(),
+            current: CurrentIndex::default(),
+            compaction: CompactionPolicy::default(),
         }
+    }
+
+    /// Replaces the checkpoint compaction policy (builder style).
+    /// Compaction never changes what any view observes, only how far a
+    /// historical lookup walks.
+    pub fn with_compaction(mut self, policy: CompactionPolicy) -> Self {
+        self.compaction = policy;
+        self
+    }
+
+    /// The active checkpoint compaction policy.
+    pub fn compaction(&self) -> CompactionPolicy {
+        self.compaction
     }
 
     /// The base graph.
@@ -219,6 +342,14 @@ impl ShardedSnapshotStore {
         self.records.len()
     }
 
+    /// Number of snapshot records carrying a vertex-level checkpoint.
+    pub fn num_checkpoints(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.checkpoint.is_some())
+            .count()
+    }
+
     /// Timestamp of the newest snapshot (0 if only the base exists).
     pub fn latest_timestamp(&self) -> u64 {
         self.records.last().map_or(0, |r| r.timestamp)
@@ -235,27 +366,157 @@ impl ShardedSnapshotStore {
         idx.checked_sub(1).map_or(0, |i| self.records[i].timestamp)
     }
 
-    /// The shard chain state partition `pid` resolves against at store
-    /// record `record` (`None` = base).
-    fn shard_state(&self, record: Option<usize>, pid: PartitionId) -> Option<&ShardRecord> {
-        let rec = &self.records[record?];
+    /// Whether `record` is the newest state the store holds (the regime
+    /// the current-state index answers in O(1)).
+    fn is_latest(&self, record: Option<usize>) -> bool {
+        match record {
+            Some(i) => i + 1 == self.records.len(),
+            None => self.records.is_empty(),
+        }
+    }
+
+    /// Resolves one vertex-level attribute at `record`: the latest
+    /// snapshot answers from the current-state index; a historical one
+    /// walks its chain backwards until a record's delta names the key
+    /// (`from_delta`) or carries a checkpoint (`from_cp`); `base` is the
+    /// pre-snapshot fallback.  All five resolvers share this skeleton so
+    /// a walk-semantics change lands everywhere at once.
+    fn vertex_at<'a, T: 'a>(
+        &'a self,
+        record: Option<usize>,
+        from_current: impl Fn(&'a CurrentIndex) -> Option<T>,
+        from_delta: impl Fn(&'a SnapshotRecord) -> Option<T>,
+        from_cp: impl Fn(&'a VertexCheckpoint) -> Option<T>,
+        base: impl Fn() -> T,
+    ) -> T {
+        if self.is_latest(record) {
+            return from_current(&self.current).unwrap_or_else(base);
+        }
+        let Some(mut i) = record else {
+            return base();
+        };
+        loop {
+            let r = &self.records[i];
+            if let Some(x) = from_delta(r) {
+                return x;
+            }
+            if let Some(cp) = &r.checkpoint {
+                return from_cp(cp).unwrap_or_else(base);
+            }
+            if i == 0 {
+                return base();
+            }
+            i -= 1;
+        }
+    }
+
+    /// Partition-level sibling of [`Self::vertex_at`]: walks the owning
+    /// shard's chain from this snapshot's head.
+    fn shard_at<'a, T: 'a>(
+        &'a self,
+        record: Option<usize>,
+        pid: PartitionId,
+        from_current: impl Fn(&'a CurrentIndex) -> Option<T>,
+        from_rec: impl Fn(&'a ShardRecord) -> Option<T>,
+        from_cp: impl Fn(&'a ShardCheckpoint) -> Option<T>,
+        base: impl Fn() -> T,
+    ) -> T {
+        if self.is_latest(record) {
+            return from_current(&self.current).unwrap_or_else(base);
+        }
+        let Some(ri) = record else {
+            return base();
+        };
         let s = self.shard_of(pid);
-        self.shards[s].at(rec.shard_heads[s])
+        let shard = &self.shards[s];
+        let mut h = self.records[ri].shard_heads[s];
+        while h > 0 {
+            let r = &shard.records[h - 1];
+            if let Some(x) = from_rec(r) {
+                return x;
+            }
+            if let Some(cp) = &r.checkpoint {
+                return from_cp(cp).unwrap_or_else(base);
+            }
+            h -= 1;
+        }
+        base()
     }
 
     fn partition_at(&self, record: Option<usize>, pid: PartitionId) -> &Arc<Partition> {
-        self.shard_state(record, pid)
-            .and_then(|r| r.overrides.get(&pid))
-            .unwrap_or_else(|| self.base.partition(pid))
+        self.shard_at(
+            record,
+            pid,
+            |c| c.parts.get(&pid),
+            |r| r.overrides.get(&pid),
+            |cp| cp.overrides.get(&pid),
+            || self.base.partition(pid),
+        )
     }
 
     fn version_at(&self, record: Option<usize>, pid: PartitionId) -> VersionId {
-        self.shard_state(record, pid)
-            .and_then(|r| r.versions.get(&pid).copied())
-            .unwrap_or(0)
+        self.shard_at(
+            record,
+            pid,
+            |c| c.versions.get(&pid).copied(),
+            |r| r.versions.get(&pid).copied(),
+            |cp| cp.versions.get(&pid).copied(),
+            || 0,
+        )
+    }
+
+    fn master_at(&self, record: Option<usize>, v: VertexId) -> PartitionId {
+        self.vertex_at(
+            record,
+            |c| c.master.get(&v).copied(),
+            |r| r.master_delta.get(&v).copied(),
+            |cp| cp.master.get(&v).copied(),
+            || self.base.master_of(v),
+        )
+    }
+
+    fn replicas_at(&self, record: Option<usize>, v: VertexId) -> &[PartitionId] {
+        self.vertex_at(
+            record,
+            |c| c.replicas.get(&v).map(|r| r.as_slice()),
+            |r| r.replica_delta.get(&v).map(|r| r.as_slice()),
+            |cp| cp.replicas.get(&v).map(|r| r.as_slice()),
+            || self.base.replicas_of(v),
+        )
+    }
+
+    fn degree_at(&self, record: Option<usize>, v: VertexId) -> (u32, u32) {
+        self.vertex_at(
+            record,
+            |c| c.degree.get(&v).copied(),
+            |r| r.degree_delta.get(&v).copied(),
+            |cp| cp.degree.get(&v).copied(),
+            || self.base_degree(v),
+        )
+    }
+
+    /// Whole-graph degrees from the base partition metadata (any replica
+    /// carries them).
+    fn base_degree(&self, v: VertexId) -> (u32, u32) {
+        match self.base.replicas_of(v).first() {
+            Some(&pid) => {
+                let p = self.base.partition(pid);
+                let l = p.local_of(v).expect("replica listed");
+                let m = p.meta()[l as usize];
+                (m.global_out_degree, m.global_in_degree)
+            }
+            None => (0, 0),
+        }
     }
 
     /// Applies a delta, creating a new snapshot at `timestamp`.
+    ///
+    /// Cost is O(|delta| + rebuilt partition edges) regardless of how
+    /// long the chain already is: only the touched entries are written
+    /// (to the new layered record and the current-state index), never
+    /// the accumulated override state — except on the applies where the
+    /// [`CompactionPolicy`] schedules a checkpoint, which clone the
+    /// accumulated overrides (amortized O(state/k)).
     ///
     /// Returns the number of partitions that were re-versioned.
     pub fn apply(&mut self, timestamp: u64, delta: &GraphDelta) -> Result<usize, SnapshotError> {
@@ -269,59 +530,70 @@ impl ShardedSnapshotStore {
         let n = self.base.num_vertices();
         let np = self.base.num_partitions();
 
-        // Resolve helpers against the current (latest) state.
-        let cur = self.records.len().checked_sub(1);
-        let resolve = |pid: PartitionId| -> &Arc<Partition> { self.partition_at(cur, pid) };
+        // Resolve helpers against the current (latest) state: one probe
+        // each via the current-state index.
+        let resolve = |pid: PartitionId| -> &Arc<Partition> {
+            self.current
+                .parts
+                .get(&pid)
+                .unwrap_or_else(|| self.base.partition(pid))
+        };
         let replicas = |v: VertexId| -> &[PartitionId] {
-            self.records
-                .last()
-                .and_then(|r| r.replica_over.get(&v).map(|r| r.as_slice()))
+            self.current
+                .replicas
+                .get(&v)
+                .map(|r| r.as_slice())
                 .unwrap_or_else(|| self.base.replicas_of(v))
         };
         let master = |v: VertexId| -> PartitionId {
-            self.records
-                .last()
-                .and_then(|r| r.master_over.get(&v).copied())
+            self.current
+                .master
+                .get(&v)
+                .copied()
                 .unwrap_or_else(|| self.base.master_of(v))
         };
         let degree = |v: VertexId| -> (u32, u32) {
-            if let Some(&d) = self.records.last().and_then(|r| r.degree_over.get(&v)) {
-                return d;
-            }
-            // Base degrees live in partition metadata; any replica has them.
-            match self.base.replicas_of(v).first() {
-                Some(&pid) => {
-                    let p = self.base.partition(pid);
-                    let l = p.local_of(v).expect("replica listed");
-                    let m = p.meta()[l as usize];
-                    (m.global_out_degree, m.global_in_degree)
-                }
-                None => (0, 0),
-            }
+            self.current
+                .degree
+                .get(&v)
+                .copied()
+                .unwrap_or_else(|| self.base_degree(v))
         };
 
-        // 1. Locate removals and place additions.
+        // 1. Locate removals and place additions.  Removals sharing a
+        //    source resolve against the same pre-delta adjacency, so each
+        //    replica's out-neighbor set is materialized at most once per
+        //    source — lazily, in replica order, stopping at the first
+        //    partition holding the edge (as the old scan did).
         let mut removed: HashMap<PartitionId, Vec<(VertexId, VertexId)>> = HashMap::new();
+        let mut out_cache: HashMap<VertexId, Vec<HashSet<VertexId>>> = HashMap::new();
         for &(s, d) in &delta.removals {
             if s >= n || d >= n {
                 return Err(SnapshotError::VertexOutOfRange(s.max(d)));
             }
+            let reps = replicas(s);
+            let adj = out_cache.entry(s).or_default();
             let mut found = None;
-            for &pid in replicas(s) {
-                let p = resolve(pid);
-                if let Some(li) = p.local_of(s) {
-                    if p.out_edges(li).any(|(t, _)| p.global_of(t) == d) {
-                        found = Some(pid);
-                        break;
-                    }
+            for (i, &pid) in reps.iter().enumerate() {
+                if i == adj.len() {
+                    let p = resolve(pid);
+                    adj.push(
+                        p.local_of(s)
+                            .map(|li| p.out_edges(li).map(|(t, _)| p.global_of(t)).collect())
+                            .unwrap_or_default(),
+                    );
+                }
+                if adj[i].contains(&d) {
+                    found = Some(pid);
+                    break;
                 }
             }
             let pid = found.ok_or(SnapshotError::EdgeNotFound(s, d))?;
             removed.entry(pid).or_default().push((s, d));
         }
-        let fallback_pid = (0..np as PartitionId)
-            .min_by_key(|&pid| resolve(pid).num_edges())
-            .unwrap_or(0);
+        // The fallback partition (for additions whose endpoints are both
+        // unplaced) costs an O(np) scan, so resolve it lazily.
+        let mut fallback_pid: Option<PartitionId> = None;
         let mut added: HashMap<PartitionId, Vec<Edge>> = HashMap::new();
         for &e in &delta.additions {
             if e.src >= n || e.dst >= n {
@@ -330,7 +602,11 @@ impl ShardedSnapshotStore {
             let pid = match (master(e.src), master(e.dst)) {
                 (m, _) if m != NO_PARTITION => m,
                 (_, m) if m != NO_PARTITION => m,
-                _ => fallback_pid,
+                _ => *fallback_pid.get_or_insert_with(|| {
+                    (0..np as PartitionId)
+                        .min_by_key(|&pid| resolve(pid).num_edges())
+                        .unwrap_or(0)
+                }),
             };
             added.entry(pid).or_default().push(e);
         }
@@ -370,12 +646,23 @@ impl ShardedSnapshotStore {
         for &pid in &affected {
             let mut edges = resolve(pid).edges_global();
             if let Some(rm) = removed.get(&pid) {
+                // Remove the first k matching instances of each pair in
+                // one pass instead of an O(edges) scan per removal.
+                let mut counts: HashMap<(VertexId, VertexId), usize> = HashMap::new();
                 for &(s, d) in rm {
-                    let pos = edges
-                        .iter()
-                        .position(|e| e.src == s && e.dst == d)
-                        .ok_or(SnapshotError::EdgeNotFound(s, d))?;
-                    edges.swap_remove(pos);
+                    *counts.entry((s, d)).or_default() += 1;
+                }
+                edges.retain(|e| match counts.get_mut(&(e.src, e.dst)) {
+                    Some(c) if *c > 0 => {
+                        *c -= 1;
+                        false
+                    }
+                    _ => true,
+                });
+                for &(s, d) in rm {
+                    if counts.get(&(s, d)).is_some_and(|&c| c > 0) {
+                        return Err(SnapshotError::EdgeNotFound(s, d));
+                    }
                 }
             }
             if let Some(ad) = added.get(&pid) {
@@ -385,22 +672,16 @@ impl ShardedSnapshotStore {
             rebuilt.insert(pid, Partition::from_edges_with(pid, &edges, &new_degree));
         }
 
-        // 5. Recompute replica membership and masters for changed vertices.
-        let mut replica_over: HashMap<VertexId, Vec<PartitionId>> = self
-            .records
-            .last()
-            .map(|r| r.replica_over.clone())
-            .unwrap_or_default();
-        let mut master_over: HashMap<VertexId, PartitionId> = self
-            .records
-            .last()
-            .map(|r| r.master_over.clone())
-            .unwrap_or_default();
+        // 5. Recompute replica membership and masters for the touched
+        //    vertices only — the layered record stores exactly these.
+        let mut master_delta: HashMap<VertexId, PartitionId> = HashMap::new();
+        let mut replica_delta: HashMap<VertexId, Vec<PartitionId>> = HashMap::new();
+        let mut degree_delta: HashMap<VertexId, (u32, u32)> = HashMap::new();
         for &v in ddeg.keys() {
             let mut reps: Vec<PartitionId> = replicas(v)
                 .iter()
                 .copied()
-                .filter(|p| !affected.contains(p))
+                .filter(|p| affected.binary_search(p).is_err())
                 .collect();
             for &pid in &affected {
                 if rebuilt[&pid].local_of(v).is_some() {
@@ -414,17 +695,15 @@ impl ShardedSnapshotStore {
             } else {
                 reps.first().copied().unwrap_or(NO_PARTITION)
             };
-            replica_over.insert(v, reps);
-            master_over.insert(v, new_master);
+            replica_delta.insert(v, reps);
+            master_delta.insert(v, new_master);
+            degree_delta.insert(v, new_degree(v));
         }
 
         // 6. Patch master metadata and group rebuilt partitions by the
         //    shard that owns them.
         let master_lookup = |v: VertexId| -> PartitionId {
-            master_over
-                .get(&v)
-                .copied()
-                .unwrap_or_else(|| self.base.master_of(v))
+            master_delta.get(&v).copied().unwrap_or_else(|| master(v))
         };
         let mut by_shard: HashMap<usize, Vec<(PartitionId, Partition)>> = HashMap::new();
         for (pid, mut p) in rebuilt {
@@ -435,45 +714,148 @@ impl ShardedSnapshotStore {
                 .push((pid, p));
         }
 
-        // 7. Append one record to each affected shard's chain (cumulative
-        //    within the shard; untouched shards keep their head).
+        // 7. Append one *layered* record to each affected shard's chain
+        //    (only this delta's partitions; untouched shards keep their
+        //    head) and fold the same entries into the current index.
         let mut shard_heads: Vec<usize> = self
             .records
             .last()
             .map(|r| r.shard_heads.clone())
             .unwrap_or_else(|| vec![0; self.shards.len()]);
         for (s, parts) in by_shard {
-            let mut rec = self.shards[s]
-                .at(shard_heads[s])
-                .cloned()
-                .unwrap_or_default();
+            let mut rec = ShardRecord::default();
             for (pid, p) in parts {
-                *rec.versions.entry(pid).or_insert(0) += 1;
-                rec.overrides.insert(pid, Arc::new(p));
+                let ver = self.current.versions.get(&pid).copied().unwrap_or(0) + 1;
+                let part = Arc::new(p);
+                rec.versions.insert(pid, ver);
+                rec.overrides.insert(pid, Arc::clone(&part));
+                self.current.versions.insert(pid, ver);
+                self.current.parts.insert(pid, part);
             }
             let shard = Arc::make_mut(&mut self.shards[s]);
             shard.records.push(rec);
             shard_heads[s] = shard.records.len();
         }
 
-        // 8. Degree overrides and the snapshot's vertex-level record.
-        let mut degree_over = self
-            .records
-            .last()
-            .map(|r| r.degree_over.clone())
-            .unwrap_or_default();
-        for &v in ddeg.keys() {
-            degree_over.insert(v, new_degree(v));
+        // 8. Fold the vertex-level delta into the current index and push
+        //    the snapshot's layered record.
+        for (&v, &m) in &master_delta {
+            self.current.master.insert(v, m);
         }
-
+        for (&v, reps) in &replica_delta {
+            self.current.replicas.insert(v, reps.clone());
+        }
+        for (&v, &d) in &degree_delta {
+            self.current.degree.insert(v, d);
+        }
         self.records.push(SnapshotRecord {
             timestamp,
             shard_heads,
-            master_over,
-            replica_over,
-            degree_over,
+            master_delta,
+            replica_delta,
+            degree_delta,
+            checkpoint: None,
         });
+
+        if self.compaction.due(self.records.len()) {
+            self.compact();
+        }
         Ok(affected.len())
+    }
+
+    /// Materializes a checkpoint at the newest record of the store and of
+    /// every shard chain, capping subsequent historical walks there.
+    /// Purely representational: no view observes any difference.  Called
+    /// automatically every K deltas under [`CompactionPolicy::EveryK`];
+    /// safe (and idempotent) to call manually at any time.
+    pub fn compact(&mut self) {
+        let Some(last) = self.records.last_mut() else {
+            return;
+        };
+        if last.checkpoint.is_none() {
+            last.checkpoint = Some(VertexCheckpoint {
+                master: self.current.master.clone(),
+                replicas: self.current.replicas.clone(),
+                degree: self.current.degree.clone(),
+            });
+        }
+        let mut per_shard: Vec<ShardCheckpoint> =
+            vec![ShardCheckpoint::default(); self.shards.len()];
+        for (&pid, part) in &self.current.parts {
+            per_shard[self.shard_of(pid)]
+                .overrides
+                .insert(pid, Arc::clone(part));
+        }
+        for (&pid, &ver) in &self.current.versions {
+            per_shard[self.shard_of(pid)].versions.insert(pid, ver);
+        }
+        for (s, cp) in per_shard.into_iter().enumerate() {
+            // A shard's cumulative state only changes when a record is
+            // appended to it, so its newest record always equals the
+            // current state — stamping there is exact.
+            let needs = self.shards[s]
+                .records
+                .last()
+                .is_some_and(|r| r.checkpoint.is_none());
+            if needs {
+                let shard = Arc::make_mut(&mut self.shards[s]);
+                shard.records.last_mut().expect("checked above").checkpoint = Some(cp);
+            }
+        }
+    }
+
+    /// Approximate resident bytes held by the delta chains beyond the
+    /// base graph: record and checkpoint map entries, replica lists, the
+    /// current-state index, and each *distinct* overridden partition's
+    /// structure (counted once however many records reference it).
+    pub fn override_bytes(&self) -> u64 {
+        // Rough per-entry cost of a small-key/small-value hash map slot.
+        const ENTRY: u64 = 16;
+        fn vec_bytes(v: &[PartitionId]) -> u64 {
+            24 + 4 * v.len() as u64
+        }
+        fn vertex_maps(
+            m: &HashMap<VertexId, PartitionId>,
+            r: &HashMap<VertexId, Vec<PartitionId>>,
+            d: &HashMap<VertexId, (u32, u32)>,
+        ) -> u64 {
+            ENTRY * (m.len() + r.len() + d.len()) as u64
+                + r.values().map(|v| vec_bytes(v)).sum::<u64>()
+        }
+        let mut seen: HashSet<*const Partition> = HashSet::new();
+        let mut part_maps = |o: &HashMap<PartitionId, Arc<Partition>>,
+                             v: &HashMap<PartitionId, VersionId>| {
+            let mut b = ENTRY * (o.len() + v.len()) as u64;
+            for p in o.values() {
+                if seen.insert(Arc::as_ptr(p)) {
+                    b += p.structure_bytes();
+                }
+            }
+            b
+        };
+        let mut bytes = 0u64;
+        for rec in &self.records {
+            bytes += vertex_maps(&rec.master_delta, &rec.replica_delta, &rec.degree_delta);
+            bytes += 8 * rec.shard_heads.len() as u64;
+            if let Some(cp) = &rec.checkpoint {
+                bytes += vertex_maps(&cp.master, &cp.replicas, &cp.degree);
+            }
+        }
+        for shard in &self.shards {
+            for rec in &shard.records {
+                bytes += part_maps(&rec.overrides, &rec.versions);
+                if let Some(cp) = &rec.checkpoint {
+                    bytes += part_maps(&cp.overrides, &cp.versions);
+                }
+            }
+        }
+        bytes += vertex_maps(
+            &self.current.master,
+            &self.current.replicas,
+            &self.current.degree,
+        );
+        bytes += part_maps(&self.current.parts, &self.current.versions);
+        bytes
     }
 
     /// A view of the newest snapshot.
@@ -489,16 +871,22 @@ impl ShardedSnapshotStore {
     /// The view a job arriving at `ts` binds to: the newest snapshot whose
     /// timestamp does not exceed `ts`.
     pub fn view_at(self: &Arc<Self>, ts: u64) -> GraphView {
-        let record = self.records.iter().rposition(|r| r.timestamp <= ts);
-        GraphView { store: Arc::clone(self), record }
+        // Same partition point as `snapshot_at`: timestamps are strictly
+        // ascending, so no linear scan.
+        let idx = self.records.partition_point(|r| r.timestamp <= ts);
+        GraphView { store: Arc::clone(self), record: idx.checked_sub(1) }
     }
 }
 
 /// A consistent, immutable view of the graph at one snapshot.
 ///
 /// Views resolve partition state across the store's shards
-/// transparently: a partition lookup walks to the owning shard's chain
-/// head as of this snapshot, so callers never see the sharding.
+/// transparently: a lookup at the newest snapshot is answered by the
+/// store's current-state index in O(1); a historical lookup walks the
+/// owning chain backwards from this snapshot's head, stopping at the
+/// first record that names the key or carries a checkpoint (so the walk
+/// is bounded by the store's [`CompactionPolicy`]).  Callers never see
+/// the sharding or the layering.
 #[derive(Clone, Debug)]
 pub struct GraphView {
     store: Arc<SnapshotStore>,
@@ -551,32 +939,17 @@ impl GraphView {
 
     /// Master partition of `v` in this view.
     pub fn master_of(&self, v: VertexId) -> PartitionId {
-        self.rec()
-            .and_then(|r| r.master_over.get(&v).copied())
-            .unwrap_or_else(|| self.store.base.master_of(v))
+        self.store.master_at(self.record, v)
     }
 
     /// Replica partitions of `v` in this view.
     pub fn replicas_of(&self, v: VertexId) -> &[PartitionId] {
-        self.rec()
-            .and_then(|r| r.replica_over.get(&v).map(|x| x.as_slice()))
-            .unwrap_or_else(|| self.store.base.replicas_of(v))
+        self.store.replicas_at(self.record, v)
     }
 
     /// Whole-graph out/in degree of `v` in this view.
     pub fn degree_of(&self, v: VertexId) -> (u32, u32) {
-        if let Some(&d) = self.rec().and_then(|r| r.degree_over.get(&v)) {
-            return d;
-        }
-        match self.store.base.replicas_of(v).first() {
-            Some(&pid) => {
-                let p = self.store.base.partition(pid);
-                let l = p.local_of(v).expect("replica listed");
-                let m = p.meta()[l as usize];
-                (m.global_out_degree, m.global_in_degree)
-            }
-            None => (0, 0),
-        }
+        self.store.degree_at(self.record, v)
     }
 
     /// Materializes the whole graph at this view as an edge list
@@ -955,5 +1328,156 @@ mod tests {
                 assert!(reps.contains(&v.master_of(vid)));
             }
         }
+    }
+
+    // ---- layered chain + checkpoint compaction ----
+
+    /// One delta stream, observed through every compaction regime, must
+    /// be indistinguishable view by view: compaction is representation,
+    /// never semantics.
+    #[test]
+    fn compaction_is_transparent_to_views() {
+        let build = |policy: CompactionPolicy, post_hoc: bool| {
+            let el = GraphBuilder::new(8)
+                .edges([
+                    (0, 1),
+                    (1, 2),
+                    (2, 3),
+                    (3, 4),
+                    (4, 5),
+                    (5, 6),
+                    (6, 7),
+                    (7, 0),
+                ])
+                .build();
+            let mut s =
+                ShardedSnapshotStore::with_shards(VertexCutPartitioner::new(4).partition(&el), 2)
+                    .with_compaction(policy);
+            for (i, d) in [
+                GraphDelta::adding([Edge::unit(0, 2)]),
+                GraphDelta::adding([Edge::unit(3, 7), Edge::unit(1, 5)]),
+                GraphDelta::removing([(0, 2)]),
+                GraphDelta::adding([Edge::unit(6, 1)]),
+                GraphDelta::removing([(3, 7)]),
+            ]
+            .iter()
+            .enumerate()
+            {
+                s.apply((i as u64 + 1) * 10, d).unwrap();
+            }
+            if post_hoc {
+                s.compact();
+            }
+            Arc::new(s)
+        };
+        let reference = build(CompactionPolicy::Off, false);
+        for (policy, post_hoc) in [
+            (CompactionPolicy::EveryK(1), false),
+            (CompactionPolicy::EveryK(2), false),
+            (CompactionPolicy::EveryK(4), false),
+            (CompactionPolicy::Off, true),
+        ] {
+            let other = build(policy, post_hoc);
+            for ts in [0, 10, 20, 30, 40, 50, 99] {
+                let a = reference.view_at(ts);
+                let b = other.view_at(ts);
+                assert_eq!(a.timestamp(), b.timestamp());
+                for pid in 0..4 {
+                    assert_eq!(
+                        a.version_of(pid),
+                        b.version_of(pid),
+                        "{policy:?} ts {ts} pid {pid}"
+                    );
+                    assert_eq!(
+                        a.partition(pid).edges_global(),
+                        b.partition(pid).edges_global(),
+                        "{policy:?} ts {ts} pid {pid}"
+                    );
+                }
+                for v in 0..8 {
+                    assert_eq!(a.master_of(v), b.master_of(v), "{policy:?} ts {ts} v {v}");
+                    assert_eq!(
+                        a.replicas_of(v),
+                        b.replicas_of(v),
+                        "{policy:?} ts {ts} v {v}"
+                    );
+                    assert_eq!(a.degree_of(v), b.degree_of(v), "{policy:?} ts {ts} v {v}");
+                }
+            }
+        }
+    }
+
+    /// EveryK materializes checkpoints on schedule; Off never does; a
+    /// manual compact() stamps exactly one at the head and is idempotent.
+    #[test]
+    fn checkpoint_cadence_follows_policy() {
+        let run = |policy: CompactionPolicy| {
+            let mut s = store_mut().with_compaction(policy);
+            for i in 1..=6u64 {
+                s.apply(
+                    i,
+                    &GraphDelta::adding([Edge::unit((i % 8) as u32, ((i + 2) % 8) as u32)]),
+                )
+                .unwrap();
+            }
+            s
+        };
+        assert_eq!(run(CompactionPolicy::Off).num_checkpoints(), 0);
+        assert_eq!(run(CompactionPolicy::EveryK(2)).num_checkpoints(), 3);
+        assert_eq!(run(CompactionPolicy::EveryK(1)).num_checkpoints(), 6);
+
+        let mut s = run(CompactionPolicy::Off);
+        s.compact();
+        assert_eq!(s.num_checkpoints(), 1);
+        s.compact();
+        assert_eq!(s.num_checkpoints(), 1, "compact() is idempotent");
+        assert!(s.shard(0).num_checkpoints() >= 1);
+    }
+
+    /// Layered records hold only what their delta touched: applying a
+    /// constant-size delta appends constant-size records no matter how
+    /// long the chain already is (the O(Δ) ingest property, structurally).
+    #[test]
+    fn records_stay_delta_sized_without_compaction() {
+        let mut s = store_mut().with_compaction(CompactionPolicy::Off);
+        for i in 1..=20u64 {
+            let v = (i % 7) as u32;
+            s.apply(i, &GraphDelta::adding([Edge::unit(v, (v + 3) % 8)]))
+                .unwrap();
+        }
+        // A one-edge delta touches two vertices: every record's delta
+        // maps stay that small, they never re-accumulate the chain.
+        for rec in &s.records {
+            assert!(rec.master_delta.len() <= 2, "{}", rec.master_delta.len());
+            assert!(rec.replica_delta.len() <= 2);
+            assert!(rec.degree_delta.len() <= 2);
+            assert!(rec.checkpoint.is_none());
+        }
+        for shard in &s.shards {
+            for rec in &shard.records {
+                assert!(rec.overrides.len() <= 2, "one-edge delta, tiny override");
+            }
+        }
+    }
+
+    /// The default policy keeps resident bytes far below the EveryK(1)
+    /// cumulative layout on a long chain.
+    #[test]
+    fn layered_chain_is_smaller_than_cumulative() {
+        let run = |policy: CompactionPolicy| {
+            let mut s = store_mut().with_compaction(policy);
+            for i in 1..=40u64 {
+                let v = (i % 7) as u32;
+                s.apply(i, &GraphDelta::adding([Edge::unit(v, (v + 3) % 8)]))
+                    .unwrap();
+            }
+            s.override_bytes()
+        };
+        let layered = run(CompactionPolicy::default());
+        let cumulative = run(CompactionPolicy::EveryK(1));
+        assert!(
+            layered * 2 <= cumulative,
+            "layered {layered} vs cumulative {cumulative}"
+        );
     }
 }
