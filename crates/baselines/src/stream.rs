@@ -191,7 +191,15 @@ impl StreamEngine {
         let lane = self.store.shard_of(pid);
         let skey = self.structure_key(j, pid);
         let sbytes = self.jobs[j].runtime.view().partition(pid).structure_bytes();
-        self.ledger.charge_access_on(lane, j, skey, sbytes);
+        let outcome = self.ledger.charge_access_on(lane, j, skey, sbytes);
+        // Capacity-spilled snapshot state: when the fetch actually
+        // reaches disk and this view resolves the partition through a
+        // record the store evicted, the load pays one re-fetch from
+        // (modeled) spill storage on the owning lane — the same pricing
+        // the CGraph engine applies; cache-resident structures never pay.
+        if outcome.bytes_from_disk > 0 && self.jobs[j].runtime.view().partition_spilled(pid) {
+            self.ledger.charge_spill_fetch(lane, j, sbytes);
+        }
         let tbytes = self.jobs[j].runtime.private_table_bytes(pid);
         self.ledger.charge_access_on(
             lane,
@@ -314,6 +322,18 @@ impl StreamEngine {
     /// Disk bytes fetched through each snapshot-store shard's I/O lane.
     pub fn shard_fetch_bytes(&self) -> &[u64] {
         self.ledger.shard_fetch_bytes()
+    }
+
+    /// Spill-storage re-fetch bytes per lane (capacity-eviction
+    /// round-trips, a subset of the lane fetch figures).
+    pub fn spill_fetch_bytes(&self) -> &[u64] {
+        self.ledger.spill_fetch_bytes()
+    }
+
+    /// Disk fetch bytes jobs pulled from outside their home shards (the
+    /// lane carrying most of each job's traffic).
+    pub fn cross_shard_fetch_bytes(&self) -> u64 {
+        self.ledger.cross_shard_fetch_bytes()
     }
 
     /// The configuration.

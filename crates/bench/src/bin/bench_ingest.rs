@@ -12,8 +12,11 @@
 //! Accepts the standard `--full` / `--tiny` scale flags; `--out PATH`
 //! overrides the JSON location.
 
-use cgraph_bench::{ingest_run, ingest_stream, ingest_sweep_json, print_table, IngestRun, Scale};
-use cgraph_graph::snapshot::CompactionPolicy;
+use cgraph_bench::{
+    ingest_run, ingest_run_on, ingest_stream, ingest_stream_spread, ingest_sweep_json, print_table,
+    IngestRun, Scale,
+};
+use cgraph_graph::snapshot::{CompactionPolicy, ShardedSnapshotStore};
 use cgraph_graph::vertex_cut::VertexCutPartitioner;
 use cgraph_graph::{generate, Partitioner};
 
@@ -40,7 +43,7 @@ fn main() {
     let stream = ingest_stream(vertices, DELTAS, EDGES_PER_DELTA);
     let marks = [25usize, 50, 100, 200];
 
-    let runs: Vec<IngestRun> = [
+    let mut runs: Vec<IngestRun> = [
         ("cumulative(k=1)", CompactionPolicy::EveryK(1)),
         ("layered(off)", CompactionPolicy::Off),
         ("layered(k=16)", CompactionPolicy::default()),
@@ -48,6 +51,24 @@ fn main() {
     .into_iter()
     .map(|(label, policy)| ingest_run(label, policy, &base, &stream, &marks))
     .collect();
+    // Trajectory row for the concurrent-apply path: the same layered
+    // policy over a 4-shard store with rebuilds fanned out on 4 workers,
+    // on a source-spread stream (several partitions rebuild per delta —
+    // the shape the fan-out pays on; the speedup gate itself lives in
+    // bench_store, where core availability is accounted for).
+    let spread = ingest_stream_spread(vertices, DELTAS, EDGES_PER_DELTA, 8);
+    runs.push(ingest_run_on(
+        "layered(k=16)+shards4",
+        ShardedSnapshotStore::with_shards(base.clone(), 4),
+        &spread,
+        &marks,
+    ));
+    runs.push(ingest_run_on(
+        "layered(k=16)+shards4+apply4",
+        ShardedSnapshotStore::with_shards(base.clone(), 4).with_apply_workers(4),
+        &spread,
+        &marks,
+    ));
 
     let rows: Vec<Vec<String>> = runs
         .iter()

@@ -12,11 +12,11 @@
 use std::sync::Arc;
 
 use cgraph_bench::{
-    out_of_core_hierarchy, paper_mix, partitions_for, print_table, wavefront_sweep,
-    wavefront_sweep_json, Scale,
+    out_of_core_hierarchy, paper_mix, partitions_for, print_table, run_wavefront_placed,
+    wavefront_sweep, wavefront_sweep_json, Scale,
 };
 use cgraph_graph::generate::Dataset;
-use cgraph_graph::snapshot::SnapshotStore;
+use cgraph_graph::snapshot::{ShardPlacement, SnapshotStore};
 
 fn main() {
     let scale = Scale::from_args();
@@ -66,6 +66,17 @@ fn main() {
         "wavefront sweep (out-of-core, four-job mix)",
         &["config", "modeled ms", "wall ms", "loads"],
         &rows,
+    );
+
+    // The modeled-lane placement knob: the k=4 s=4 d=2 point again with
+    // hash-placed lanes.  Placement is transparent to results and loads;
+    // only the lane interleaving (and so the modeled overlap) may move.
+    let hashed = run_wavefront_placed(&store, 2, h, 4, 4, 2, ShardPlacement::Hash, &paper_mix());
+    assert!(hashed.completed, "hash-placed sweep point must converge");
+    println!(
+        "\nhash-placed lanes at k=4 s=4 d=2: modeled {:.3} ms over {} loads",
+        hashed.modeled_seconds * 1e3,
+        hashed.loads
     );
 
     let baseline = points

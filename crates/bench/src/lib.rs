@@ -19,7 +19,10 @@ use cgraph_core::{
 use cgraph_graph::generate::Dataset;
 use cgraph_graph::snapshot::{CompactionPolicy, GraphDelta, SnapshotStore};
 use cgraph_graph::vertex_cut::VertexCutPartitioner;
-use cgraph_graph::{Edge, EdgeList, PartitionSet, Partitioner};
+use cgraph_graph::{
+    generate, Edge, EdgeList, PartitionSet, Partitioner, ShardCapacity, ShardPlacement,
+    ShardedSnapshotStore,
+};
 use cgraph_memsim::{HierarchyConfig, JobMetrics, Metrics};
 use cgraph_trace::JobSpan;
 
@@ -297,6 +300,32 @@ pub fn run_wavefront_cfg(
     depth: usize,
     mix: &[(BenchmarkJob, u64)],
 ) -> cgraph_core::RunReport {
+    run_wavefront_placed(
+        store,
+        workers,
+        hierarchy,
+        width,
+        shards,
+        depth,
+        ShardPlacement::RoundRobin,
+        mix,
+    )
+}
+
+/// [`run_wavefront_cfg`] with an explicit modeled-lane placement (the
+/// `EngineConfig::placement` knob; a physically sharded store keeps
+/// dictating its own).
+#[allow(clippy::too_many_arguments)]
+pub fn run_wavefront_placed(
+    store: &Arc<SnapshotStore>,
+    workers: usize,
+    hierarchy: HierarchyConfig,
+    width: usize,
+    shards: usize,
+    depth: usize,
+    placement: ShardPlacement,
+    mix: &[(BenchmarkJob, u64)],
+) -> cgraph_core::RunReport {
     let mut engine = Engine::new(
         Arc::clone(store),
         EngineConfig {
@@ -304,6 +333,7 @@ pub fn run_wavefront_cfg(
             hierarchy,
             wavefront: width,
             shards,
+            placement,
             prefetch_depth: depth,
             ..EngineConfig::default()
         },
@@ -622,9 +652,23 @@ pub fn evolving_store(
 /// pre-layering cumulative layout recloned all of that state per apply;
 /// the layered chain writes only the delta.
 pub fn ingest_stream(n: u32, deltas: usize, per_delta: usize) -> Vec<GraphDelta> {
+    ingest_stream_spread(n, deltas, per_delta, 2)
+}
+
+/// [`ingest_stream`] with `sources` evenly spread source vertices: each
+/// delta's additions fan out from `sources` fixed points, so every
+/// delta rebuilds ~`sources` partitions across several shards — the
+/// stream shape the concurrent-apply benchmark fans out over.
+pub fn ingest_stream_spread(
+    n: u32,
+    deltas: usize,
+    per_delta: usize,
+    sources: u32,
+) -> Vec<GraphDelta> {
+    let sources = sources.clamp(1, n);
     let edge = |i: usize, j: usize| -> Edge {
         let k = (i * per_delta + j) as u32;
-        let src = (k % 2) * (n / 2);
+        let src = (k % sources) * (n / sources);
         let mut dst = k.wrapping_mul(2654435761) % n;
         if dst == src {
             dst = (dst + 1) % n;
@@ -697,8 +741,23 @@ pub fn ingest_run(
     stream: &[GraphDelta],
     marks: &[usize],
 ) -> IngestRun {
-    let mut store = SnapshotStore::new(base.clone()).with_compaction(policy);
-    let np = base.num_partitions() as u32;
+    ingest_run_on(
+        policy_label,
+        SnapshotStore::new(base.clone()).with_compaction(policy),
+        stream,
+        marks,
+    )
+}
+
+/// [`ingest_run`] over a caller-configured store — the hook the
+/// sharded / concurrent-apply / capacity-limited rows use.
+pub fn ingest_run_on(
+    policy_label: &str,
+    mut store: ShardedSnapshotStore,
+    stream: &[GraphDelta],
+    marks: &[usize],
+) -> IngestRun {
+    let np = store.base().num_partitions() as u32;
     let mut apply_us = Vec::with_capacity(stream.len());
     let mut points = Vec::new();
     for (i, d) in stream.iter().enumerate() {
@@ -777,6 +836,349 @@ pub fn ingest_sweep_json(
         s.push_str(&format!(
             "    ]}}{}\n",
             if r + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+// ---- multi-node store sweeps (placement / capacity / concurrent apply) ----
+
+/// A graph of `communities` disjoint R-MAT communities laid out over
+/// consecutive vertex ranges: community `c` occupies
+/// `[c * 2^scale, (c+1) * 2^scale)` and no edge crosses communities.
+/// Partitioned in order, each partition's edges belong to (almost
+/// always exactly) one community — the clustered-footprint workload the
+/// locality placer exists for: a frontier job started inside one
+/// community only ever touches that community's partitions.
+pub fn community_graph(communities: usize, scale: u32, edge_factor: u32, seed: u64) -> EdgeList {
+    let block = 1u32 << scale;
+    let n = block * communities as u32;
+    let mut edges: Vec<Edge> = Vec::new();
+    for c in 0..communities as u32 {
+        let el = generate::rmat(
+            scale,
+            edge_factor,
+            generate::RmatParams::default(),
+            seed.wrapping_add(c as u64),
+        );
+        edges.extend(el.edges().iter().map(|e| Edge {
+            src: e.src + c * block,
+            dst: e.dst + c * block,
+            ..*e
+        }));
+    }
+    EdgeList::from_edges(edges, n)
+}
+
+/// Submits one BFS and one SSSP per community, sourced at each
+/// community's base vertex — `2 * communities` jobs whose partition
+/// footprints are disjoint community blocks.
+pub fn submit_community_jobs<E: JobEngine>(engine: &mut E, communities: usize, block: u32) {
+    for c in 0..communities as u32 {
+        engine.submit_program(Bfs::new(c * block));
+        engine.submit_program(Sssp::new(c * block + 1));
+    }
+}
+
+/// One measured point of the placement sweep.
+#[derive(Clone, Debug)]
+pub struct PlacementPoint {
+    /// Placement label (`round_robin`, `hash`, `locality`).
+    pub placement: String,
+    /// Partition loads performed.
+    pub loads: u64,
+    /// Total disk bytes fetched across all shard lanes.
+    pub total_fetch_bytes: u64,
+    /// Disk bytes jobs pulled from outside their home shards.
+    pub cross_shard_fetch_bytes: u64,
+    /// Pipeline-modeled milliseconds.
+    pub modeled_ms: f64,
+    /// Wall-clock milliseconds of the run.
+    pub wall_ms: f64,
+}
+
+impl PlacementPoint {
+    /// Cross-shard share of all fetched bytes (0 when nothing fetched).
+    pub fn cross_fraction(&self) -> f64 {
+        if self.total_fetch_bytes == 0 {
+            0.0
+        } else {
+            self.cross_shard_fetch_bytes as f64 / self.total_fetch_bytes as f64
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_placed_community(
+    ps: &PartitionSet,
+    shards: usize,
+    placement: ShardPlacement,
+    label: &str,
+    workers: usize,
+    hierarchy: HierarchyConfig,
+    communities: usize,
+    block: u32,
+) -> (PlacementPoint, Engine) {
+    let store = Arc::new(ShardedSnapshotStore::with_placement(
+        ps.clone(),
+        shards,
+        placement,
+    ));
+    let mut engine = Engine::new(
+        store,
+        EngineConfig {
+            workers,
+            hierarchy,
+            wavefront: 4,
+            prefetch_depth: 2,
+            ..EngineConfig::default()
+        },
+    );
+    let start = std::time::Instant::now();
+    submit_community_jobs(&mut engine, communities, block);
+    let report = engine.run();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert!(report.completed, "placement sweep point must converge");
+    let point = PlacementPoint {
+        placement: label.to_string(),
+        loads: report.loads,
+        total_fetch_bytes: engine.shard_fetch_bytes().iter().sum(),
+        cross_shard_fetch_bytes: engine.cross_shard_fetch_bytes(),
+        modeled_ms: report.modeled_seconds * 1e3,
+        wall_ms,
+    };
+    (point, engine)
+}
+
+/// Runs the community mix over `{round_robin, hash, locality}` stores
+/// of `shards` shards on an out-of-core hierarchy — the bench_wavefront
+/// regime, swept over placements.  The locality table is profiled from
+/// the round-robin run's observed job footprints
+/// ([`Engine::footprint_profile`]), exactly how a deployment would feed
+/// the placer.  Returns the three points in that order.
+pub fn placement_sweep(
+    ps: &PartitionSet,
+    shards: usize,
+    workers: usize,
+    hierarchy: HierarchyConfig,
+    communities: usize,
+    block: u32,
+) -> Vec<PlacementPoint> {
+    let (rr, profiled) = run_placed_community(
+        ps,
+        shards,
+        ShardPlacement::RoundRobin,
+        "round_robin",
+        workers,
+        hierarchy,
+        communities,
+        block,
+    );
+    let profile = profiled.footprint_profile();
+    let locality = ShardPlacement::locality(&profile, ps.num_partitions(), shards);
+    let (hash, _) = run_placed_community(
+        ps,
+        shards,
+        ShardPlacement::Hash,
+        "hash",
+        workers,
+        hierarchy,
+        communities,
+        block,
+    );
+    let (local, _) = run_placed_community(
+        ps,
+        shards,
+        locality,
+        "locality",
+        workers,
+        hierarchy,
+        communities,
+        block,
+    );
+    vec![rr, hash, local]
+}
+
+/// One measured point of the concurrent-apply sweep.
+#[derive(Clone, Debug)]
+pub struct ApplyPoint {
+    /// Worker threads `apply` fanned out on.
+    pub apply_workers: usize,
+    /// Shards of the store.
+    pub shards: usize,
+    /// Total wall time of the whole stream, µs.
+    pub total_apply_us: f64,
+    /// Resident override bytes after the stream (must be identical at
+    /// every worker count — concurrency never changes the result).
+    pub override_bytes: u64,
+}
+
+/// Applies `stream` once per worker count in `workers_list` over a
+/// fresh `shards`-shard store and measures the wall time.  Asserts the
+/// bit-identity invariant: every run ends with identical resident
+/// bytes and identical latest-view partition versions.
+pub fn apply_sweep(
+    base: &PartitionSet,
+    stream: &[GraphDelta],
+    shards: usize,
+    workers_list: &[usize],
+) -> Vec<ApplyPoint> {
+    let mut points: Vec<ApplyPoint> = Vec::new();
+    let mut reference: Option<Vec<cgraph_graph::VersionId>> = None;
+    for &w in workers_list {
+        let mut store =
+            ShardedSnapshotStore::with_shards(base.clone(), shards).with_apply_workers(w);
+        let start = std::time::Instant::now();
+        for (i, d) in stream.iter().enumerate() {
+            store.apply((i as u64 + 1) * 10, d).expect("stream applies");
+        }
+        let total_apply_us = start.elapsed().as_secs_f64() * 1e6;
+        let override_bytes = store.override_bytes();
+        let store = Arc::new(store);
+        let view = store.latest();
+        let versions: Vec<cgraph_graph::VersionId> = (0..base.num_partitions() as u32)
+            .map(|pid| view.version_of(pid))
+            .collect();
+        match &reference {
+            None => reference = Some(versions),
+            Some(r) => assert_eq!(r, &versions, "apply_workers={w} diverged"),
+        }
+        points.push(ApplyPoint { apply_workers: w, shards, total_apply_us, override_bytes });
+    }
+    let bytes: Vec<u64> = points.iter().map(|p| p.override_bytes).collect();
+    assert!(
+        bytes.windows(2).all(|w| w[0] == w[1]),
+        "override bytes must not depend on apply workers: {bytes:?}"
+    );
+    points
+}
+
+/// One measured point of the capacity sweep.
+#[derive(Clone, Debug)]
+pub struct CapacityPoint {
+    /// Capacity label (`unlimited`, `tight`).
+    pub label: String,
+    /// The per-shard budget (`u64::MAX` = unlimited).
+    pub max_resident_bytes: u64,
+    /// Resident override bytes after the stream.
+    pub override_bytes: u64,
+    /// Largest per-shard resident chain.
+    pub max_shard_resident: u64,
+    /// Records whose payloads were spilled.
+    pub spilled_records: usize,
+    /// Spill re-fetch bytes charged by a historic-view engine pass.
+    pub spill_refetch_bytes: u64,
+}
+
+/// Ingests `stream` under each capacity, then prices one
+/// historic-bound BFS (arriving at the first snapshot) through the
+/// engine so spilled records get re-fetched on their owning lanes.
+pub fn capacity_sweep(
+    base: &PartitionSet,
+    stream: &[GraphDelta],
+    shards: usize,
+    caps: &[(&str, ShardCapacity)],
+) -> Vec<CapacityPoint> {
+    caps.iter()
+        .map(|&(label, cap)| {
+            let mut store = ShardedSnapshotStore::with_shards(base.clone(), shards)
+                .with_compaction(CompactionPolicy::EveryK(8))
+                .with_capacity(cap);
+            for (i, d) in stream.iter().enumerate() {
+                store.apply((i as u64 + 1) * 10, d).expect("stream applies");
+            }
+            let override_bytes = store.override_bytes();
+            let max_shard_resident = (0..store.num_shards())
+                .map(|s| store.shard_resident_bytes(s))
+                .max()
+                .unwrap_or(0);
+            let spilled_records = (0..store.num_shards())
+                .map(|s| store.shard(s).num_spilled())
+                .sum();
+            let store = Arc::new(store);
+            let mut engine = Engine::new(Arc::clone(&store), EngineConfig::default());
+            engine.submit_program_at(Bfs::new(0), 10);
+            assert!(engine.run().completed);
+            CapacityPoint {
+                label: label.to_string(),
+                max_resident_bytes: cap.max_resident_bytes,
+                override_bytes,
+                max_shard_resident,
+                spilled_records,
+                spill_refetch_bytes: engine.spill_fetch_bytes().iter().sum(),
+            }
+        })
+        .collect()
+}
+
+/// Serializes the store sweeps as the machine-readable
+/// `BENCH_store.json` tracked by CI (hand-rolled like its siblings:
+/// the workspace is offline, no serde).
+pub fn store_sweep_json(
+    dataset: &str,
+    scale_shrink: u32,
+    placement: &[PlacementPoint],
+    capacity: &[CapacityPoint],
+    apply: &[ApplyPoint],
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"dataset\": \"{dataset}\",\n"));
+    s.push_str(&format!("  \"scale_shrink\": {scale_shrink},\n"));
+    // Apply speedups are wall-clock: they only express themselves on
+    // machines with real parallelism, so the row set records the cores.
+    s.push_str(&format!(
+        "  \"cores\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    s.push_str("  \"placement\": [\n");
+    for (i, p) in placement.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"placement\": \"{}\", \"loads\": {}, \"total_fetch_bytes\": {}, \
+             \"cross_shard_fetch_bytes\": {}, \"cross_fraction\": {:.6}, \
+             \"modeled_ms\": {:.6}, \"wall_ms\": {:.3}}}{}\n",
+            p.placement,
+            p.loads,
+            p.total_fetch_bytes,
+            p.cross_shard_fetch_bytes,
+            p.cross_fraction(),
+            p.modeled_ms,
+            p.wall_ms,
+            if i + 1 < placement.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"capacity\": [\n");
+    for (i, p) in capacity.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"label\": \"{}\", \"max_resident_bytes\": {}, \"override_bytes\": {}, \
+             \"max_shard_resident\": {}, \"spilled_records\": {}, \
+             \"spill_refetch_bytes\": {}}}{}\n",
+            p.label,
+            // `null` = unlimited: a numeric sentinel would read as a
+            // zero-byte budget to trend tooling.
+            if p.max_resident_bytes == u64::MAX {
+                "null".to_string()
+            } else {
+                p.max_resident_bytes.to_string()
+            },
+            p.override_bytes,
+            p.max_shard_resident,
+            p.spilled_records,
+            p.spill_refetch_bytes,
+            if i + 1 < capacity.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"apply\": [\n");
+    for (i, p) in apply.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"apply_workers\": {}, \"shards\": {}, \"total_apply_us\": {:.1}, \
+             \"override_bytes\": {}}}{}\n",
+            p.apply_workers,
+            p.shards,
+            p.total_apply_us,
+            p.override_bytes,
+            if i + 1 < apply.len() { "," } else { "" }
         ));
     }
     s.push_str("  ]\n}\n");

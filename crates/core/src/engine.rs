@@ -8,7 +8,7 @@
 use std::sync::Arc;
 
 use cgraph_graph::snapshot::SnapshotStore;
-use cgraph_graph::{PartitionSet, ShardPlacement};
+use cgraph_graph::{FootprintProfile, PartitionSet, ShardPlacement};
 use cgraph_memsim::{CostModel, HierarchyConfig, JobMetrics, Metrics};
 
 use crate::exec::ledger::JobTiming;
@@ -44,7 +44,7 @@ pub enum SchedulerKind {
 }
 
 /// Engine configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct EngineConfig {
     /// Trigger-stage worker threads (the paper's per-core workers); also
     /// the job batch size when more jobs share a partition than workers.
@@ -84,6 +84,14 @@ pub struct EngineConfig {
     /// lane layout a `with_shards` store of the same count would have.
     /// At 1 (the default) there is a single lane — the PR 1 model.
     pub shards: usize,
+    /// Partition→lane placement for the *modeled* lanes of an unsharded
+    /// store (defaults to round-robin, the PR 2 model).  A physically
+    /// sharded store always dictates both its lane count and its own
+    /// placement — including a locality table
+    /// ([`ShardPlacement::locality`]) — so this knob, like
+    /// [`shards`](Self::shards), only takes effect over a single-shard
+    /// store.
+    pub placement: ShardPlacement,
     /// Prefetch window depth: how many wave slots ahead the
     /// [`crate::exec::PrefetchQueue`] may issue a slot's disk fetch on
     /// its shard's lane while earlier slots install and compute.  At 0
@@ -111,6 +119,7 @@ impl Default for EngineConfig {
             lookahead: false,
             wavefront: 1,
             shards: 1,
+            placement: ShardPlacement::RoundRobin,
             prefetch_depth: 0,
             max_loads: u64::MAX,
         }
@@ -184,21 +193,22 @@ impl Engine {
         };
         // A physically sharded store dictates the lanes *and* the
         // placement, keeping the model and per-lane attribution aligned
-        // with the actual chains; `config.shards` only models round-robin
-        // lanes over an unsharded store (both default to round-robin, so
-        // equal counts coincide).
+        // with the actual chains; `config.shards`/`config.placement`
+        // only model lanes over an unsharded store (both default to
+        // round-robin, so equal counts coincide).
         let (lanes, placement) = if store.num_shards() > 1 {
-            (store.num_shards(), store.placement())
+            (store.num_shards(), store.placement().clone())
         } else {
-            (config.shards.max(1), ShardPlacement::RoundRobin)
+            (config.shards.max(1), config.placement.clone())
         };
         let prefetch = PrefetchQueue::with_placement(lanes, config.prefetch_depth, placement);
+        let ledger = ChargeLedger::new(config.hierarchy);
         Engine {
             config,
             store,
             scheduler,
             jobs: Vec::new(),
-            ledger: ChargeLedger::new(config.hierarchy),
+            ledger,
             planner: SlotPlanner::new(),
             prefetch,
             round: RoundBuffers::default(),
@@ -274,10 +284,10 @@ impl Engine {
         let width = self.config.wavefront.max(1);
         let picks = {
             let lanes = self.prefetch.shards();
-            let placement = self.prefetch.placement();
+            let placement = self.prefetch.placement().clone();
             let runtimes: Vec<&dyn JobRuntime> =
                 self.jobs.iter().map(|entry| &*entry.runtime).collect();
-            let infos = self.planner.infos(&runtimes, lanes, placement);
+            let infos = self.planner.infos(&runtimes, lanes, &placement);
             drop(runtimes);
             if self.config.lookahead {
                 let slot_jobs = self.planner.slot_job_lists();
@@ -433,6 +443,38 @@ impl Engine {
     /// lanes never saw disk traffic).
     pub fn shard_fetch_bytes(&self) -> &[u64] {
         self.ledger.shard_fetch_bytes()
+    }
+
+    /// Spill-storage re-fetch bytes per lane — the priced round-trips of
+    /// capacity-evicted snapshot records (a subset of
+    /// [`shard_fetch_bytes`](Self::shard_fetch_bytes)).
+    pub fn spill_fetch_bytes(&self) -> &[u64] {
+        self.ledger.spill_fetch_bytes()
+    }
+
+    /// Disk fetch bytes jobs pulled from outside their home shards (the
+    /// lane carrying most of each job's traffic) — the cross-node
+    /// traffic figure locality-aware placement shrinks.
+    pub fn cross_shard_fetch_bytes(&self) -> u64 {
+        self.ledger.cross_shard_fetch_bytes()
+    }
+
+    /// One job's disk fetch bytes per shard lane.
+    pub fn job_fetch_by_lane(&self, job: JobId) -> &[u64] {
+        self.ledger.job_fetch_by_lane(job as usize)
+    }
+
+    /// The partition co-access footprints observed so far (every
+    /// partition each job ever had pending), as a profile
+    /// [`ShardPlacement::locality`] can consume: profile a
+    /// representative run, then rebuild the store under the resulting
+    /// placement.
+    pub fn footprint_profile(&self) -> FootprintProfile {
+        let mut profile = FootprintProfile::new();
+        for fp in self.planner.job_footprints() {
+            profile.record(fp);
+        }
+        profile
     }
 
     /// Modeled makespan of everything run so far (linear model over the

@@ -52,6 +52,21 @@ pub struct ChargeLedger {
     /// Disk → memory bytes charged through each shard's stage-one I/O
     /// lane (grown on demand; empty while no lane saw disk traffic).
     shard_fetch_bytes: Vec<u64>,
+    /// Disk bytes re-fetched from (modeled) spill storage per lane — the
+    /// capacity-eviction round-trips, a subset of `shard_fetch_bytes`.
+    spill_fetch_bytes: Vec<u64>,
+    /// Per job: disk bytes fetched through each lane (parallel to
+    /// `job_metrics`; inner vectors grown on demand).  A job's dominant
+    /// lane is its *home shard*; everything else is cross-shard traffic.
+    job_lane_fetch: Vec<Vec<u64>>,
+}
+
+/// Grows `lanes` as needed and adds `bytes` to lane `lane`.
+fn bump_lane(lanes: &mut Vec<u64>, lane: usize, bytes: u64) {
+    if lanes.len() <= lane {
+        lanes.resize(lane + 1, 0);
+    }
+    lanes[lane] += bytes;
 }
 
 impl ChargeLedger {
@@ -62,6 +77,8 @@ impl ChargeLedger {
             job_metrics: Vec::new(),
             timings: Vec::new(),
             shard_fetch_bytes: Vec::new(),
+            spill_fetch_bytes: Vec::new(),
+            job_lane_fetch: Vec::new(),
         }
     }
 
@@ -69,6 +86,7 @@ impl ChargeLedger {
     pub fn register_job(&mut self) {
         self.job_metrics.push(JobMetrics::default());
         self.timings.push(None);
+        self.job_lane_fetch.push(Vec::new());
     }
 
     /// Records a served job's arrival and admission times (no-op for
@@ -119,18 +137,70 @@ impl ChargeLedger {
     ) -> AccessOutcome {
         let outcome = self.charge_access(job, obj, bytes);
         if outcome.bytes_from_disk > 0 {
-            if self.shard_fetch_bytes.len() <= shard {
-                self.shard_fetch_bytes.resize(shard + 1, 0);
-            }
-            self.shard_fetch_bytes[shard] += outcome.bytes_from_disk;
+            bump_lane(&mut self.shard_fetch_bytes, shard, outcome.bytes_from_disk);
+            bump_lane(
+                &mut self.job_lane_fetch[job],
+                shard,
+                outcome.bytes_from_disk,
+            );
         }
         outcome
+    }
+
+    /// Charges a re-fetch of capacity-spilled snapshot state: `bytes`
+    /// pulled back from (modeled) spill storage over shard lane `shard`
+    /// on behalf of `job`.  Spill round-trips are disk traffic — they
+    /// enter the global disk counter (and therefore the modeled fetch
+    /// time), the job's attributed bytes, and the lane's fetch figure —
+    /// and are additionally tracked in
+    /// [`spill_fetch_bytes`](Self::spill_fetch_bytes) so eviction
+    /// pricing stays separately observable.
+    pub fn charge_spill_fetch(&mut self, shard: usize, job: usize, bytes: u64) {
+        self.hierarchy.metrics_mut().bytes_disk_to_mem += bytes;
+        if let Some(jm) = self.job_metrics.get_mut(job) {
+            jm.attributed_bytes += bytes as f64;
+        }
+        bump_lane(&mut self.shard_fetch_bytes, shard, bytes);
+        bump_lane(&mut self.spill_fetch_bytes, shard, bytes);
+        if let Some(lanes) = self.job_lane_fetch.get_mut(job) {
+            bump_lane(lanes, shard, bytes);
+        }
     }
 
     /// Disk bytes fetched per shard lane (index = shard id).  Shorter
     /// than the shard count when the tail lanes never saw disk traffic.
     pub fn shard_fetch_bytes(&self) -> &[u64] {
         &self.shard_fetch_bytes
+    }
+
+    /// Spill-storage re-fetch bytes per shard lane (a subset of
+    /// [`shard_fetch_bytes`](Self::shard_fetch_bytes)).
+    pub fn spill_fetch_bytes(&self) -> &[u64] {
+        &self.spill_fetch_bytes
+    }
+
+    /// One job's disk fetch bytes per lane (empty if the job never hit
+    /// disk or is unknown).
+    pub fn job_fetch_by_lane(&self, job: usize) -> &[u64] {
+        self.job_lane_fetch
+            .get(job)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Total disk fetch bytes jobs pulled from outside their home
+    /// shards, where a job's home shard is the lane carrying most of
+    /// its fetch traffic.  In a multi-node deployment this is the
+    /// traffic that crosses the network — the figure locality-aware
+    /// placement exists to shrink.
+    pub fn cross_shard_fetch_bytes(&self) -> u64 {
+        self.job_lane_fetch
+            .iter()
+            .map(|lanes| {
+                let total: u64 = lanes.iter().sum();
+                total - lanes.iter().max().copied().unwrap_or(0)
+            })
+            .sum()
     }
 
     /// Folds one Trigger pass's compute counts into the job's and the
@@ -283,6 +353,37 @@ mod tests {
         l.record_completion(1, 5.0);
         assert_eq!(l.job_timing(1), None);
         assert_eq!(l.job_timing(42), None);
+    }
+
+    #[test]
+    fn spill_fetches_price_disk_and_stay_lane_attributed() {
+        let mut l = ledger();
+        let obj = CacheObject::Structure { pid: 0, version: 0 };
+        l.charge_access_on(1, 0, obj, 40);
+        let disk_before = l.metrics().bytes_disk_to_mem;
+        l.charge_spill_fetch(1, 0, 25);
+        // Spill re-fetches are disk traffic on the lane, attributed to
+        // the job, and separately visible as spill bytes.
+        assert_eq!(l.metrics().bytes_disk_to_mem, disk_before + 25);
+        assert_eq!(l.shard_fetch_bytes()[1], 40 + 25);
+        assert_eq!(l.spill_fetch_bytes(), &[0, 25]);
+        assert_eq!(l.job_metrics(0).attributed_bytes, 65.0);
+        // Cache counters untouched: a spill round-trip is not an access.
+        assert_eq!(l.metrics().cache_accesses, 1);
+    }
+
+    #[test]
+    fn cross_shard_bytes_count_traffic_off_the_home_lane() {
+        let mut l = ledger();
+        // Job 0: 60 bytes on lane 0 (home), 10 on lane 2.
+        l.charge_access_on(0, 0, CacheObject::Structure { pid: 0, version: 0 }, 60);
+        l.charge_access_on(2, 0, CacheObject::Structure { pid: 2, version: 0 }, 10);
+        // Job 1: everything on one lane — no cross traffic.
+        l.charge_access_on(1, 1, CacheObject::Structure { pid: 1, version: 0 }, 50);
+        assert_eq!(l.job_fetch_by_lane(0), &[60, 0, 10]);
+        assert_eq!(l.job_fetch_by_lane(1), &[0, 50]);
+        assert_eq!(l.job_fetch_by_lane(42), &[] as &[u64]);
+        assert_eq!(l.cross_shard_fetch_bytes(), 10);
     }
 
     #[test]

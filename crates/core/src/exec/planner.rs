@@ -10,9 +10,9 @@
 //! set), so those events patch the map in place and a round costs only
 //! O(slots) to describe to the scheduler.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
-use cgraph_graph::{PartitionId, ShardPlacement, VersionId};
+use cgraph_graph::{PartitionId, PlacementStats, ShardPlacement, VersionId};
 
 use crate::job::JobRuntime;
 use crate::scheduler::SlotInfo;
@@ -30,6 +30,10 @@ pub struct SlotPlanner {
     slots: BTreeMap<SlotKey, Vec<usize>>,
     /// Per job: the slot keys it is currently registered under.
     job_slots: Vec<Vec<SlotKey>>,
+    /// Per job: every partition the job has ever had pending — the
+    /// observed co-access footprint the locality placer consumes
+    /// (never cleared; retiring a job keeps its history).
+    footprints: Vec<BTreeSet<PartitionId>>,
     /// Sorted slot keys, rebuilt lazily after mutations, giving the
     /// scheduler's indices O(1) resolution (plus one map lookup).
     index: Vec<SlotKey>,
@@ -47,6 +51,7 @@ impl SlotPlanner {
     pub fn track_job(&mut self, job: usize, runtime: &dyn JobRuntime, active: bool) {
         debug_assert_eq!(job, self.job_slots.len(), "jobs must be tracked in order");
         self.job_slots.push(Vec::new());
+        self.footprints.push(BTreeSet::new());
         if active {
             self.add_job_slots(job, runtime.pending_slots());
         }
@@ -111,7 +116,7 @@ impl SlotPlanner {
         &mut self,
         runtimes: &[&dyn JobRuntime],
         shards: usize,
-        placement: ShardPlacement,
+        placement: &ShardPlacement,
     ) -> Vec<SlotInfo> {
         self.rebuild_index();
         let shards = shards.max(1);
@@ -144,12 +149,25 @@ impl SlotPlanner {
         self.slots.values().map(Vec::as_slice).collect()
     }
 
+    /// Every tracked job's observed partition footprint (ascending,
+    /// retired jobs included) — the co-access record
+    /// [`ShardPlacement::locality`](cgraph_graph::ShardPlacement::locality)
+    /// consumes.  Jobs that never had a pending slot are skipped.
+    pub fn job_footprints(&self) -> Vec<Vec<PartitionId>> {
+        self.footprints
+            .iter()
+            .filter(|fp| !fp.is_empty())
+            .map(|fp| fp.iter().copied().collect())
+            .collect()
+    }
+
     fn add_job_slots(&mut self, job: usize, keys: Vec<SlotKey>) {
         for key in keys {
             let jobs = self.slots.entry(key).or_default();
             if let Err(pos) = jobs.binary_search(&job) {
                 jobs.insert(pos, job);
             }
+            self.footprints[job].insert(key.0);
             self.job_slots[job].push(key);
         }
         self.index_dirty = true;
@@ -176,6 +194,12 @@ impl SlotPlanner {
             self.index.extend(self.slots.keys().copied());
             self.index_dirty = false;
         }
+    }
+}
+
+impl PlacementStats for SlotPlanner {
+    fn footprints(&self) -> Vec<Vec<PartitionId>> {
+        self.job_footprints()
     }
 }
 
@@ -287,7 +311,7 @@ mod tests {
         let mut p = SlotPlanner::new();
         p.track_job(0, runtimes[0], true);
         p.track_job(1, runtimes[1], true);
-        let infos = p.infos(&runtimes, 2, ShardPlacement::RoundRobin);
+        let infos = p.infos(&runtimes, 2, &ShardPlacement::RoundRobin);
         assert_eq!(infos.len(), p.len());
         for (i, info) in infos.iter().enumerate() {
             let (key, jobs) = p.slot(i);
@@ -303,6 +327,28 @@ mod tests {
         for jobs in lists {
             assert_eq!(jobs, &[0, 1]);
         }
+    }
+
+    /// Footprints accumulate every partition a job ever pends and
+    /// survive retirement — the locality placer's co-access record.
+    #[test]
+    fn footprints_accumulate_and_survive_retirement() {
+        let a = job(24, 4);
+        let mut p = SlotPlanner::new();
+        p.track_job(0, &a, true);
+        let before = p.job_footprints();
+        assert_eq!(before.len(), 1);
+        assert!(!before[0].is_empty());
+        let mut sorted = before[0].clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(before[0], sorted, "footprints are ascending and distinct");
+        p.retire_job(0);
+        assert_eq!(
+            PlacementStats::footprints(&p),
+            before,
+            "retirement keeps the observed footprint"
+        );
     }
 
     #[test]

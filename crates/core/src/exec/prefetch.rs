@@ -78,7 +78,7 @@ pub fn pipeline_makespan(
 /// assignment) and the prefetch window, issues the wave's probe scans
 /// through the worker pool, and prices waves under the three-stage
 /// pipeline model.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct PrefetchQueue {
     shards: usize,
     depth: usize,
@@ -116,8 +116,8 @@ impl PrefetchQueue {
     }
 
     /// The partition→lane placement strategy.
-    pub fn placement(&self) -> ShardPlacement {
-        self.placement
+    pub fn placement(&self) -> &ShardPlacement {
+        &self.placement
     }
 
     /// The I/O lane partition `pid` fetches on.
@@ -252,12 +252,12 @@ mod tests {
     #[test]
     fn lane_placement_follows_strategy() {
         let hashed = PrefetchQueue::with_placement(4, 2, ShardPlacement::Hash);
-        assert_eq!(hashed.placement(), ShardPlacement::Hash);
+        assert_eq!(*hashed.placement(), ShardPlacement::Hash);
         for pid in 0..16u32 {
             assert_eq!(hashed.lane_of(pid), ShardPlacement::Hash.shard_of(pid, 4));
         }
         let rr = PrefetchQueue::new(4, 2);
-        assert_eq!(rr.placement(), ShardPlacement::RoundRobin);
+        assert_eq!(*rr.placement(), ShardPlacement::RoundRobin);
         assert_eq!(rr.lane_of(6), 2);
     }
 }

@@ -157,6 +157,7 @@ impl Engine {
                 .structure_bytes();
             let lane = self.prefetch.lane_of(pid);
             round.lanes.push(lane);
+            let spills_possible = self.store.has_spills();
             let mut pinned = false;
             let mut off = start;
             while off < end {
@@ -165,7 +166,20 @@ impl Engine {
                 // after the first touch it is pinned resident for the
                 // whole round (§3.2.3).
                 for &j in &round.jobs[off..batch_end] {
-                    self.ledger.charge_access_on(lane, j, structure, sbytes);
+                    let outcome = self.ledger.charge_access_on(lane, j, structure, sbytes);
+                    // Capacity-spilled snapshot state: when the fetch
+                    // actually reaches disk *and* this job's view
+                    // resolves the partition through a spilled record,
+                    // the load pays one extra re-fetch from (modeled)
+                    // spill storage on the owning lane — inside the
+                    // Load interval, so the pipeline's fetch stage
+                    // prices it.  Cache-resident structures never pay.
+                    if spills_possible
+                        && outcome.bytes_from_disk > 0
+                        && self.jobs[j].runtime.view().partition_spilled(pid)
+                    {
+                        self.ledger.charge_spill_fetch(lane, j, sbytes);
+                    }
                     if !pinned {
                         self.ledger.pin(&structure);
                         pinned = true;

@@ -48,8 +48,8 @@ pub use csr::Csr;
 pub use edge::{Edge, EdgeList};
 pub use partition::{Partition, PartitionSet, VertexMeta};
 pub use snapshot::{
-    CompactionPolicy, GraphDelta, GraphView, ShardPlacement, ShardedSnapshotStore, SnapshotShard,
-    SnapshotStore,
+    CompactionPolicy, FootprintProfile, GraphDelta, GraphView, PlacementStats, ShardCapacity,
+    ShardPlacement, ShardedSnapshotStore, SnapshotShard, SnapshotStore,
 };
 pub use types::{LocalId, PartitionId, VersionId, VertexId, Weight, NO_PARTITION};
 

@@ -30,9 +30,54 @@
 //! (a manual [`ShardedSnapshotStore::compact`] is still available).
 //! Layering and compaction are pure representation: they never change
 //! what any view observes.
+//!
+//! # Placement, capacity, and concurrency
+//!
+//! Three knobs turn the sharded store into a genuinely multi-node-shaped
+//! store.  All three default off and none of them ever changes what a
+//! view observes — placement moves chains between shards, capacity moves
+//! cold records to (modeled) spill storage, and concurrent apply only
+//! reorders *internal* work:
+//!
+//! - **Placement** ([`ShardPlacement`], default `RoundRobin`): how
+//!   partitions are assigned to shards, and therefore which stage-one
+//!   I/O lane a partition load occupies.  `Locality` is a greedy
+//!   co-access placer: fed observed job footprints (a
+//!   [`PlacementStats`], e.g. the engine's slot planner or a
+//!   [`FootprintProfile`]), it groups partitions that the same jobs
+//!   co-access onto the same shard — in a multi-node deployment that
+//!   keeps each job's traffic on its home node.
+//! - **Capacity** ([`ShardCapacity`], default unlimited): a per-shard
+//!   `max_resident_bytes` budget on the chain's resident state,
+//!   enforced at install time by *checkpoint-aware spill*: the coldest
+//!   records strictly below the shard's newest checkpoint — old
+//!   deltas and superseded checkpoints alike — have their payloads
+//!   marked spilled, oldest first, skipping records whose payloads the
+//!   permanently resident tail (the newest checkpoint record and
+//!   everything after it, the state every future walk must reach)
+//!   still shares.  Spilled data stays materializable (this is a
+//!   single-process reproduction) so no historical view can ever
+//!   dangle, but it leaves the resident accounting
+//!   ([`ShardedSnapshotStore::override_bytes`] /
+//!   [`ShardedSnapshotStore::shard_resident_bytes`]) and any view that
+//!   resolves a partition through a spilled record reports it via
+//!   [`GraphView::partition_spilled`], which the engines price as a
+//!   disk re-fetch on the owning shard's lane (the spill signal).
+//! - **Concurrent apply** ([`ShardedSnapshotStore::with_apply_workers`],
+//!   default 1 = the serial path): partition rebuilds — pure,
+//!   lock-free reads of the pre-delta state — fan out on scoped worker
+//!   threads claiming partitions from a shared cursor, and each result
+//!   is parked behind its owning shard's lock, so a shard's chain
+//!   inputs assemble under per-shard locking however the partitions
+//!   interleave across workers.  The vertex-level current-index merge
+//!   stays single-threaded and ordered, so the result is
+//!   **bit-identical** to the serial apply at any worker count (pinned
+//!   by `tests/store_stress.rs` and the `placement_is_transparent`
+//!   proptest).
 
 use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::edge::{Edge, EdgeList};
 use crate::partition::{Partition, PartitionSet};
@@ -70,7 +115,7 @@ impl GraphDelta {
 }
 
 /// Errors raised when applying a [`GraphDelta`].
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SnapshotError {
     /// A removal referenced an edge not present in the current snapshot.
     EdgeNotFound(VertexId, VertexId),
@@ -168,6 +213,13 @@ struct ShardRecord {
     overrides: HashMap<PartitionId, Arc<Partition>>,
     versions: HashMap<PartitionId, VersionId>,
     checkpoint: Option<ShardCheckpoint>,
+    /// Whether capacity enforcement moved this record's payloads — its
+    /// overrides and its checkpoint, if it carries one — to (modeled)
+    /// spill storage.  Spilled payloads leave the resident accounting
+    /// and re-fetches through them are priced by the engines.  The
+    /// shard's *newest* checkpoint record and everything after it never
+    /// spill: they are the state every future walk must reach.
+    spilled: bool,
 }
 
 /// Materialized cumulative partition state for one shard.
@@ -190,11 +242,60 @@ struct CurrentIndex {
     versions: HashMap<PartitionId, VersionId>,
 }
 
+/// A source of observed job footprints for the locality placer: one
+/// entry per job, each listing the distinct partitions that job
+/// co-accessed.  The engine's slot planner implements this (it watches
+/// every pending set a job ever registers); ad-hoc profiles use
+/// [`FootprintProfile`].
+pub trait PlacementStats {
+    /// One footprint per observed job: the distinct partitions that
+    /// job's accesses span.  Order and duplicates are irrelevant.
+    fn footprints(&self) -> Vec<Vec<PartitionId>>;
+}
+
+/// A hand-rolled [`PlacementStats`]: record each job's partition
+/// footprint and feed the profile to [`ShardPlacement::locality`].
+#[derive(Clone, Debug, Default)]
+pub struct FootprintProfile {
+    footprints: Vec<Vec<PartitionId>>,
+}
+
+impl FootprintProfile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        FootprintProfile::default()
+    }
+
+    /// Records one job's footprint (deduplicated and sorted on entry).
+    pub fn record<I: IntoIterator<Item = PartitionId>>(&mut self, parts: I) {
+        let mut fp: Vec<PartitionId> = parts.into_iter().collect();
+        fp.sort_unstable();
+        fp.dedup();
+        self.footprints.push(fp);
+    }
+
+    /// Number of recorded footprints.
+    pub fn len(&self) -> usize {
+        self.footprints.len()
+    }
+
+    /// Whether no footprint was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.footprints.is_empty()
+    }
+}
+
+impl PlacementStats for FootprintProfile {
+    fn footprints(&self) -> Vec<Vec<PartitionId>> {
+        self.footprints.clone()
+    }
+}
+
 /// How partitions are assigned to the shards of a
 /// [`ShardedSnapshotStore`] (and therefore which stage-one I/O lane a
 /// partition load occupies).  Placement never changes what any view
 /// observes — only the chain layout and lane attribution.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub enum ShardPlacement {
     /// `pid % shards`: consecutive partitions land on distinct shards,
     /// so an in-order scan naturally interleaves lanes.
@@ -204,17 +305,124 @@ pub enum ShardPlacement {
     /// partition id, so placement stays balanced when the workload's
     /// partition footprint is itself strided or clustered.
     Hash,
+    /// An explicit partition → shard table, as computed by the greedy
+    /// co-access placer ([`ShardPlacement::locality`]): partitions that
+    /// the same jobs co-access share a shard, so each job's traffic
+    /// concentrates on its home lane.  Partitions beyond the table fall
+    /// back to round-robin.
+    Locality(Arc<[u32]>),
 }
 
 impl ShardPlacement {
     /// The shard partition `pid` lands on under this placement.
-    pub fn shard_of(self, pid: PartitionId, shards: usize) -> usize {
+    pub fn shard_of(&self, pid: PartitionId, shards: usize) -> usize {
+        let shards = shards.max(1);
         match self {
             ShardPlacement::RoundRobin => pid as usize % shards,
             ShardPlacement::Hash => {
                 (((pid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) % shards
             }
+            ShardPlacement::Locality(table) => table
+                .get(pid as usize)
+                .map(|&s| s as usize % shards)
+                .unwrap_or(pid as usize % shards),
         }
+    }
+
+    /// Builds a [`ShardPlacement::Locality`] table from observed job
+    /// footprints: a greedy co-access placer.
+    ///
+    /// Two partitions' co-access weight is the number of footprints
+    /// naming both.  Partitions are placed in descending total-weight
+    /// order, each onto the shard (with remaining capacity — every
+    /// shard holds at most `ceil(np / shards)` partitions, so placement
+    /// stays balanced) holding the most co-accessed weight already;
+    /// ties break toward the lighter then lower-indexed shard, and
+    /// partitions appearing in no footprint backfill the least-loaded
+    /// shards in pid order.  Fully deterministic for a given input.
+    pub fn locality(stats: &dyn PlacementStats, num_partitions: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let np = num_partitions;
+        let cap = np.div_ceil(shards).max(1);
+        let mut nbrs: Vec<HashMap<u32, u64>> = vec![HashMap::new(); np];
+        for fp in stats.footprints() {
+            let mut fp: Vec<u32> = fp.into_iter().filter(|&p| (p as usize) < np).collect();
+            fp.sort_unstable();
+            fp.dedup();
+            for (i, &p) in fp.iter().enumerate() {
+                for &q in &fp[i + 1..] {
+                    *nbrs[p as usize].entry(q).or_insert(0) += 1;
+                    *nbrs[q as usize].entry(p).or_insert(0) += 1;
+                }
+            }
+        }
+        let deg: Vec<u64> = nbrs.iter().map(|m| m.values().sum()).collect();
+        let mut order: Vec<usize> = (0..np).collect();
+        order.sort_by_key(|&p| (std::cmp::Reverse(deg[p]), p));
+        let mut assign = vec![u32::MAX; np];
+        let mut load = vec![0usize; shards];
+        for &p in &order {
+            let mut aff = vec![0u64; shards];
+            for (&q, &w) in &nbrs[p] {
+                let a = assign[q as usize];
+                if a != u32::MAX {
+                    aff[a as usize] += w;
+                }
+            }
+            let mut best = usize::MAX;
+            for (s, &l) in load.iter().enumerate() {
+                if l >= cap {
+                    continue;
+                }
+                if best == usize::MAX
+                    || aff[s] > aff[best]
+                    || (aff[s] == aff[best] && l < load[best])
+                {
+                    best = s;
+                }
+            }
+            // cap * shards >= np, so a shard with room always exists;
+            // the fallback only guards a zero-partition store.
+            let best = if best == usize::MAX { 0 } else { best };
+            assign[p] = best as u32;
+            load[best] += 1;
+        }
+        ShardPlacement::Locality(assign.into())
+    }
+}
+
+/// Per-shard resident-state budget of a [`ShardedSnapshotStore`]
+/// (default: unlimited).  See the module docs: enforcement spills the
+/// coldest pre-checkpoint record payloads at install time and surfaces
+/// re-fetches of spilled state through [`GraphView::partition_spilled`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardCapacity {
+    /// Budget, in [`ShardedSnapshotStore::shard_resident_bytes`] terms,
+    /// each shard's chain may keep resident.  The shard's newest
+    /// checkpoint and every at-or-above-checkpoint record always stay
+    /// resident (they terminate walks), so a budget below that floor is
+    /// enforced as far as spilling pre-checkpoint payloads can go.
+    pub max_resident_bytes: u64,
+}
+
+impl ShardCapacity {
+    /// No budget: nothing ever spills (the default).
+    pub const UNLIMITED: ShardCapacity = ShardCapacity { max_resident_bytes: u64::MAX };
+
+    /// A budget of `max_resident_bytes` per shard.
+    pub fn bytes(max_resident_bytes: u64) -> Self {
+        ShardCapacity { max_resident_bytes }
+    }
+
+    /// Whether this capacity can ever trigger a spill.
+    pub fn is_limited(&self) -> bool {
+        self.max_resident_bytes != u64::MAX
+    }
+}
+
+impl Default for ShardCapacity {
+    fn default() -> Self {
+        ShardCapacity::UNLIMITED
     }
 }
 
@@ -241,6 +449,27 @@ impl SnapshotShard {
             .filter(|r| r.checkpoint.is_some())
             .count()
     }
+
+    /// Number of records whose override payloads were spilled by
+    /// capacity enforcement.
+    pub fn num_spilled(&self) -> usize {
+        self.records.iter().filter(|r| r.spilled).count()
+    }
+
+    /// Chain indices of the spilled records (ascending).
+    pub fn spilled_indices(&self) -> Vec<usize> {
+        self.records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.spilled)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Chain index of the newest record carrying a checkpoint.
+    pub fn newest_checkpoint(&self) -> Option<usize> {
+        self.records.iter().rposition(|r| r.checkpoint.is_some())
+    }
 }
 
 /// The store: a base [`PartitionSet`] (timestamp 0) plus incremental
@@ -264,11 +493,21 @@ pub struct ShardedSnapshotStore {
     records: Vec<SnapshotRecord>,
     current: CurrentIndex,
     compaction: CompactionPolicy,
+    capacity: ShardCapacity,
+    /// Worker threads `apply` may fan partition rebuilds out on
+    /// (1 = the serial path, bit-for-bit).
+    apply_workers: usize,
+    /// Store-wide count of spilled records (fast-path guard: spill
+    /// checks are free while nothing has ever spilled).
+    spilled_records: usize,
 }
 
 /// The ubiquitous single-`Arc` spelling: a [`ShardedSnapshotStore`]
 /// defaults to one shard via [`ShardedSnapshotStore::new`].
 pub type SnapshotStore = ShardedSnapshotStore;
+
+/// One shard's locked rebuild bucket during a concurrent `apply`.
+type RebuildBucket = Mutex<Vec<(PartitionId, Result<Partition, SnapshotError>)>>;
 
 impl ShardedSnapshotStore {
     /// Wraps a base partitioned graph as snapshot timestamp 0, on a
@@ -296,6 +535,9 @@ impl ShardedSnapshotStore {
             records: Vec::new(),
             current: CurrentIndex::default(),
             compaction: CompactionPolicy::default(),
+            capacity: ShardCapacity::default(),
+            apply_workers: 1,
+            spilled_records: 0,
         }
     }
 
@@ -310,6 +552,41 @@ impl ShardedSnapshotStore {
     /// The active checkpoint compaction policy.
     pub fn compaction(&self) -> CompactionPolicy {
         self.compaction
+    }
+
+    /// Replaces the per-shard resident-state budget (builder style).
+    /// Capacity never changes what any view observes — only which
+    /// records stay resident and what a re-fetch costs (see the module
+    /// docs).  Enforcement runs at every subsequent install.
+    pub fn with_capacity(mut self, capacity: ShardCapacity) -> Self {
+        self.capacity = capacity;
+        self.enforce_capacity();
+        self
+    }
+
+    /// The active per-shard capacity budget.
+    pub fn capacity(&self) -> ShardCapacity {
+        self.capacity
+    }
+
+    /// Sets how many worker threads [`apply`](Self::apply) may fan the
+    /// partition rebuilds out on (builder style; clamped to at least 1).
+    /// Results are bit-identical at any worker count — rebuilds are pure
+    /// per-partition functions of the pre-delta state, sequenced per
+    /// shard, and installed in deterministic order.
+    pub fn with_apply_workers(mut self, workers: usize) -> Self {
+        self.apply_workers = workers.max(1);
+        self
+    }
+
+    /// Worker threads `apply` fans out on (1 = serial).
+    pub fn apply_workers(&self) -> usize {
+        self.apply_workers
+    }
+
+    /// Whether any record's payload has ever been spilled.
+    pub fn has_spills(&self) -> bool {
+        self.spilled_records > 0
     }
 
     /// The base graph.
@@ -328,8 +605,8 @@ impl ShardedSnapshotStore {
     }
 
     /// The partition→shard placement strategy.
-    pub fn placement(&self) -> ShardPlacement {
-        self.placement
+    pub fn placement(&self) -> &ShardPlacement {
+        &self.placement
     }
 
     /// One shard's delta chain (each shard is its own `Arc`).
@@ -641,9 +918,15 @@ impl ShardedSnapshotStore {
             }
         };
 
-        // 4. Rebuild each affected partition's edge share.
-        let mut rebuilt: HashMap<PartitionId, Partition> = HashMap::new();
-        for &pid in &affected {
+        // 4. Rebuild each affected partition's edge share.  A rebuild is
+        //    a pure, lock-free function of the pre-delta state, so with
+        //    more than one apply worker the rebuilds fan out on scoped
+        //    threads claiming partitions from a shared cursor; each
+        //    finished result is parked behind its owning shard's lock
+        //    (see the fan-out below).  The vertex-level merge afterwards
+        //    stays single-threaded and ordered, so the result is
+        //    bit-identical to the serial path at any worker count.
+        let rebuild_one = |pid: PartitionId| -> Result<Partition, SnapshotError> {
             let mut edges = resolve(pid).edges_global();
             if let Some(rm) = removed.get(&pid) {
                 // Remove the first k matching instances of each pair in
@@ -669,7 +952,65 @@ impl ShardedSnapshotStore {
                 edges.extend_from_slice(ad);
             }
             edges.sort_by_key(|e| (e.src, e.dst));
-            rebuilt.insert(pid, Partition::from_edges_with(pid, &edges, &new_degree));
+            Ok(Partition::from_edges_with(pid, &edges, &new_degree))
+        };
+        // More threads than units of work is pure overhead, so clamp to
+        // the work count — but deliberately NOT to the machine's core
+        // count: a caller asking for 4 apply workers gets 4 real
+        // threads even on a 1-core host, so the differential suites
+        // exercise the concurrent path (not a silently serial fallback)
+        // on every machine that runs them.
+        let fanout = |units: usize| self.apply_workers.min(units);
+        let mut rebuilt: HashMap<PartitionId, Partition> = HashMap::new();
+        let threads = fanout(affected.len());
+        if threads > 1 {
+            // One result bucket per shard, each behind its own lock:
+            // workers claim partitions from a shared cursor and park
+            // every rebuild under the owning shard's lock, so a shard's
+            // chain inputs assemble behind per-shard locking however
+            // the partitions interleave across workers.
+            let locks: Vec<RebuildBucket> =
+                self.shards.iter().map(|_| Mutex::new(Vec::new())).collect();
+            let cursor = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&pid) = affected.get(i) else {
+                            break;
+                        };
+                        let built = rebuild_one(pid);
+                        locks[self.shard_of(pid)]
+                            .lock()
+                            .expect("shard lock")
+                            .push((pid, built));
+                    });
+                }
+            });
+            // Surface the error the serial (sorted-pid) loop would have
+            // hit first.
+            let mut first_err: Option<(PartitionId, SnapshotError)> = None;
+            for lock in locks {
+                for (pid, r) in lock.into_inner().expect("shard lock") {
+                    match r {
+                        Ok(p) => {
+                            rebuilt.insert(pid, p);
+                        }
+                        Err(e) => {
+                            if first_err.is_none_or(|(fp, _)| pid < fp) {
+                                first_err = Some((pid, e));
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some((_, e)) = first_err {
+                return Err(e);
+            }
+        } else {
+            for &pid in &affected {
+                rebuilt.insert(pid, rebuild_one(pid)?);
+            }
         }
 
         // 5. Recompute replica membership and masters for the touched
@@ -701,13 +1042,35 @@ impl ShardedSnapshotStore {
         }
 
         // 6. Patch master metadata and group rebuilt partitions by the
-        //    shard that owns them.
+        //    shard that owns them.  Patching is per-partition local, so
+        //    it rides the same worker budget as the rebuilds (one chunk
+        //    of the pid-sorted vector per worker); the result is
+        //    independent of the split.
         let master_lookup = |v: VertexId| -> PartitionId {
             master_delta.get(&v).copied().unwrap_or_else(|| master(v))
         };
+        let mut parts: Vec<(PartitionId, Partition)> = rebuilt.into_iter().collect();
+        parts.sort_unstable_by_key(|&(pid, _)| pid);
+        let threads = fanout(parts.len());
+        if threads > 1 {
+            let chunk = parts.len().div_ceil(threads);
+            let lookup = &master_lookup;
+            std::thread::scope(|scope| {
+                for slice in parts.chunks_mut(chunk) {
+                    scope.spawn(move || {
+                        for (_, p) in slice.iter_mut() {
+                            p.patch_masters(lookup);
+                        }
+                    });
+                }
+            });
+        } else {
+            for (_, p) in parts.iter_mut() {
+                p.patch_masters(&master_lookup);
+            }
+        }
         let mut by_shard: HashMap<usize, Vec<(PartitionId, Partition)>> = HashMap::new();
-        for (pid, mut p) in rebuilt {
-            p.patch_masters(&master_lookup);
+        for (pid, p) in parts {
             by_shard
                 .entry(self.shard_of(pid))
                 .or_default()
@@ -760,7 +1123,188 @@ impl ShardedSnapshotStore {
         if self.compaction.due(self.records.len()) {
             self.compact();
         }
+        self.enforce_capacity();
         Ok(affected.len())
+    }
+
+    /// Enforces the per-shard capacity budget: while a shard's resident
+    /// chain bytes exceed [`ShardCapacity::max_resident_bytes`], the
+    /// coldest (oldest) record strictly below the shard's newest
+    /// checkpoint — old deltas and superseded checkpoints alike — has
+    /// its payloads spilled, skipping records the permanently resident
+    /// tail still wholly shares (spilling those would free nothing,
+    /// yet price every read through them).  When nothing is evictable
+    /// but the shard is still over budget, one store-wide
+    /// [`compact`](Self::compact) materializes fresh checkpoints to
+    /// push the eviction horizon to the chain head — and, because that
+    /// stamp adds resident bytes to *every* shard, the whole
+    /// enforcement pass reruns once.  If the resident tail itself (the
+    /// newest checkpoint record and everything after it — the state
+    /// every future walk must reach) exceeds the budget, enforcement
+    /// stops there.  Spilled data stays materializable (read-through),
+    /// so this is purely a cost model — views observe nothing.
+    ///
+    /// Residency is re-scanned per eviction (distinct-`Arc` accounting
+    /// does not subtract incrementally), so a capacity-limited apply
+    /// pays O(chain) per spilled record on top of O(Δ).  Checkpoint
+    /// cadence bounds the chain, and unlimited capacity (the default)
+    /// pays nothing; an incrementally maintained per-shard counter is
+    /// the known follow-up if long capped chains ever matter.
+    fn enforce_capacity(&mut self) {
+        if !self.capacity.is_limited() {
+            return;
+        }
+        let cap = self.capacity.max_resident_bytes;
+        let mut compacted = false;
+        // A compact triggered mid-pass grows every shard's resident
+        // head, including shards already enforced — one rerun settles
+        // them (compact happens at most once per enforcement).
+        for _pass in 0..2 {
+            let compacted_before = compacted;
+            for s in 0..self.shards.len() {
+                self.enforce_shard(s, cap, &mut compacted);
+            }
+            if compacted == compacted_before {
+                break;
+            }
+        }
+    }
+
+    /// One shard's spill loop (see [`enforce_capacity`](Self::enforce_capacity)).
+    fn enforce_shard(&mut self, s: usize, cap: u64, compacted: &mut bool) {
+        loop {
+            if self.shard_resident_bytes(s) <= cap {
+                return;
+            }
+            match Self::first_evictable(&self.shards[s]) {
+                Some(i) => {
+                    Arc::make_mut(&mut self.shards[s]).records[i].spilled = true;
+                    self.spilled_records += 1;
+                }
+                None if !*compacted => {
+                    // No pre-checkpoint record left to spill: stamp
+                    // checkpoints at the heads so everything older
+                    // becomes evictable, then retry.
+                    self.compact();
+                    *compacted = true;
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// The oldest record of `shard` still worth spilling: strictly
+    /// below the newest checkpoint, not yet spilled, and holding at
+    /// least one payload `Arc` the permanently resident tail (the
+    /// newest checkpoint record and everything after it) does not also
+    /// hold — spilling a record the tail wholly shares frees nothing
+    /// yet would price every read through it.
+    ///
+    /// The spill unit is the whole record, so a record mixing unique
+    /// and tail-shared payloads spills wholesale: reads of its shared
+    /// payloads are then priced even though those bytes stay resident
+    /// via the tail — a deliberate cost-model approximation (the node
+    /// dropped the record; serving from the checkpoint copy instead is
+    /// the per-payload refinement this leaves as follow-up).
+    fn first_evictable(shard: &SnapshotShard) -> Option<usize> {
+        let horizon = shard.newest_checkpoint()?;
+        let anchored: HashSet<*const Partition> = shard.records[horizon..]
+            .iter()
+            .flat_map(|r| {
+                r.overrides.values().map(Arc::as_ptr).chain(
+                    r.checkpoint
+                        .iter()
+                        .flat_map(|cp| cp.overrides.values().map(Arc::as_ptr)),
+                )
+            })
+            .collect();
+        shard.records[..horizon].iter().position(|r| {
+            !r.spilled
+                && r.overrides
+                    .values()
+                    .chain(r.checkpoint.iter().flat_map(|cp| cp.overrides.values()))
+                    .any(|p| !anchored.contains(&Arc::as_ptr(p)))
+        })
+    }
+
+    /// Whether capacity enforcement could still spill anything from
+    /// shard `s` (tests use this to distinguish "over budget with work
+    /// left" from the legitimate refusal floor).
+    pub fn shard_has_evictable(&self, s: usize) -> bool {
+        Self::first_evictable(&self.shards[s]).is_some()
+    }
+
+    /// Resident bytes of one shard's chain: every non-spilled record's
+    /// map entries and distinct override partition structures, plus all
+    /// checkpoint payloads (checkpoints always stay resident — they
+    /// terminate walks).  Spilled records keep only their key entries
+    /// resident.  The store-global vertex records and current-state
+    /// index are not attributed to any shard.
+    pub fn shard_resident_bytes(&self, shard: usize) -> u64 {
+        const ENTRY: u64 = 16;
+        let mut seen: HashSet<*const Partition> = HashSet::new();
+        let mut bytes = 0u64;
+        let mut count = |o: &HashMap<PartitionId, Arc<Partition>>,
+                         v: &HashMap<PartitionId, VersionId>| {
+            let mut b = ENTRY * (o.len() + v.len()) as u64;
+            for p in o.values() {
+                if seen.insert(Arc::as_ptr(p)) {
+                    b += p.structure_bytes();
+                }
+            }
+            b
+        };
+        for rec in &self.shards[shard].records {
+            if rec.spilled {
+                // Spilled payloads — overrides and checkpoint alike —
+                // live in (modeled) spill storage; only key entries
+                // stay resident.
+                bytes += ENTRY * (rec.overrides.len() + rec.versions.len()) as u64;
+                if let Some(cp) = &rec.checkpoint {
+                    bytes += ENTRY * (cp.overrides.len() + cp.versions.len()) as u64;
+                }
+            } else {
+                bytes += count(&rec.overrides, &rec.versions);
+                if let Some(cp) = &rec.checkpoint {
+                    bytes += count(&cp.overrides, &cp.versions);
+                }
+            }
+        }
+        bytes
+    }
+
+    /// Whether resolving partition `pid` at `record` reads a spilled
+    /// record's payload — the spill signal engines price as a disk
+    /// re-fetch on the owning shard's lane.  The latest view always
+    /// answers from the (resident) current-state index.
+    fn spilled_at(&self, record: Option<usize>, pid: PartitionId) -> bool {
+        if self.spilled_records == 0 || self.is_latest(record) {
+            return false;
+        }
+        let Some(ri) = record else {
+            return false;
+        };
+        let s = self.shard_of(pid);
+        let shard = &self.shards[s];
+        let mut h = self.records[ri].shard_heads[s];
+        while h > 0 {
+            let r = &shard.records[h - 1];
+            // Same walk order as `shard_at`: the record's own delta
+            // first, then its checkpoint — whichever supplies the
+            // partition decides whether the read came from spill
+            // storage.
+            if r.overrides.contains_key(&pid) {
+                return r.spilled;
+            }
+            if let Some(cp) = &r.checkpoint {
+                // A checkpoint terminates the walk; it supplied the
+                // partition only if it actually names it (otherwise the
+                // resolution falls through to the always-resident base).
+                return r.spilled && cp.overrides.contains_key(&pid);
+            }
+            h -= 1;
+        }
+        false
     }
 
     /// Materializes a checkpoint at the newest record of the store and of
@@ -843,9 +1387,19 @@ impl ShardedSnapshotStore {
         }
         for shard in &self.shards {
             for rec in &shard.records {
-                bytes += part_maps(&rec.overrides, &rec.versions);
-                if let Some(cp) = &rec.checkpoint {
-                    bytes += part_maps(&cp.overrides, &cp.versions);
+                if rec.spilled {
+                    // Spilled payloads — overrides and checkpoint alike
+                    // — live in (modeled) spill storage; only the key
+                    // entries stay resident.
+                    bytes += ENTRY * (rec.overrides.len() + rec.versions.len()) as u64;
+                    if let Some(cp) = &rec.checkpoint {
+                        bytes += ENTRY * (cp.overrides.len() + cp.versions.len()) as u64;
+                    }
+                } else {
+                    bytes += part_maps(&rec.overrides, &rec.versions);
+                    if let Some(cp) = &rec.checkpoint {
+                        bytes += part_maps(&cp.overrides, &cp.versions);
+                    }
                 }
             }
         }
@@ -935,6 +1489,14 @@ impl GraphView {
     /// when their versions match.
     pub fn version_of(&self, pid: PartitionId) -> VersionId {
         self.store.version_at(self.record, pid)
+    }
+
+    /// Whether this view resolves partition `pid` through a record
+    /// whose payload capacity enforcement spilled — the signal engines
+    /// price as a disk re-fetch on the owning shard's lane.  Free
+    /// (`false` immediately) while the store has never spilled.
+    pub fn partition_spilled(&self, pid: PartitionId) -> bool {
+        self.store.spilled_at(self.record, pid)
     }
 
     /// Master partition of `v` in this view.
@@ -1253,7 +1815,7 @@ mod tests {
         };
         let rr = build(ShardPlacement::RoundRobin);
         let hashed = build(ShardPlacement::Hash);
-        assert_eq!(hashed.placement(), ShardPlacement::Hash);
+        assert_eq!(*hashed.placement(), ShardPlacement::Hash);
         for ts in [0, 1, 2] {
             let a = rr.view_at(ts);
             let b = hashed.view_at(ts);
@@ -1458,6 +2020,243 @@ mod tests {
                 assert!(rec.overrides.len() <= 2, "one-edge delta, tiny override");
             }
         }
+    }
+
+    // ---- placement, capacity, and concurrent apply ----
+
+    /// The greedy co-access placer groups partitions the same jobs
+    /// touch, stays balanced, and is deterministic.
+    #[test]
+    fn locality_placer_groups_co_accessed_partitions() {
+        let mut profile = FootprintProfile::new();
+        // Two disjoint communities, each seen by two jobs.
+        for _ in 0..2 {
+            profile.record([0u32, 2, 5]);
+            profile.record([1u32, 3, 4]);
+        }
+        let placement = ShardPlacement::locality(&profile, 6, 2);
+        let lane = |pid: u32| placement.shard_of(pid, 2);
+        assert_eq!(lane(0), lane(2), "community A shares a shard");
+        assert_eq!(lane(0), lane(5));
+        assert_eq!(lane(1), lane(3), "community B shares a shard");
+        assert_eq!(lane(1), lane(4));
+        assert_ne!(lane(0), lane(1), "balance splits the communities");
+        // Determinism: same stats, same table.
+        assert_eq!(placement, ShardPlacement::locality(&profile, 6, 2));
+        // Balance cap: no shard exceeds ceil(np / shards).
+        for shards in [2usize, 3, 4] {
+            let p = ShardPlacement::locality(&profile, 6, shards);
+            let mut load = vec![0usize; shards];
+            for pid in 0..6u32 {
+                load[p.shard_of(pid, shards)] += 1;
+            }
+            assert!(
+                load.iter().all(|&l| l <= 6usize.div_ceil(shards)),
+                "{load:?}"
+            );
+        }
+        // Empty stats still place every partition in range, balanced.
+        let empty = ShardPlacement::locality(&FootprintProfile::new(), 5, 2);
+        let mut load = [0usize; 2];
+        for pid in 0..5u32 {
+            load[empty.shard_of(pid, 2)] += 1;
+        }
+        assert_eq!(load.iter().sum::<usize>(), 5);
+        assert!(load.iter().all(|&l| l <= 3));
+    }
+
+    /// Locality placement is as transparent as the others: views are
+    /// bit-identical; only the lane assignment differs.
+    #[test]
+    fn locality_placement_is_transparent_to_views() {
+        let mut profile = FootprintProfile::new();
+        profile.record([0u32, 3]);
+        profile.record([1u32, 2]);
+        let build = |placement: ShardPlacement| {
+            let el = GraphBuilder::new(8)
+                .edges([
+                    (0, 1),
+                    (1, 2),
+                    (2, 3),
+                    (3, 4),
+                    (4, 5),
+                    (5, 6),
+                    (6, 7),
+                    (7, 0),
+                ])
+                .build();
+            let mut s = ShardedSnapshotStore::with_placement(
+                VertexCutPartitioner::new(4).partition(&el),
+                2,
+                placement,
+            );
+            s.apply(1, &GraphDelta::adding([Edge::unit(0, 2)])).unwrap();
+            s.apply(2, &GraphDelta::removing([(3, 4)])).unwrap();
+            Arc::new(s)
+        };
+        let rr = build(ShardPlacement::RoundRobin);
+        let local = build(ShardPlacement::locality(&profile, 4, 2));
+        for ts in [0, 1, 2] {
+            let a = rr.view_at(ts);
+            let b = local.view_at(ts);
+            for pid in 0..4 {
+                assert_eq!(a.version_of(pid), b.version_of(pid), "ts {ts} pid {pid}");
+                assert_eq!(
+                    a.partition(pid).edges_global(),
+                    b.partition(pid).edges_global(),
+                    "ts {ts} pid {pid}"
+                );
+            }
+        }
+        // The store's lane assignment follows the computed table.
+        assert_eq!(local.shard_of(0), local.shard_of(3));
+        assert_eq!(local.shard_of(1), local.shard_of(2));
+        assert_ne!(local.shard_of(0), local.shard_of(1));
+    }
+
+    /// Capacity enforcement spills only checkpoint-covered records,
+    /// brings the shard back under budget, stays transparent to every
+    /// view, and reports spilled resolutions through the views.
+    #[test]
+    fn capacity_spills_are_checkpoint_covered_and_transparent() {
+        let stream = |s: &mut ShardedSnapshotStore| {
+            for i in 1..=24u64 {
+                let v = (i % 7) as u32;
+                s.apply(i, &GraphDelta::adding([Edge::unit(v, (v + 3) % 8)]))
+                    .unwrap();
+            }
+        };
+        let mut plain = store_mut().with_compaction(CompactionPolicy::EveryK(4));
+        stream(&mut plain);
+        let resident = plain.shard_resident_bytes(0);
+        assert!(!plain.has_spills());
+
+        let cap = resident * 6 / 10;
+        let mut capped = store_mut()
+            .with_compaction(CompactionPolicy::EveryK(4))
+            .with_capacity(ShardCapacity::bytes(cap));
+        stream(&mut capped);
+        assert_eq!(capped.capacity(), ShardCapacity::bytes(cap));
+        assert!(capped.has_spills(), "tight cap must spill");
+        let shard = capped.shard(0);
+        let horizon = shard
+            .newest_checkpoint()
+            .expect("EveryK stamps checkpoints");
+        assert!(shard.num_spilled() > 0);
+        for i in shard.spilled_indices() {
+            assert!(i < horizon, "spilled record {i} above checkpoint {horizon}");
+        }
+        // Post-install budget: under cap, or everything evictable spilled.
+        let resident_now = capped.shard_resident_bytes(0);
+        assert!(
+            resident_now <= cap || !capped.shard_has_evictable(0),
+            "resident {resident_now} over cap {cap} with evictable records left"
+        );
+        assert!(resident_now < resident, "spilling must shrink residency");
+        assert!(capped.override_bytes() < plain.override_bytes());
+
+        // Transparency + the spill signal: every view resolves
+        // identically, and at least one historical view reads through a
+        // spilled record (the latest never does).
+        let plain = Arc::new(plain);
+        let capped = Arc::new(capped);
+        let mut saw_spill = false;
+        for ts in 0..=24u64 {
+            let a = plain.view_at(ts);
+            let b = capped.view_at(ts);
+            for pid in 0..4 {
+                assert_eq!(a.version_of(pid), b.version_of(pid), "ts {ts} pid {pid}");
+                assert_eq!(
+                    a.partition(pid).edges_global(),
+                    b.partition(pid).edges_global(),
+                    "ts {ts} pid {pid}"
+                );
+                assert!(!a.partition_spilled(pid), "uncapped store never spills");
+                saw_spill |= b.partition_spilled(pid);
+            }
+        }
+        assert!(saw_spill, "some historical view must read spilled state");
+        let latest = capped.latest();
+        for pid in 0..4 {
+            assert!(
+                !latest.partition_spilled(pid),
+                "the latest view answers from the resident current index"
+            );
+        }
+    }
+
+    /// Unlimited capacity (the default) never spills.
+    #[test]
+    fn default_capacity_never_spills() {
+        let mut s = store_mut();
+        for i in 1..=20u64 {
+            let v = (i % 7) as u32;
+            s.apply(i, &GraphDelta::adding([Edge::unit(v, (v + 3) % 8)]))
+                .unwrap();
+        }
+        assert!(!s.has_spills());
+        assert!(!ShardCapacity::default().is_limited());
+        for sh in 0..s.num_shards() {
+            assert_eq!(s.shard(sh).num_spilled(), 0);
+        }
+    }
+
+    /// Concurrent apply is bit-identical to serial apply: same records,
+    /// versions, views, and resident accounting at any worker count.
+    #[test]
+    fn concurrent_apply_matches_serial_bit_for_bit() {
+        let build = |workers: usize, shards: usize| {
+            let el = GraphBuilder::new(16)
+                .edges((0..16u32).map(|v| (v, (v + 1) % 16)))
+                .build();
+            let mut s = ShardedSnapshotStore::with_shards(
+                VertexCutPartitioner::new(8).partition(&el),
+                shards,
+            )
+            .with_apply_workers(workers);
+            assert_eq!(s.apply_workers(), workers.max(1));
+            for i in 1..=12u64 {
+                // Each delta spans several partitions so the fan-out is real.
+                let d = GraphDelta::adding([
+                    Edge::unit((i % 16) as u32, ((i + 5) % 16) as u32),
+                    Edge::unit(((i + 8) % 16) as u32, ((i + 2) % 16) as u32),
+                    Edge::unit(((i + 4) % 16) as u32, ((i + 11) % 16) as u32),
+                ]);
+                s.apply(i, &d).unwrap();
+            }
+            Arc::new(s)
+        };
+        let serial = build(1, 4);
+        for (workers, shards) in [(2, 4), (4, 4), (8, 4), (4, 1)] {
+            let par = build(workers, shards);
+            assert_eq!(par.override_bytes(), build(1, shards).override_bytes());
+            for ts in 0..=12u64 {
+                let a = serial.view_at(ts);
+                let b = par.view_at(ts);
+                for pid in 0..8 {
+                    assert_eq!(a.version_of(pid), b.version_of(pid), "ts {ts} pid {pid}");
+                    assert_eq!(
+                        a.partition(pid).edges_global(),
+                        b.partition(pid).edges_global(),
+                        "w {workers} ts {ts} pid {pid}"
+                    );
+                }
+                for v in 0..16 {
+                    assert_eq!(a.master_of(v), b.master_of(v));
+                    assert_eq!(a.replicas_of(v), b.replicas_of(v));
+                    assert_eq!(a.degree_of(v), b.degree_of(v));
+                }
+            }
+        }
+        // Errors surface identically: the serial loop's first (smallest
+        // affected pid) edge-not-found wins in both modes.
+        let mut a = store_mut().with_apply_workers(4);
+        let mut b = store_mut();
+        let bad = GraphDelta {
+            additions: vec![Edge::unit(0, 2), Edge::unit(4, 6)],
+            removals: vec![(0, 1), (0, 1)],
+        };
+        assert_eq!(a.apply(1, &bad).unwrap_err(), b.apply(1, &bad).unwrap_err());
     }
 
     /// The default policy keeps resident bytes far below the EveryK(1)

@@ -4,7 +4,10 @@ use proptest::prelude::*;
 
 use cgraph::algos::{reference, Bfs, Wcc};
 use cgraph::core::{Engine, EngineConfig};
-use cgraph::graph::snapshot::{CompactionPolicy, GraphDelta, ShardedSnapshotStore, SnapshotStore};
+use cgraph::graph::snapshot::{
+    CompactionPolicy, FootprintProfile, GraphDelta, ShardCapacity, ShardPlacement,
+    ShardedSnapshotStore, SnapshotStore,
+};
 use cgraph::graph::vertex_cut::VertexCutPartitioner;
 use cgraph::graph::{Csr, Edge, EdgeList, Partitioner};
 use cgraph::memsim::{CacheObject, LruCache};
@@ -210,9 +213,11 @@ proptest! {
             deltas.push(GraphDelta { additions, removals });
         }
 
-        let build = |policy: CompactionPolicy, shards: usize, post_hoc: bool| {
+        let build = |policy: CompactionPolicy, shards: usize, post_hoc: bool,
+                     placement: ShardPlacement| {
             let ps = VertexCutPartitioner::new(4).partition(&el);
-            let mut s = ShardedSnapshotStore::with_shards(ps, shards).with_compaction(policy);
+            let mut s = ShardedSnapshotStore::with_placement(ps, shards, placement)
+                .with_compaction(policy);
             for (d, (ts, _)) in deltas.iter().zip(&expected) {
                 s.apply(*ts, d).unwrap();
             }
@@ -221,13 +226,24 @@ proptest! {
             }
             std::sync::Arc::new(s)
         };
-        let reference = build(CompactionPolicy::Off, 1, false);
+        let mut profile = FootprintProfile::new();
+        profile.record([0u32, 2]);
+        profile.record([1u32, 3]);
+        let rr = ShardPlacement::RoundRobin;
+        let reference = build(CompactionPolicy::Off, 1, false, rr.clone());
         let variants = [
-            build(CompactionPolicy::EveryK(1), 1, false),
-            build(CompactionPolicy::EveryK(4), 1, false),
-            build(CompactionPolicy::Off, 1, true),
-            build(CompactionPolicy::EveryK(1), 3, false),
-            build(CompactionPolicy::Off, 3, true),
+            build(CompactionPolicy::EveryK(1), 1, false, rr.clone()),
+            build(CompactionPolicy::EveryK(4), 1, false, rr.clone()),
+            build(CompactionPolicy::Off, 1, true, rr.clone()),
+            build(CompactionPolicy::EveryK(1), 3, false, rr.clone()),
+            build(CompactionPolicy::Off, 3, true, rr),
+            build(CompactionPolicy::EveryK(2), 3, false, ShardPlacement::Hash),
+            build(
+                CompactionPolicy::EveryK(2),
+                2,
+                true,
+                ShardPlacement::locality(&profile, 4, 2),
+            ),
         ];
         let mut base_sorted: Vec<(u32, u32)> =
             el.edges().iter().map(|e| (e.src, e.dst)).collect();
@@ -261,6 +277,111 @@ proptest! {
                         b.partition(pid).edges_global(),
                         "ts {} pid {}", ts, pid
                     );
+                }
+                for v in 0..24u32 {
+                    prop_assert_eq!(a.master_of(v), b.master_of(v), "ts {} v {}", ts, v);
+                    prop_assert_eq!(a.replicas_of(v), b.replicas_of(v), "ts {} v {}", ts, v);
+                    prop_assert_eq!(a.degree_of(v), b.degree_of(v), "ts {} v {}", ts, v);
+                }
+            }
+        }
+    }
+
+    /// Placement, capacity, and concurrent apply are pure mechanism: a
+    /// random delta stream observed through {round-robin, hash,
+    /// locality-over-random-footprints} × {unlimited, tight capacity} ×
+    /// {serial, 4-worker apply} yields bit-identical historical views
+    /// everywhere (edges, versions, masters, replicas, degrees), and
+    /// spill signals only ever fire on capacity-limited stores.
+    #[test]
+    fn placement_is_transparent(
+        el in arb_edges(),
+        stream in proptest::collection::vec(
+            (
+                proptest::collection::vec((0u32..24, 0u32..24), 0..10),
+                proptest::collection::vec(0usize..64, 0..6),
+            ),
+            1..5,
+        ),
+        footprints in proptest::collection::vec(
+            proptest::collection::vec(0u32..4, 1..4),
+            0..6,
+        ),
+    ) {
+        // Resolve the stream against a host-side multiset so removals
+        // always name live edges.
+        let mut live: Vec<(u32, u32)> = el.edges().iter().map(|e| (e.src, e.dst)).collect();
+        let mut deltas: Vec<(u64, GraphDelta)> = Vec::new();
+        for (i, (adds, picks)) in stream.iter().enumerate() {
+            let additions: Vec<Edge> = adds
+                .iter()
+                .filter(|(s, d)| s != d)
+                .map(|&(s, d)| Edge::unit(s, d))
+                .collect();
+            let mut removals: Vec<(u32, u32)> = Vec::new();
+            for &pick in picks {
+                if live.is_empty() {
+                    break;
+                }
+                removals.push(live.remove(pick % live.len()));
+            }
+            live.extend(additions.iter().map(|e| (e.src, e.dst)));
+            deltas.push(((i as u64 + 1) * 10, GraphDelta { additions, removals }));
+        }
+
+        let mut profile = FootprintProfile::new();
+        for fp in &footprints {
+            profile.record(fp.iter().copied());
+        }
+        let build = |placement: ShardPlacement, cap: ShardCapacity, workers: usize| {
+            let ps = VertexCutPartitioner::new(4).partition(&el);
+            let mut s = ShardedSnapshotStore::with_placement(ps, 2, placement)
+                .with_compaction(CompactionPolicy::EveryK(2))
+                .with_capacity(cap)
+                .with_apply_workers(workers);
+            for (ts, d) in &deltas {
+                s.apply(*ts, d).unwrap();
+            }
+            std::sync::Arc::new(s)
+        };
+        let unlimited = ShardCapacity::UNLIMITED;
+        let tight = ShardCapacity::bytes(512);
+        let locality = ShardPlacement::locality(&profile, 4, 2);
+        let reference = build(ShardPlacement::RoundRobin, unlimited, 1);
+        let variants = [
+            build(ShardPlacement::RoundRobin, tight, 1),
+            build(ShardPlacement::Hash, unlimited, 1),
+            build(ShardPlacement::Hash, tight, 4),
+            build(locality.clone(), unlimited, 4),
+            build(locality, tight, 1),
+        ];
+        let timestamps: Vec<u64> = std::iter::once(0)
+            .chain(deltas.iter().map(|(ts, _)| *ts))
+            .chain(std::iter::once(999))
+            .collect();
+        prop_assert!(!reference.has_spills(), "unlimited capacity never spills");
+        for &ts in &timestamps {
+            let a = reference.view_at(ts);
+            for (vi, bs) in variants.iter().enumerate() {
+                let b = bs.view_at(ts);
+                prop_assert_eq!(a.timestamp(), b.timestamp());
+                for pid in 0..4u32 {
+                    prop_assert_eq!(
+                        a.version_of(pid), b.version_of(pid),
+                        "variant {} ts {} pid {}", vi, ts, pid
+                    );
+                    prop_assert_eq!(
+                        a.partition(pid).edges_global(),
+                        b.partition(pid).edges_global(),
+                        "variant {} ts {} pid {}", vi, ts, pid
+                    );
+                    prop_assert!(
+                        !a.partition_spilled(pid),
+                        "unlimited reference must never report spills"
+                    );
+                    if !bs.capacity().is_limited() {
+                        prop_assert!(!b.partition_spilled(pid));
+                    }
                 }
                 for v in 0..24u32 {
                     prop_assert_eq!(a.master_of(v), b.master_of(v), "ts {} v {}", ts, v);

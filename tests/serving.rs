@@ -9,7 +9,7 @@ use cgraph::baselines::{FifoServe, StreamConfig, StreamEngine};
 use cgraph::core::{Engine, EngineConfig, JobEngine, ServeConfig, ServeLoop, ServeReport};
 use cgraph::graph::snapshot::{GraphDelta, SnapshotStore};
 use cgraph::graph::vertex_cut::VertexCutPartitioner;
-use cgraph::graph::{generate, Edge, Partitioner, ShardPlacement};
+use cgraph::graph::{generate, Edge, Partitioner, ShardCapacity, ShardPlacement};
 use cgraph::trace::{generate_trace, JobSpan, TraceConfig};
 
 /// Virtual seconds per trace hour for the test streams.
@@ -338,19 +338,51 @@ fn lookahead_agrees_on_results() {
     assert!(!EngineConfig::default().lookahead, "lookahead defaults off");
 }
 
-/// Hash shard placement is transparent to execution: identical results
-/// and global counters, with lanes following the store's placement.
+/// Shard placement is transparent to execution at *every* variant —
+/// round-robin, hash, and a locality table profiled from a prior run —
+/// on an evolving store with jobs bound to old and new snapshots:
+/// identical results, loads, and global counters, with the engine's
+/// lanes always following the store's placement.  A capacity-tight
+/// store additionally serves bit-identical results while pricing its
+/// spill re-fetches (so only the traffic counters may move).
 #[test]
-fn hash_placement_serves_identically() {
+fn placement_serves_identically() {
     let el = generate::rmat(9, 6, generate::RmatParams::default(), 77);
     let ps = VertexCutPartitioner::new(12).partition(&el);
-    let run = |placement: ShardPlacement| {
-        let st = Arc::new(SnapshotStore::with_placement(ps.clone(), 4, placement));
+    let evolve = |st: &mut SnapshotStore| {
+        for i in 1..=10u64 {
+            let k = i as u32;
+            // Repeatedly re-override the same few partitions (vertices
+            // 0..96 span ~2 of the 12) so pre-checkpoint records hold
+            // *stale* versions — the only state capacity can spill:
+            // payloads a checkpoint still shares never leave residency.
+            let (s, d) = (
+                k.wrapping_mul(7) % 96,
+                k.wrapping_mul(13).wrapping_add(1) % 96,
+            );
+            st.apply(
+                i,
+                &GraphDelta::adding([Edge::unit(s, if d == s { d + 1 } else { d })]),
+            )
+            .unwrap();
+        }
+    };
+    let run = |placement: ShardPlacement, capacity: ShardCapacity| {
+        let mut st = SnapshotStore::with_placement(ps.clone(), 4, placement)
+            .with_compaction(cgraph::graph::CompactionPolicy::EveryK(3))
+            .with_capacity(capacity);
+        evolve(&mut st);
+        let st = Arc::new(st);
         let mut e = Engine::new(
             Arc::clone(&st),
             EngineConfig { wavefront: 2, prefetch_depth: 1, ..EngineConfig::default() },
         );
-        let bf = e.submit_program(Bfs::new(0));
+        // One job bound mid-stream (its historical walks reach spilled
+        // pre-checkpoint records; the very first record often stays
+        // resident — its payload may still anchor the newest
+        // checkpoint), one on the latest.
+        let old = e.submit_at(Bfs::new(0), 5);
+        let new = e.submit_program(Bfs::new(3));
         let report = e.run();
         assert!(report.completed);
         for pid in 0..12u32 {
@@ -360,14 +392,45 @@ fn hash_placement_serves_identically() {
                 "engine lanes must follow store placement"
             );
         }
-        (e.results::<Bfs>(bf).unwrap(), report.metrics, report.loads)
+        (
+            (
+                e.results::<Bfs>(old).unwrap(),
+                e.results::<Bfs>(new).unwrap(),
+            ),
+            report.metrics,
+            report.loads,
+            e.spill_fetch_bytes().iter().sum::<u64>(),
+            e.footprint_profile(),
+        )
     };
-    let (res_rr, m_rr, loads_rr) = run(ShardPlacement::RoundRobin);
-    let (res_h, m_h, loads_h) = run(ShardPlacement::Hash);
-    assert_eq!(res_rr, res_h);
-    assert_eq!(loads_rr, loads_h);
-    assert_eq!(
-        m_rr, m_h,
-        "global counters must not depend on shard placement"
-    );
+    let unlimited = ShardCapacity::UNLIMITED;
+    let (res_rr, m_rr, loads_rr, spill_rr, profile) = run(ShardPlacement::RoundRobin, unlimited);
+    assert_eq!(spill_rr, 0, "unlimited capacity never spills");
+    let locality = ShardPlacement::locality(&profile, ps.num_partitions(), 4);
+    for placement in [ShardPlacement::Hash, locality.clone()] {
+        let (res, m, loads, spill, _) = run(placement.clone(), unlimited);
+        assert_eq!(res_rr, res, "{placement:?}");
+        assert_eq!(loads_rr, loads, "{placement:?}");
+        assert_eq!(
+            m_rr, m,
+            "global counters must not depend on shard placement ({placement:?})"
+        );
+        assert_eq!(spill, 0);
+    }
+    // Tight capacity: same results and schedule, but historic reads of
+    // spilled records now carry a priced re-fetch.
+    for placement in [ShardPlacement::RoundRobin, locality] {
+        let (res, m, loads, spill, _) = run(placement.clone(), ShardCapacity::bytes(4096));
+        assert_eq!(
+            res_rr, res,
+            "capacity is cost, never results ({placement:?})"
+        );
+        assert_eq!(loads_rr, loads, "{placement:?}");
+        assert!(spill > 0, "tight capacity must price spill re-fetches");
+        assert_eq!(
+            m.bytes_disk_to_mem,
+            m_rr.bytes_disk_to_mem + spill,
+            "spill re-fetches are exactly the extra disk traffic"
+        );
+    }
 }

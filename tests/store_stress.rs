@@ -1,0 +1,382 @@
+//! The multi-node store differential stress suite: concurrent per-shard
+//! apply is bit-identical to serial apply under thread contention,
+//! capacity eviction only ever spills checkpoint-covered records (and
+//! its re-fetches are charged on the owning shard's lane), and locality
+//! placement cuts cross-shard fetch traffic without changing anything a
+//! view or a schedule observes.
+//!
+//! CI runs this binary both on the default parallel test harness and
+//! under `cargo test -q -- --test-threads=1`, so ordering-dependent
+//! flakiness in the concurrent-apply path shows up as a diff between
+//! the two runs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use cgraph::algos::{Bfs, Sssp};
+use cgraph::baselines::{StreamConfig, StreamEngine};
+use cgraph::core::{Engine, EngineConfig};
+use cgraph::graph::snapshot::{
+    CompactionPolicy, GraphDelta, ShardCapacity, ShardPlacement, ShardedSnapshotStore,
+};
+use cgraph::graph::vertex_cut::VertexCutPartitioner;
+use cgraph::graph::{generate, PartitionSet, Partitioner, VersionId, VertexId};
+use cgraph_bench::{
+    community_graph, ingest_stream_spread, out_of_core_hierarchy, submit_community_jobs,
+};
+
+const VERTICES: u32 = 4096;
+const PARTITIONS: usize = 32;
+const DELTAS: usize = 200;
+
+fn base() -> PartitionSet {
+    VertexCutPartitioner::new(PARTITIONS).partition(&generate::cycle(VERTICES))
+}
+
+fn stream() -> Vec<GraphDelta> {
+    ingest_stream_spread(VERTICES, DELTAS, 32, 8)
+}
+
+/// Everything a view can observe at one timestamp, flattened for
+/// differential comparison.
+#[derive(PartialEq, Debug)]
+struct ViewDigest {
+    ts: u64,
+    versions: Vec<VersionId>,
+    edges: Vec<(VertexId, VertexId)>,
+    masters: Vec<u32>,
+    degrees: Vec<(u32, u32)>,
+}
+
+fn digest(store: &Arc<ShardedSnapshotStore>, ts: u64) -> ViewDigest {
+    let v = store.view_at(ts);
+    let mut edges: Vec<(VertexId, VertexId)> = v
+        .edges_global()
+        .edges()
+        .iter()
+        .map(|e| (e.src, e.dst))
+        .collect();
+    edges.sort_unstable();
+    ViewDigest {
+        ts,
+        versions: (0..PARTITIONS as u32).map(|p| v.version_of(p)).collect(),
+        edges,
+        masters: (0..VERTICES).step_by(37).map(|x| v.master_of(x)).collect(),
+        degrees: (0..VERTICES).step_by(37).map(|x| v.degree_of(x)).collect(),
+    }
+}
+
+fn digests(store: &Arc<ShardedSnapshotStore>) -> Vec<ViewDigest> {
+    [0u64, 490, 990, 1490, 2000]
+        .into_iter()
+        .map(|ts| digest(store, ts))
+        .collect()
+}
+
+fn apply_all(mut store: ShardedSnapshotStore, stream: &[GraphDelta]) -> Arc<ShardedSnapshotStore> {
+    for (i, d) in stream.iter().enumerate() {
+        store.apply((i as u64 + 1) * 10, d).expect("stream applies");
+    }
+    Arc::new(store)
+}
+
+/// N writer threads, each driving its own store through the same
+/// 200-delta stream under a different {shards × apply workers ×
+/// placement} configuration, all racing at once: every final chain must
+/// be bit-identical to the single-threaded serial reference, view by
+/// historical view.
+#[test]
+fn concurrent_apply_stress_matches_serial() {
+    let ps = base();
+    let stream = stream();
+    let reference = digests(&apply_all(
+        ShardedSnapshotStore::with_shards(ps.clone(), 4),
+        &stream,
+    ));
+
+    let configs: Vec<(usize, usize, ShardPlacement)> = vec![
+        (1, 4, ShardPlacement::RoundRobin),
+        (4, 2, ShardPlacement::RoundRobin),
+        (4, 4, ShardPlacement::RoundRobin),
+        (8, 4, ShardPlacement::Hash),
+        (4, 4, {
+            let mut profile = cgraph::graph::FootprintProfile::new();
+            for c in 0..4u32 {
+                profile.record((0..PARTITIONS as u32).filter(|p| p % 4 == c));
+            }
+            ShardPlacement::locality(&profile, PARTITIONS, 4)
+        }),
+    ];
+    let results: Vec<(usize, usize, Vec<ViewDigest>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = configs
+            .into_iter()
+            .map(|(shards, workers, placement)| {
+                let ps = ps.clone();
+                let stream = &stream;
+                scope.spawn(move || {
+                    let store = apply_all(
+                        ShardedSnapshotStore::with_placement(ps, shards, placement)
+                            .with_apply_workers(workers),
+                        stream,
+                    );
+                    (shards, workers, digests(&store))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("writer"))
+            .collect()
+    });
+    for (shards, workers, got) in results {
+        assert_eq!(
+            got, reference,
+            "shards={shards} workers={workers} diverged from serial apply"
+        );
+    }
+}
+
+/// Writers interleaving applies on ONE shared store (a ticket per delta
+/// keeps the global timestamp order; each holder fans its apply out on
+/// 4 workers) must produce exactly the serial chain — and must not
+/// deadlock under lock contention.
+#[test]
+fn interleaved_writers_on_shared_store_stay_serializable() {
+    let ps = base();
+    let stream = stream();
+    let reference = digests(&apply_all(
+        ShardedSnapshotStore::with_shards(ps.clone(), 4),
+        &stream,
+    ));
+
+    const WRITERS: usize = 4;
+    let store = Mutex::new(Some(
+        ShardedSnapshotStore::with_shards(ps, 4).with_apply_workers(4),
+    ));
+    let turn = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS {
+            let store = &store;
+            let turn = &turn;
+            let stream = &stream;
+            scope.spawn(move || {
+                // Writer `w` owns deltas w, w + WRITERS, w + 2·WRITERS, …
+                for (i, d) in stream.iter().enumerate().skip(w).step_by(WRITERS) {
+                    while turn.load(Ordering::Acquire) != i {
+                        std::thread::yield_now();
+                    }
+                    let mut guard = store.lock().expect("store lock");
+                    let s = guard.as_mut().expect("store present");
+                    s.apply((i as u64 + 1) * 10, d).expect("stream applies");
+                    drop(guard);
+                    turn.store(i + 1, Ordering::Release);
+                }
+            });
+        }
+    });
+    let shared = Arc::new(store.into_inner().expect("lock").expect("store"));
+    assert_eq!(
+        digests(&shared),
+        reference,
+        "interleaved writers diverged from serial apply"
+    );
+}
+
+/// Capacity eviction invariants under a long stream: every spilled
+/// record sits strictly below its shard's newest checkpoint (so no
+/// historical walk can dangle — it always terminates on resident
+/// state), the post-install resident bytes respect the budget whenever
+/// anything evictable remains, and the capped store stays bit-identical
+/// to the uncapped one.
+#[test]
+fn capacity_eviction_invariants() {
+    let ps = base();
+    let stream = stream();
+    let uncapped = apply_all(
+        ShardedSnapshotStore::with_shards(ps.clone(), 4)
+            .with_compaction(CompactionPolicy::EveryK(8)),
+        &stream,
+    );
+    let cap = (0..4)
+        .map(|s| uncapped.shard_resident_bytes(s))
+        .max()
+        .unwrap()
+        * 6
+        / 10;
+    let capped = apply_all(
+        ShardedSnapshotStore::with_shards(ps, 4)
+            .with_compaction(CompactionPolicy::EveryK(8))
+            .with_capacity(ShardCapacity::bytes(cap)),
+        &stream,
+    );
+    assert!(capped.has_spills(), "a 40% cut must force spills");
+    for s in 0..4 {
+        let shard = capped.shard(s);
+        let spilled = shard.spilled_indices();
+        if spilled.is_empty() {
+            continue;
+        }
+        let horizon = shard
+            .newest_checkpoint()
+            .expect("spills require a checkpoint");
+        for i in &spilled {
+            assert!(
+                *i < horizon,
+                "shard {s}: spilled record {i} not covered by checkpoint {horizon}"
+            );
+        }
+        // Budget: under cap, or nothing evictable remains (the refusal
+        // case — the resident floor is the head plus checkpoint-shared
+        // payloads, which spilling could never free).
+        let resident = capped.shard_resident_bytes(s);
+        assert!(
+            resident <= cap || !capped.shard_has_evictable(s),
+            "shard {s}: resident {resident} over cap {cap} with evictable records left"
+        );
+    }
+    assert!(
+        capped.override_bytes() < uncapped.override_bytes(),
+        "spilling must shrink the resident override accounting"
+    );
+    assert_eq!(
+        digests(&capped),
+        digests(&uncapped),
+        "capacity is cost, never semantics"
+    );
+}
+
+/// Eviction + re-fetch round-trips are charged on the correct shard
+/// lane: with deltas confined to one shard's partitions, only that
+/// shard spills, and a historic-bound job's spill re-fetches land on
+/// exactly that lane — in both the CGraph engine and the streaming
+/// baseline.
+#[test]
+fn spill_refetches_charge_the_owning_lane() {
+    let ps = VertexCutPartitioner::new(8).partition(&generate::cycle(256));
+    // Partitions are contiguous 32-vertex ranges; round-robin over 2
+    // shards puts even pids on shard 0.  Edges among partition 0's
+    // vertices keep every delta (and so every spill) on shard 0.
+    let mut store =
+        ShardedSnapshotStore::with_shards(ps, 2).with_compaction(CompactionPolicy::EveryK(4));
+    for i in 1..=40u64 {
+        let v = (i % 30) as u32;
+        store
+            .apply(
+                i,
+                &GraphDelta::adding([cgraph::graph::Edge::unit(v, (v + 2) % 31)]),
+            )
+            .unwrap();
+    }
+    let cap = store.shard_resident_bytes(0) / 2;
+    let mut store = store.with_capacity(ShardCapacity::bytes(cap));
+    // Keep evolving so enforcement runs through apply too.
+    for i in 41..=48u64 {
+        let v = (i % 30) as u32;
+        store
+            .apply(
+                i,
+                &GraphDelta::adding([cgraph::graph::Edge::unit(v, (v + 5) % 31)]),
+            )
+            .unwrap();
+    }
+    assert!(store.shard(0).num_spilled() > 0, "shard 0 must spill");
+    assert_eq!(store.shard(1).num_spilled(), 0, "shard 1 never changes");
+    let store = Arc::new(store);
+
+    // A job bound to an early snapshot walks the spilled history.
+    let mut engine = Engine::new(Arc::clone(&store), EngineConfig::default());
+    engine.submit_at(Bfs::new(0), 1);
+    assert!(engine.run().completed);
+    let lanes = engine.spill_fetch_bytes();
+    assert!(
+        lanes.first().copied().unwrap_or(0) > 0,
+        "historic reads must be priced as spill re-fetches: {lanes:?}"
+    );
+    assert!(
+        lanes.iter().skip(1).all(|&b| b == 0),
+        "spill charges must stay on the owning lane: {lanes:?}"
+    );
+
+    let mut baseline = StreamEngine::new(Arc::clone(&store), StreamConfig::default());
+    baseline.submit_at(Bfs::new(0), 1);
+    assert!(baseline.run().completed);
+    let lanes = baseline.spill_fetch_bytes();
+    assert!(
+        lanes.first().copied().unwrap_or(0) > 0,
+        "baseline prices spills too"
+    );
+    assert!(
+        lanes.iter().skip(1).all(|&b| b == 0),
+        "baseline lane attribution: {lanes:?}"
+    );
+
+    // A latest-bound job never touches spilled state: the current index
+    // is always resident.
+    let mut fresh = Engine::new(Arc::clone(&store), EngineConfig::default());
+    fresh.submit(Bfs::new(0));
+    assert!(fresh.run().completed);
+    assert!(
+        fresh.spill_fetch_bytes().iter().all(|&b| b == 0),
+        "latest views resolve from the resident current index"
+    );
+}
+
+/// The acceptance pin for locality placement: on the community workload
+/// (disjoint job footprints), profiling a round-robin run and replaying
+/// under the profiled locality table cuts cross-shard fetch bytes by at
+/// least 15% — here it should approach 100% — while results, loads, and
+/// total traffic stay identical.
+#[test]
+fn locality_placement_cuts_cross_shard_fetch_bytes() {
+    const COMMUNITIES: usize = 4;
+    const BLOCK: u32 = 1 << 8;
+    let el = community_graph(COMMUNITIES, 8, 6, 0xC0FFEE);
+    let ps = VertexCutPartitioner::new(16).partition(&el);
+    let h = out_of_core_hierarchy(&ps);
+    let run = |placement: ShardPlacement| {
+        let store = Arc::new(ShardedSnapshotStore::with_placement(
+            ps.clone(),
+            4,
+            placement,
+        ));
+        let mut e = Engine::new(
+            Arc::clone(&store),
+            EngineConfig {
+                workers: 2,
+                hierarchy: h,
+                wavefront: 4,
+                prefetch_depth: 2,
+                ..EngineConfig::default()
+            },
+        );
+        submit_community_jobs(&mut e, COMMUNITIES, BLOCK);
+        let report = e.run();
+        assert!(report.completed);
+        let results: Vec<Vec<u32>> = (0..COMMUNITIES as u32)
+            .map(|c| e.results::<Bfs>(c * 2).unwrap())
+            .collect();
+        let sssp: Vec<Vec<f32>> = (0..COMMUNITIES as u32)
+            .map(|c| e.results::<Sssp>(c * 2 + 1).unwrap())
+            .collect();
+        (
+            results,
+            sssp,
+            report.loads,
+            e.shard_fetch_bytes().iter().sum::<u64>(),
+            e.cross_shard_fetch_bytes(),
+            e.footprint_profile(),
+        )
+    };
+    let (res_rr, sssp_rr, loads_rr, total_rr, cross_rr, profile) = run(ShardPlacement::RoundRobin);
+    let locality = ShardPlacement::locality(&profile, ps.num_partitions(), 4);
+    let (res_loc, sssp_loc, loads_loc, total_loc, cross_loc, _) = run(locality);
+    assert_eq!(res_rr, res_loc, "placement never changes results");
+    assert_eq!(sssp_rr, sssp_loc);
+    assert_eq!(loads_rr, loads_loc, "placement never changes the schedule");
+    assert_eq!(total_rr, total_loc, "placement never changes total traffic");
+    assert!(cross_rr > 0, "round-robin scatters community footprints");
+    assert!(
+        (cross_loc as f64) <= 0.85 * cross_rr as f64,
+        "locality must cut cross-shard fetch bytes >=15%: {cross_loc} vs {cross_rr}"
+    );
+}
