@@ -1,22 +1,153 @@
 //! The wavefront/shard/prefetch sweep, machine-readable.
 //!
 //! Runs the paper's four-job mix through the CGraph engine over the
-//! `{wavefront} × {shards} × {prefetch_depth}` grid on an out-of-core
-//! hierarchy (disk-bound loads — the regime the prefetch pipeline
-//! targets), prints the table, and writes `BENCH_wavefront.json` so CI
-//! can track the perf trajectory point by point.
+//! `{wavefront} × {shards} × {prefetch_depth} × {io_workers}` grid on
+//! an out-of-core hierarchy (disk-bound loads — the regime the
+//! prefetch pipeline targets), prints the table, and writes
+//! `BENCH_wavefront.json` so CI can track the perf trajectory point by
+//! point.  `io_workers > 0` rows route rounds through the
+//! channel-staged concurrent executor; results are bit-identical to
+//! the fork-join rows, only the wall clock moves.
+//!
+//! Two extra checks ride along:
+//!
+//! - **Wall gate** — the concurrent executor (4 compute workers, 4 I/O
+//!   workers) must beat the serial executor (1 worker, fork-join) by
+//!   ≥1.5× wall clock at `k=4 s=4 d=2`, best of 3 runs each, with
+//!   identical loads/metrics/modeled time.  Enforced at default scale
+//!   and above on hosts with ≥4 cores; recorded-and-skipped (JSON
+//!   `gates` row set) elsewhere.
+//! - **Steady-state allocation smoke** — a counting global allocator
+//!   steps a concurrent-executor engine round by round and asserts the
+//!   net live-byte growth across post-warmup rounds stays within a
+//!   small bound: the round buffers, channel payloads, and chunk queue
+//!   all recycle instead of reallocating per round.
 //!
 //! Accepts the standard `--full` / `--tiny` scale flags; `--out PATH`
 //! overrides the JSON location.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use cgraph_algos::PageRank;
 use cgraph_bench::{
     out_of_core_hierarchy, paper_mix, partitions_for, print_table, run_wavefront_placed,
-    wavefront_sweep, wavefront_sweep_json, Scale,
+    wavefront_sweep, wavefront_sweep_json, Scale, WallGate,
 };
+use cgraph_core::{Engine, EngineConfig};
 use cgraph_graph::generate::Dataset;
 use cgraph_graph::snapshot::{ShardPlacement, SnapshotStore};
+use cgraph_memsim::HierarchyConfig;
+
+/// Counting wrapper around the system allocator: allocation calls and
+/// net live bytes, cheap enough to leave on for the whole run.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static LIVE_BYTES: AtomicI64 = AtomicI64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        LIVE_BYTES.fetch_add(layout.size() as i64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE_BYTES.fetch_sub(layout.size() as i64, Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        LIVE_BYTES.fetch_add(new_size as i64 - layout.size() as i64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Best-of-`reps` wall seconds for one executor configuration, plus
+/// the (identical-across-reps) run report of the last rep.
+fn best_wall(
+    store: &Arc<SnapshotStore>,
+    workers: usize,
+    h: HierarchyConfig,
+    io_workers: usize,
+    reps: usize,
+) -> (f64, cgraph_core::RunReport) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let start = std::time::Instant::now();
+        let report = run_wavefront_placed(
+            store,
+            workers,
+            h,
+            4,
+            4,
+            2,
+            io_workers,
+            ShardPlacement::RoundRobin,
+            &paper_mix(),
+        );
+        best = best.min(start.elapsed().as_secs_f64());
+        assert!(report.completed, "gate run must converge");
+        last = Some(report);
+    }
+    (best, last.expect("at least one rep"))
+}
+
+/// Steps a concurrent-executor engine round by round and asserts the
+/// post-warmup rounds hold net live-byte growth within `bound` bytes:
+/// the per-round fetch/completion payloads, reorder slots, and chunk
+/// queue recycle rather than reallocate.
+fn steady_state_alloc_smoke(store: &Arc<SnapshotStore>, h: HierarchyConfig, bound: i64) {
+    let mut engine = Engine::new(
+        Arc::clone(store),
+        EngineConfig {
+            workers: 2,
+            wavefront: 4,
+            shards: 4,
+            prefetch_depth: 2,
+            io_workers: 2,
+            hierarchy: h,
+            ..EngineConfig::default()
+        },
+    );
+    // Four identical long-running jobs: every round is a multi-slot
+    // concurrent wave and no job finishes (and frees) mid-measurement.
+    for _ in 0..4 {
+        engine.submit_at(PageRank::default(), 0);
+    }
+    // Warmup spawns the worker crew, sizes the round buffers, and
+    // faults in the cache working set.
+    let mut warm = 0;
+    while warm < 3 && engine.step_round() {
+        warm += 1;
+    }
+    let live0 = LIVE_BYTES.load(Ordering::Relaxed);
+    let calls0 = ALLOC_CALLS.load(Ordering::Relaxed);
+    let mut measured = 0;
+    while measured < 8 && engine.step_round() {
+        measured += 1;
+    }
+    let growth = LIVE_BYTES.load(Ordering::Relaxed) - live0;
+    let calls = ALLOC_CALLS.load(Ordering::Relaxed) - calls0;
+    println!(
+        "\nsteady-state allocation smoke: {measured} rounds after warmup, \
+         net live bytes {growth:+}, {calls} allocation calls"
+    );
+    if measured >= 2 {
+        assert!(
+            growth <= bound,
+            "steady-state rounds must not grow the heap: {growth} bytes over \
+             {measured} rounds (bound {bound})"
+        );
+    }
+}
 
 fn main() {
     let scale = Scale::from_args();
@@ -39,15 +170,20 @@ fn main() {
     let store = Arc::new(SnapshotStore::new(ps));
 
     let grid = [
-        (1, 1, 0),
-        (2, 1, 0),
-        (4, 1, 0),
-        (2, 4, 0),
-        (4, 4, 0),
-        (2, 4, 1),
-        (4, 4, 1),
-        (2, 4, 2),
-        (4, 4, 2),
+        (1, 1, 0, 0),
+        (2, 1, 0, 0),
+        (4, 1, 0, 0),
+        (2, 4, 0, 0),
+        (4, 4, 0, 0),
+        (2, 4, 1, 0),
+        (4, 4, 1, 0),
+        (2, 4, 2, 0),
+        (4, 4, 2, 0),
+        // Concurrent-executor rows: same modeled costs and loads as
+        // their io=0 twins, real threads on the wall clock.
+        (4, 4, 0, 4),
+        (4, 4, 2, 2),
+        (4, 4, 2, 4),
     ];
     let points = wavefront_sweep(&store, 2, h, &paper_mix(), &grid);
 
@@ -55,23 +191,47 @@ fn main() {
         .iter()
         .map(|p| {
             vec![
-                format!("k={} s={} d={}", p.wavefront, p.shards, p.prefetch_depth),
+                format!(
+                    "k={} s={} d={} io={}",
+                    p.wavefront, p.shards, p.prefetch_depth, p.io_workers
+                ),
                 format!("{:.3}", p.modeled_ms),
                 format!("{:.1}", p.wall_ms),
+                format!("{:.2}", p.wall_vs_modeled()),
                 p.loads.to_string(),
             ]
         })
         .collect();
     print_table(
         "wavefront sweep (out-of-core, four-job mix)",
-        &["config", "modeled ms", "wall ms", "loads"],
+        &["config", "modeled ms", "wall ms", "wall/model", "loads"],
         &rows,
     );
+
+    // Concurrency is transparent to everything but the wall clock: each
+    // io>0 row must reproduce its io=0 twin exactly.
+    for p in points.iter().filter(|p| p.io_workers > 0) {
+        let twin = points
+            .iter()
+            .find(|q| {
+                q.io_workers == 0
+                    && (q.wavefront, q.shards, q.prefetch_depth)
+                        == (p.wavefront, p.shards, p.prefetch_depth)
+            })
+            .expect("every concurrent row has a fork-join twin");
+        assert_eq!(p.loads, twin.loads, "io={} changed loads", p.io_workers);
+        assert_eq!(
+            p.modeled_ms.to_bits(),
+            twin.modeled_ms.to_bits(),
+            "io={} changed the modeled time",
+            p.io_workers
+        );
+    }
 
     // The modeled-lane placement knob: the k=4 s=4 d=2 point again with
     // hash-placed lanes.  Placement is transparent to results and loads;
     // only the lane interleaving (and so the modeled overlap) may move.
-    let hashed = run_wavefront_placed(&store, 2, h, 4, 4, 2, ShardPlacement::Hash, &paper_mix());
+    let hashed = run_wavefront_placed(&store, 2, h, 4, 4, 2, 0, ShardPlacement::Hash, &paper_mix());
     assert!(hashed.completed, "hash-placed sweep point must converge");
     println!(
         "\nhash-placed lanes at k=4 s=4 d=2: modeled {:.3} ms over {} loads",
@@ -81,11 +241,11 @@ fn main() {
 
     let baseline = points
         .iter()
-        .find(|p| p.wavefront == 4 && p.shards == 4 && p.prefetch_depth == 0)
+        .find(|p| p.wavefront == 4 && p.shards == 4 && p.prefetch_depth == 0 && p.io_workers == 0)
         .expect("grid holds the k=4 s=4 d=0 baseline");
     let prefetched = points
         .iter()
-        .find(|p| p.wavefront == 4 && p.shards == 4 && p.prefetch_depth == 2)
+        .find(|p| p.wavefront == 4 && p.shards == 4 && p.prefetch_depth == 2 && p.io_workers == 0)
         .expect("grid holds the k=4 s=4 d=2 point");
     let reduction = 1.0 - prefetched.modeled_ms / baseline.modeled_ms;
     println!(
@@ -95,7 +255,58 @@ fn main() {
         reduction * 100.0
     );
 
-    let json = wavefront_sweep_json(ds.name(), scale.shrink, &points);
+    // --- wall gate: real threads must beat the serial executor ---
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (serial_wall, serial_report) = best_wall(&store, 1, h, 0, 3);
+    let (conc_wall, conc_report) = best_wall(&store, 4, h, 4, 3);
+    assert_eq!(
+        serial_report.loads, conc_report.loads,
+        "gate runs must perform identical loads"
+    );
+    assert_eq!(
+        serial_report.metrics, conc_report.metrics,
+        "gate runs must accumulate identical metrics"
+    );
+    // Modeled time varies with the *worker count* (compute parallelism
+    // is part of the cost model) but never with the *executor*: the
+    // concurrent gate run must model exactly what fork-join models at
+    // the same 4 workers.
+    let (_, forkjoin_report) = best_wall(&store, 4, h, 0, 1);
+    assert_eq!(
+        forkjoin_report.modeled_seconds.to_bits(),
+        conc_report.modeled_seconds.to_bits(),
+        "the executor must not change the modeled time at equal workers"
+    );
+    let speedup = serial_wall / conc_wall;
+    println!(
+        "\nconcurrent executor at k=4 s=4 d=2: wall {:.1} ms vs serial {:.1} ms \
+         ({speedup:.2}x, best of 3, {cores} core(s) available)",
+        conc_wall * 1e3,
+        serial_wall * 1e3
+    );
+    let gate = WallGate::resolve(
+        "concurrent-executor",
+        1.5,
+        speedup,
+        cores,
+        scale.shrink <= 5,
+    );
+    if gate.enforced() {
+        assert!(
+            speedup >= 1.5,
+            "concurrent executor (4 compute + 4 I/O workers) must be >=1.5x the serial \
+             executor at k=4 s=4 d=2, got {speedup:.2}x"
+        );
+    } else {
+        println!(
+            "(wall gate {}: {cores} core(s), shrink {})",
+            gate.status, scale.shrink
+        );
+    }
+
+    steady_state_alloc_smoke(&store, h, 64 * 1024);
+
+    let json = wavefront_sweep_json(ds.name(), scale.shrink, &points, &[gate]);
     std::fs::write(&out_path, json).expect("write BENCH_wavefront.json");
     println!("wrote {out_path}");
 }

@@ -307,6 +307,7 @@ pub fn run_wavefront_cfg(
         width,
         shards,
         depth,
+        0,
         ShardPlacement::RoundRobin,
         mix,
     )
@@ -314,7 +315,9 @@ pub fn run_wavefront_cfg(
 
 /// [`run_wavefront_cfg`] with an explicit modeled-lane placement (the
 /// `EngineConfig::placement` knob; a physically sharded store keeps
-/// dictating its own).
+/// dictating its own) and an I/O-worker count (`io_workers > 0` routes
+/// rounds through the channel-staged concurrent executor; `0` is the
+/// classic fork-join path — bit-identical either way).
 #[allow(clippy::too_many_arguments)]
 pub fn run_wavefront_placed(
     store: &Arc<SnapshotStore>,
@@ -323,6 +326,7 @@ pub fn run_wavefront_placed(
     width: usize,
     shards: usize,
     depth: usize,
+    io_workers: usize,
     placement: ShardPlacement,
     mix: &[(BenchmarkJob, u64)],
 ) -> cgraph_core::RunReport {
@@ -335,6 +339,7 @@ pub fn run_wavefront_placed(
             shards,
             placement,
             prefetch_depth: depth,
+            io_workers,
             ..EngineConfig::default()
         },
     );
@@ -362,6 +367,10 @@ pub struct SweepPoint {
     pub shards: usize,
     /// Prefetch window depth in wave slots.
     pub prefetch_depth: usize,
+    /// Compute worker threads of the run.
+    pub workers: usize,
+    /// Dedicated I/O worker threads (0 = the fork-join executor).
+    pub io_workers: usize,
     /// Pipeline-modeled milliseconds.
     pub modeled_ms: f64,
     /// Wall-clock milliseconds of the run.
@@ -370,25 +379,40 @@ pub struct SweepPoint {
     pub loads: u64,
 }
 
-/// Runs the four-job mix once per `(wavefront, shards, prefetch_depth)`
-/// grid point and returns the measured sweep.
+impl SweepPoint {
+    /// Wall time over modeled time: how much real overhead (or real
+    /// overlap, below 1) the executor adds on top of the cost model.
+    pub fn wall_vs_modeled(&self) -> f64 {
+        if self.modeled_ms == 0.0 {
+            0.0
+        } else {
+            self.wall_ms / self.modeled_ms
+        }
+    }
+}
+
+/// Runs the four-job mix once per
+/// `(wavefront, shards, prefetch_depth, io_workers)` grid point and
+/// returns the measured sweep.
 pub fn wavefront_sweep(
     store: &Arc<SnapshotStore>,
     workers: usize,
     hierarchy: HierarchyConfig,
     mix: &[(BenchmarkJob, u64)],
-    grid: &[(usize, usize, usize)],
+    grid: &[(usize, usize, usize, usize)],
 ) -> Vec<SweepPoint> {
     grid.iter()
-        .map(|&(wavefront, shards, prefetch_depth)| {
+        .map(|&(wavefront, shards, prefetch_depth, io_workers)| {
             let start = std::time::Instant::now();
-            let report = run_wavefront_cfg(
+            let report = run_wavefront_placed(
                 store,
                 workers,
                 hierarchy,
                 wavefront,
                 shards,
                 prefetch_depth,
+                io_workers,
+                ShardPlacement::RoundRobin,
                 mix,
             );
             let wall_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -397,6 +421,8 @@ pub fn wavefront_sweep(
                 wavefront,
                 shards,
                 prefetch_depth,
+                workers,
+                io_workers,
                 modeled_ms: report.modeled_seconds * 1e3,
                 wall_ms,
                 loads: report.loads,
@@ -405,29 +431,108 @@ pub fn wavefront_sweep(
         .collect()
 }
 
+/// Outcome of one wall-clock gate: the measured ratio plus whether the
+/// threshold was enforced or the gate was recorded-and-skipped (and
+/// why).  Serialized into the bench JSON so CI trend tooling can tell
+/// a passing gate from one the host hardware could not express.
+#[derive(Clone, Debug)]
+pub struct WallGate {
+    /// Gate label, e.g. `concurrent-executor`.
+    pub name: String,
+    /// Required wall-clock speedup.
+    pub threshold: f64,
+    /// Measured wall-clock speedup.
+    pub measured: f64,
+    /// `enforced`, `skipped-cores`, or `skipped-scale`.
+    pub status: String,
+}
+
+impl WallGate {
+    /// Resolves a gate's status from the host and run scale: enforced
+    /// only where `cores` can express the parallelism and the run is at
+    /// gate scale; otherwise recorded-and-skipped with the reason.
+    pub fn resolve(
+        name: &str,
+        threshold: f64,
+        measured: f64,
+        cores: usize,
+        at_scale: bool,
+    ) -> Self {
+        let status = if cores < 4 {
+            "skipped-cores"
+        } else if !at_scale {
+            "skipped-scale"
+        } else {
+            "enforced"
+        };
+        WallGate { name: name.to_string(), threshold, measured, status: status.to_string() }
+    }
+
+    /// Whether the threshold is live on this host/scale.
+    pub fn enforced(&self) -> bool {
+        self.status == "enforced"
+    }
+}
+
+/// The shared `"gates": [...]` JSON fragment (two-space indent level).
+fn gates_json(gates: &[WallGate]) -> String {
+    let mut s = String::from("  \"gates\": [\n");
+    for (i, g) in gates.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"gate\": \"{}\", \"threshold\": {:.2}, \"measured\": {:.3}, \
+             \"status\": \"{}\"}}{}\n",
+            g.name,
+            g.threshold,
+            g.measured,
+            g.status,
+            if i + 1 < gates.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]");
+    s
+}
+
 /// Serializes a sweep as the machine-readable `BENCH_wavefront.json`
 /// tracked by CI (hand-rolled writer: the workspace is offline and
-/// carries no serde).
-pub fn wavefront_sweep_json(dataset: &str, scale_shrink: u32, points: &[SweepPoint]) -> String {
+/// carries no serde).  Wall-clock figures only mean something relative
+/// to the host, so every row carries the worker split and its
+/// wall-vs-modeled ratio, and the envelope records the cores and the
+/// wall-gate outcomes.
+pub fn wavefront_sweep_json(
+    dataset: &str,
+    scale_shrink: u32,
+    points: &[SweepPoint],
+    gates: &[WallGate],
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str(&format!("  \"dataset\": \"{dataset}\",\n"));
     s.push_str(&format!("  \"scale_shrink\": {scale_shrink},\n"));
+    s.push_str(&format!(
+        "  \"cores\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
     s.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"wavefront\": {}, \"shards\": {}, \"prefetch_depth\": {}, \
-             \"modeled_ms\": {:.6}, \"wall_ms\": {:.3}, \"loads\": {}}}{}\n",
+             \"workers\": {}, \"io_workers\": {}, \"modeled_ms\": {:.6}, \
+             \"wall_ms\": {:.3}, \"wall_vs_modeled\": {:.4}, \"loads\": {}}}{}\n",
             p.wavefront,
             p.shards,
             p.prefetch_depth,
+            p.workers,
+            p.io_workers,
             p.modeled_ms,
             p.wall_ms,
+            p.wall_vs_modeled(),
             p.loads,
             if i + 1 < points.len() { "," } else { "" }
         ));
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n");
+    s.push_str(&gates_json(gates));
+    s.push_str("\n}\n");
     s
 }
 
@@ -896,6 +1001,8 @@ pub struct PlacementPoint {
     pub modeled_ms: f64,
     /// Wall-clock milliseconds of the run.
     pub wall_ms: f64,
+    /// Compute worker threads of the run.
+    pub workers: usize,
 }
 
 impl PlacementPoint {
@@ -905,6 +1012,15 @@ impl PlacementPoint {
             0.0
         } else {
             self.cross_shard_fetch_bytes as f64 / self.total_fetch_bytes as f64
+        }
+    }
+
+    /// Wall time over modeled time (0 when nothing was modeled).
+    pub fn wall_vs_modeled(&self) -> f64 {
+        if self.modeled_ms == 0.0 {
+            0.0
+        } else {
+            self.wall_ms / self.modeled_ms
         }
     }
 }
@@ -947,6 +1063,7 @@ fn run_placed_community(
         cross_shard_fetch_bytes: engine.cross_shard_fetch_bytes(),
         modeled_ms: report.modeled_seconds * 1e3,
         wall_ms,
+        workers,
     };
     (point, engine)
 }
@@ -1121,6 +1238,7 @@ pub fn store_sweep_json(
     placement: &[PlacementPoint],
     capacity: &[CapacityPoint],
     apply: &[ApplyPoint],
+    gates: &[WallGate],
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -1137,7 +1255,8 @@ pub fn store_sweep_json(
         s.push_str(&format!(
             "    {{\"placement\": \"{}\", \"loads\": {}, \"total_fetch_bytes\": {}, \
              \"cross_shard_fetch_bytes\": {}, \"cross_fraction\": {:.6}, \
-             \"modeled_ms\": {:.6}, \"wall_ms\": {:.3}}}{}\n",
+             \"modeled_ms\": {:.6}, \"wall_ms\": {:.3}, \"wall_vs_modeled\": {:.4}, \
+             \"workers\": {}}}{}\n",
             p.placement,
             p.loads,
             p.total_fetch_bytes,
@@ -1145,6 +1264,8 @@ pub fn store_sweep_json(
             p.cross_fraction(),
             p.modeled_ms,
             p.wall_ms,
+            p.wall_vs_modeled(),
+            p.workers,
             if i + 1 < placement.len() { "," } else { "" }
         ));
     }
@@ -1181,7 +1302,9 @@ pub fn store_sweep_json(
             if i + 1 < apply.len() { "," } else { "" }
         ));
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n");
+    s.push_str(&gates_json(gates));
+    s.push_str("\n}\n");
     s
 }
 
@@ -1286,16 +1409,35 @@ mod tests {
             "must stay out-of-core"
         );
         let store = Arc::new(SnapshotStore::new(ps));
-        let grid = [(1, 1, 0), (4, 4, 2)];
+        let grid = [(1, 1, 0, 0), (4, 4, 2, 0), (4, 4, 2, 2)];
         let points = wavefront_sweep(&store, 2, h, &paper_mix(), &grid);
-        assert_eq!(points.len(), 2);
+        assert_eq!(points.len(), 3);
         for p in &points {
             assert!(p.modeled_ms > 0.0 && p.loads > 0);
         }
-        let json = wavefront_sweep_json("twitter-sim", s.shrink, &points);
+        // The channel-staged executor row is transparent to everything
+        // but the wall clock.
+        assert_eq!(points[2].loads, points[1].loads);
+        assert_eq!(
+            points[2].modeled_ms.to_bits(),
+            points[1].modeled_ms.to_bits()
+        );
+        let gate = WallGate::resolve("concurrent-executor", 1.5, 2.0, 2, true);
+        assert_eq!(gate.status, "skipped-cores");
+        assert!(!gate.enforced());
+        assert!(WallGate::resolve("g", 1.5, 2.0, 8, true).enforced());
+        assert_eq!(
+            WallGate::resolve("g", 1.5, 2.0, 8, false).status,
+            "skipped-scale"
+        );
+        let json = wavefront_sweep_json("twitter-sim", s.shrink, &points, &[gate]);
         assert!(json.contains("\"points\": ["));
         assert!(json.contains("\"prefetch_depth\": 2"));
-        assert_eq!(json.matches("wavefront").count(), 2);
+        assert!(json.contains("\"io_workers\": 2"));
+        assert!(json.contains("\"cores\": "));
+        assert!(json.contains("\"gate\": \"concurrent-executor\""));
+        assert!(json.contains("\"status\": \"skipped-cores\""));
+        assert_eq!(json.matches("wavefront").count(), 3);
         assert!(!json.contains("},\n  ]"), "no trailing comma");
     }
 

@@ -11,6 +11,7 @@ use cgraph_graph::snapshot::SnapshotStore;
 use cgraph_graph::{FootprintProfile, PartitionSet, ShardPlacement};
 use cgraph_memsim::{CostModel, HierarchyConfig, JobMetrics, Metrics};
 
+use crate::exec::crew::ExecCrew;
 use crate::exec::ledger::JobTiming;
 use crate::exec::wavefront::RoundBuffers;
 use crate::exec::{ChargeLedger, PrefetchQueue, SlotPlanner};
@@ -105,6 +106,22 @@ pub struct EngineConfig {
     /// round never splits, so a wide wavefront may finish the round it
     /// started when the valve trips).
     pub max_loads: u64,
+    /// Dedicated I/O worker threads for the concurrent executor
+    /// ([`crate::exec::crew`]).  At 0 (the default) rounds execute on
+    /// the classic fork-join path.  At ≥ 1, multi-slot waves run the
+    /// actor-style pipeline: long-lived I/O workers (at most one per
+    /// lane) stream completed loads over bounded channels into the
+    /// main-thread install stage, which feeds a persistent trigger
+    /// pool of [`workers`](Self::workers) threads.  Results, traffic
+    /// counters, and modeled times are bit-identical to the fork-join
+    /// path at any setting — only wall-clock behavior changes.
+    pub io_workers: usize,
+    /// Bound (in messages) of the concurrent executor's fetch and
+    /// completion channels; clamped to ≥ 1.  Small capacities throttle
+    /// how far I/O workers run ahead; correctness and deadlock freedom
+    /// hold at any value (the install loop never blocks on a full
+    /// queue).
+    pub channel_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -122,6 +139,8 @@ impl Default for EngineConfig {
             placement: ShardPlacement::RoundRobin,
             prefetch_depth: 0,
             max_loads: u64::MAX,
+            io_workers: 0,
+            channel_capacity: 2,
         }
     }
 }
@@ -146,7 +165,10 @@ pub struct RunReport {
 }
 
 pub(crate) struct JobEntry {
-    pub(crate) runtime: Box<dyn JobRuntime>,
+    /// Shared so the concurrent executor's long-lived worker threads can
+    /// hold per-round handles; every mutation goes through `&self`
+    /// interior mutability, and the engine remains the only scheduler.
+    pub(crate) runtime: Arc<dyn JobRuntime>,
     pub(crate) done: bool,
 }
 
@@ -182,6 +204,8 @@ pub struct Engine {
     pub(crate) round: RoundBuffers,
     pub(crate) loads: u64,
     pub(crate) pipeline_seconds: f64,
+    /// Lazily spawned concurrent executor crew (`io_workers > 0` only).
+    pub(crate) crew: Option<ExecCrew>,
 }
 
 impl Engine {
@@ -214,6 +238,27 @@ impl Engine {
             round: RoundBuffers::default(),
             loads: 0,
             pipeline_seconds: 0.0,
+            crew: None,
+        }
+    }
+
+    /// The crew the concurrent executor path runs on, spawning it on
+    /// first use: at most one I/O worker per lane, `workers` trigger
+    /// threads, channels bounded at `channel_capacity`, and a dispatch
+    /// window of `prefetch_depth + 1` slots (the modeled release
+    /// constraint, enforced for real).
+    pub(crate) fn ensure_crew(&mut self) -> ExecCrew {
+        match self.crew.take() {
+            Some(crew) => crew,
+            None => {
+                let nio = self.config.io_workers.min(self.prefetch.shards()).max(1);
+                ExecCrew::spawn(
+                    nio,
+                    self.config.workers.max(1),
+                    self.config.channel_capacity.max(1),
+                    self.prefetch.depth() + 1,
+                )
+            }
         }
     }
 
@@ -236,7 +281,7 @@ impl Engine {
         let runtime = TypedJob::new(id, program, view);
         let done = runtime.is_converged();
         self.jobs
-            .push(JobEntry { runtime: Box::new(runtime), done });
+            .push(JobEntry { runtime: Arc::new(runtime), done });
         self.ledger.register_job();
         let runtime = &*self.jobs[id as usize].runtime;
         self.planner.track_job(id as usize, runtime, !done);

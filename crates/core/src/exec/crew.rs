@@ -1,0 +1,346 @@
+//! The long-lived executor crew: per-shard I/O workers and trigger
+//! compute workers behind bounded channels.
+//!
+//! PR 1–5 *modeled* the three-stage disk→install→trigger pipeline but
+//! executed it with fork-join `TaskPool` passes: every round spawned
+//! scoped threads, drained them, and joined — so modeled overlap never
+//! became measured overlap.  The crew replaces that with an actor-style
+//! topology that lives as long as the engine:
+//!
+//! ```text
+//!             fetch queues (bounded sync_channel, capacity k)
+//!   main ──┬──────────────▶ I/O worker 0  (owns lanes 0, n, 2n, …)
+//!          ├──────────────▶ I/O worker 1  (owns lanes 1, n+1, …)
+//!          └──────────────▶ …
+//!                               │ completed loads (bounded sync_channel)
+//!                               ▼
+//!   main: install stage ── ordered reorder buffer, ledger charging
+//!          │ chunk tasks (shared queue, capacity reused across rounds)
+//!          ▼
+//!   compute workers 0..w ── process_chunk, commutative stat merge
+//! ```
+//!
+//! Ordering guarantees (why determinism survives the concurrency):
+//!
+//! * **Fetch stage** — an I/O worker only *reads* (probe scans of the
+//!   slot's per-job unprocessed counts).  Those counts live in each
+//!   job's pending set, which the round mutates exclusively at its tail
+//!   (`mark_processed` / `push_and_advance`, both on the main thread
+//!   after every in-flight fetch and chunk has drained), so a probe
+//!   observes the same value no matter when its worker runs it.
+//! * **Install stage** — completions arrive in any order but pass
+//!   through a reorder buffer and install strictly in plan order on the
+//!   main thread, so the `ChargeLedger` sees the exact charge sequence
+//!   of the serial executor: identical counters, identical modeled
+//!   stage times.
+//! * **Trigger stage** — chunk results fold into per-entry `u64`
+//!   counters under one mutex; integer addition is commutative, so the
+//!   totals are independent of completion order.  The conversion to
+//!   `f64` stage seconds happens afterwards on the main thread in entry
+//!   order — the serial executor's exact float-accumulation order.
+//!
+//! Deadlock freedom at any channel capacity ≥ 1: the main thread
+//! dispatches fetches with `try_send` (never blocking on a full fetch
+//! queue) and blocks only on the completion channel, whose producers
+//! (the I/O workers) never wait on anything main holds; the chunk queue
+//! is unbounded-but-recycled, so compute workers always make progress
+//! and signal completion through a condvar main waits on last.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use cgraph_graph::PartitionId;
+
+use crate::job::{JobRuntime, ProcessStats};
+
+/// One slot's fetch order: the I/O worker runs the slot's stage-one
+/// probe scans and sends the message back on the completion channel
+/// with `counts` filled.  Buffers travel with the message and are
+/// recycled through [`RoundBuffers`](super::wavefront::RoundBuffers)'
+/// fetch pool, so a steady-state round allocates no channel payloads.
+#[derive(Default)]
+pub(crate) struct FetchMsg {
+    /// Plan-order slot index within the round (reorder-buffer key).
+    pub seq: usize,
+    /// The slot's structure partition.
+    pub pid: PartitionId,
+    /// The slot's interested jobs: engine index + runtime handle.
+    pub jobs: Vec<(usize, Arc<dyn JobRuntime>)>,
+    /// Probe results, aligned with `jobs` (filled by the I/O worker).
+    pub counts: Vec<u64>,
+}
+
+/// One trigger-stage work unit routed to the compute workers.
+struct ChunkMsg {
+    /// Pooled entry index (round-local `(slot, job)` pair).
+    entry: usize,
+    pid: PartitionId,
+    chunk: usize,
+    nchunks: usize,
+    runtime: Arc<dyn JobRuntime>,
+}
+
+/// The shared chunk-task queue: a mutex-guarded deque (capacity kept
+/// across rounds) plus a close flag for shutdown.
+struct ChunkQueue {
+    state: Mutex<ChunkQueueState>,
+    ready: Condvar,
+}
+
+struct ChunkQueueState {
+    tasks: VecDeque<ChunkMsg>,
+    closed: bool,
+}
+
+impl ChunkQueue {
+    fn new() -> Self {
+        ChunkQueue {
+            state: Mutex::new(ChunkQueueState { tasks: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn pop(&self) -> Option<ChunkMsg> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(msg) = st.tasks.pop_front() {
+                return Some(msg);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.ready.wait(st).unwrap();
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// Per-round accumulation state shared with the compute workers: one
+/// `ProcessStats` cell per pooled entry plus the outstanding-task count
+/// the main thread waits on.  Folding is `u64` addition under a mutex —
+/// commutative, so totals are independent of completion order.
+struct RoundState {
+    inner: Mutex<RoundInner>,
+    done: Condvar,
+}
+
+struct RoundInner {
+    totals: Vec<ProcessStats>,
+    remaining: usize,
+}
+
+impl RoundState {
+    fn record(&self, entry: usize, stats: ProcessStats) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.totals[entry].vertex_ops += stats.vertex_ops;
+        inner.totals[entry].edge_ops += stats.edge_ops;
+        inner.remaining -= 1;
+        if inner.remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+/// The engine's long-lived execution crew.  Spawned lazily on the first
+/// concurrent round; dropped (channels closed, threads joined) with the
+/// engine.
+pub(crate) struct ExecCrew {
+    /// One bounded fetch queue per I/O worker; lane `l` is owned by
+    /// worker `l % nio`.
+    fetch_txs: Vec<SyncSender<FetchMsg>>,
+    /// Completed loads, any order; `None` only mid-shutdown.
+    done_rx: Option<Receiver<FetchMsg>>,
+    chunks: Arc<ChunkQueue>,
+    round: Arc<RoundState>,
+    handles: Vec<JoinHandle<()>>,
+    nio: usize,
+    /// Dispatch window in slots (`prefetch depth + 1`): how many fetches
+    /// may be in flight beyond the slot currently installing — the
+    /// modeled prefetch release constraint, enforced for real.
+    window: usize,
+    /// Chunk tasks enqueued but not yet drained this round.
+    outstanding: usize,
+}
+
+impl ExecCrew {
+    /// Spawns `nio` I/O workers and `compute` trigger workers over
+    /// channels bounded at `capacity` messages, with a `window`-slot
+    /// fetch dispatch window.
+    pub(crate) fn spawn(nio: usize, compute: usize, capacity: usize, window: usize) -> Self {
+        let nio = nio.max(1);
+        let compute = compute.max(1);
+        let capacity = capacity.max(1);
+        let window = window.max(1);
+        let (done_tx, done_rx) = std::sync::mpsc::sync_channel::<FetchMsg>(capacity);
+        let mut fetch_txs = Vec::with_capacity(nio);
+        let mut handles = Vec::with_capacity(nio + compute);
+        for w in 0..nio {
+            let (tx, rx) = std::sync::mpsc::sync_channel::<FetchMsg>(capacity);
+            fetch_txs.push(tx);
+            let done_tx = done_tx.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("cgraph-io-{w}"))
+                    .spawn(move || io_loop(rx, done_tx))
+                    .expect("spawn I/O worker"),
+            );
+        }
+        drop(done_tx);
+        let chunks = Arc::new(ChunkQueue::new());
+        let round = Arc::new(RoundState {
+            inner: Mutex::new(RoundInner { totals: Vec::new(), remaining: 0 }),
+            done: Condvar::new(),
+        });
+        for w in 0..compute {
+            let queue = Arc::clone(&chunks);
+            let state = Arc::clone(&round);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("cgraph-trigger-{w}"))
+                    .spawn(move || compute_loop(queue, state))
+                    .expect("spawn trigger worker"),
+            );
+        }
+        ExecCrew {
+            fetch_txs,
+            done_rx: Some(done_rx),
+            chunks,
+            round,
+            handles,
+            nio,
+            window,
+            outstanding: 0,
+        }
+    }
+
+    /// Fetch dispatch window in slots.
+    pub(crate) fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Resets the per-round accumulation state for `entries` pooled
+    /// `(slot, job)` pairs.  Must only be called between rounds (no
+    /// chunk in flight).
+    pub(crate) fn begin_round(&mut self, entries: usize) {
+        debug_assert_eq!(self.outstanding, 0, "round started with chunks in flight");
+        let mut inner = self.round.inner.lock().unwrap();
+        debug_assert_eq!(inner.remaining, 0);
+        inner.totals.clear();
+        inner.totals.resize(entries, ProcessStats::default());
+    }
+
+    /// Non-blocking fetch dispatch to the lane's owning I/O worker; the
+    /// message is handed back when the worker's queue is full so the
+    /// caller can stash it and drain completions instead of blocking.
+    pub(crate) fn try_dispatch(&self, lane: usize, msg: FetchMsg) -> Result<(), FetchMsg> {
+        match self.fetch_txs[lane % self.nio].try_send(msg) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(msg)) => Err(msg),
+            Err(TrySendError::Disconnected(_)) => panic!("I/O worker died"),
+        }
+    }
+
+    /// Blocks for the next completed load (any plan order).  Safe to
+    /// block on: completion producers never wait on the main thread.
+    pub(crate) fn recv_done(&self) -> FetchMsg {
+        self.done_rx
+            .as_ref()
+            .expect("crew active")
+            .recv()
+            .expect("I/O workers alive")
+    }
+
+    /// Queues one chunk task for the compute workers.
+    pub(crate) fn push_chunk(
+        &mut self,
+        entry: usize,
+        pid: PartitionId,
+        chunk: usize,
+        nchunks: usize,
+        runtime: Arc<dyn JobRuntime>,
+    ) {
+        {
+            let mut inner = self.round.inner.lock().unwrap();
+            inner.remaining += 1;
+        }
+        let mut st = self.chunks.state.lock().unwrap();
+        st.tasks
+            .push_back(ChunkMsg { entry, pid, chunk, nchunks, runtime });
+        drop(st);
+        self.chunks.ready.notify_one();
+        self.outstanding += 1;
+    }
+
+    /// Blocks until every queued chunk has been processed, then copies
+    /// the per-entry totals into `out` (cleared first) in entry order.
+    pub(crate) fn finish_round(&mut self, out: &mut Vec<ProcessStats>) {
+        let mut inner = self.round.inner.lock().unwrap();
+        while inner.remaining > 0 {
+            inner = self.round.done.wait(inner).unwrap();
+        }
+        out.clear();
+        out.extend_from_slice(&inner.totals);
+        self.outstanding = 0;
+    }
+}
+
+impl Drop for ExecCrew {
+    fn drop(&mut self) {
+        // Close every intake: fetch queues (wakes I/O workers), the
+        // completion channel (unblocks any worker mid-send after a
+        // panic), and the chunk queue.
+        self.fetch_txs.clear();
+        self.done_rx = None;
+        self.chunks.close();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn io_loop(rx: Receiver<FetchMsg>, done_tx: SyncSender<FetchMsg>) {
+    while let Ok(mut msg) = rx.recv() {
+        msg.counts.clear();
+        msg.counts.extend(
+            msg.jobs
+                .iter()
+                .map(|(_, rt)| rt.unprocessed_vertices(msg.pid)),
+        );
+        if done_tx.send(msg).is_err() {
+            break;
+        }
+    }
+}
+
+fn compute_loop(queue: Arc<ChunkQueue>, round: Arc<RoundState>) {
+    while let Some(msg) = queue.pop() {
+        let stats = msg.runtime.process_chunk(msg.pid, msg.chunk, msg.nchunks);
+        round.record(msg.entry, stats);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_crew_shuts_down() {
+        let crew = ExecCrew::spawn(2, 2, 1, 1);
+        assert_eq!(crew.nio, 2);
+        assert_eq!(crew.window(), 1);
+        drop(crew);
+    }
+
+    #[test]
+    fn crew_clamps_degenerate_parameters() {
+        let crew = ExecCrew::spawn(0, 0, 0, 0);
+        assert_eq!(crew.nio, 1);
+        assert_eq!(crew.window(), 1);
+    }
+}

@@ -25,7 +25,16 @@
 //!   lanes up to `prefetch_depth` slots early and prices rounds with the
 //!   three-stage pipeline makespan (disk-fetch → memory-install →
 //!   trigger).  At depth 0 it degenerates to the two-stage model above.
+//! * [`crew`] — the long-lived concurrent executor behind
+//!   `EngineConfig::io_workers`: dedicated per-shard I/O worker threads
+//!   stream completed loads over bounded channels into the main-thread
+//!   install stage, which feeds a persistent trigger-worker pool — the
+//!   modeled pipeline above, executed for real.  Results and modeled
+//!   costs are bit-identical to the fork-join path at any worker or
+//!   channel configuration (see the module docs for the ordering
+//!   argument).
 
+pub mod crew;
 pub mod ledger;
 pub mod planner;
 pub mod prefetch;

@@ -19,6 +19,14 @@
 //! Load chain and the model degenerates *exactly* to the two-stage
 //! flow-shop of [`super::wavefront::flowshop_makespan`] — which is why
 //! `prefetch_depth = 0` reproduces PR 1 bit-for-bit.
+//!
+//! With `EngineConfig::io_workers > 0` this window is no longer only
+//! modeled: [`super::crew`] runs the fetch stage on real per-shard I/O
+//! worker threads behind bounded channels, and its dispatch loop
+//! enforces the same `depth + 1`-slot release constraint (slot `i`'s
+//! fetch is dispatched only once slot `i - 1 - depth` has installed),
+//! so the producer/consumer handoff obeys exactly the buffer bound
+//! this model prices.
 
 use cgraph_graph::{PartitionId, ShardPlacement};
 

@@ -6,32 +6,76 @@
 //!    tables are charged through the [`ChargeLedger`](super::ChargeLedger)
 //!    in plan order, structures staying pinned for the whole round.  With
 //!    an active [`PrefetchQueue`](super::PrefetchQueue) the wave's
-//!    stage-one probe scans are issued through the shared worker pool in
-//!    one parallel drain first, and the slot's disk fetch is priced on
-//!    its snapshot-store shard's I/O lane rather than the shared channel.
-//! 2. **Trigger** — every slot's chunk tasks drain through one shared
-//!    [`TaskPool`] pass, so cores finishing one slot's jobs immediately
-//!    pick up the next slot's chunks instead of idling behind a straggler.
+//!    stage-one probe scans run ahead of the serial charge loop, and the
+//!    slot's disk fetch is priced on its snapshot-store shard's I/O lane
+//!    rather than the shared channel.
+//! 2. **Trigger** — every slot's chunk tasks drain through a shared
+//!    worker pass, so cores finishing one slot's jobs immediately pick
+//!    up the next slot's chunks instead of idling behind a straggler.
 //! 3. **Push** — each job whose iteration completed synchronizes replicas
 //!    and advances, and the slot planner is patched incrementally.
+//!
+//! # Execution paths
 //!
 //! With a wavefront of width 1 the executor degenerates to the original
 //! single-slot engine: identical access sequence, identical batching,
 //! identical per-batch chunk drains — bit-for-bit the legacy behavior.
+//! Wider waves run on one of two executors selected by
+//! `EngineConfig::io_workers`:
+//!
+//! * **Fork-join** (`io_workers = 0`, the default): all slots charge
+//!   serially, then one scoped [`TaskPool`] pass drains every chunk.
+//! * **Concurrent pipeline** (`io_workers ≥ 1`): the actor-style crew
+//!   of [`super::crew`].  Long-lived per-shard I/O worker threads own
+//!   their lanes' fetch queues (bounded `sync_channel`s); the main
+//!   thread dispatches slot fetches in plan order — never more than
+//!   `prefetch_depth + 1` slots beyond the installing slot, the modeled
+//!   release constraint enforced for real — and I/O workers run each
+//!   slot's probe scans before streaming the completed load back over
+//!   the bounded completion channel.  The main-thread install stage
+//!   reorders completions back into plan order, runs the ledger charge
+//!   loop, and feeds chunk tasks to the persistent trigger workers.
+//!
+//! # Why determinism survives the concurrency
+//!
+//! Every merge point is ordered or commutative:
+//!
+//! * Probe scans are pure reads of state only mutated at the round tail
+//!   (after all fetches and chunks drain), so their values are
+//!   schedule-independent.
+//! * Ledger charging — the only mutation that decides modeled times and
+//!   traffic counters — happens solely on the main thread, in plan
+//!   order, behind the reorder buffer: the exact serial sequence.
+//! * Chunk statistics accumulate as `u64` additions (commutative,
+//!   exact) per pooled entry; the `f64` stage-time conversion happens
+//!   afterwards on the main thread in entry order, reproducing the
+//!   serial float-accumulation order bit-for-bit.
+//! * Vertex-state folds inside `process_chunk` use the same per-
+//!   partition locks and accumulator algebra as the fork-join path —
+//!   chunk-level parallelism was already result-neutral, and the crew
+//!   only changes *when* chunks run, not how their results merge.
+//!
+//! # Modeled time
+//!
 //! With width > 1 and `prefetch_depth = 0` the modeled round time is the
 //! two-machine flow shop of PR 1 ([`flowshop_makespan`]): slot *i+1*'s
 //! fused Load overlapping slot *i*'s Trigger.  With `prefetch_depth > 0`
 //! Load splits into disk-fetch (per-shard lanes, issued up to `depth`
 //! slots early) and memory-install (shared channel), and the round is
 //! priced by the three-stage
-//! [`pipeline_makespan`](super::prefetch::pipeline_makespan).
+//! [`pipeline_makespan`](super::prefetch::pipeline_makespan).  The
+//! executor choice never changes modeled figures — both paths drive the
+//! ledger identically.
+
+use std::sync::Arc;
 
 use cgraph_memsim::{CacheObject, Metrics};
 
 use crate::engine::Engine;
+use crate::exec::crew::{ExecCrew, FetchMsg};
 use crate::exec::planner::SlotKey;
 use crate::job::{JobRuntime, ProcessStats};
-use crate::workers::{ProbeTask, TaskPool};
+use crate::workers::{plan_chunks_into, ChunkTask, ProbeTask, TaskPool};
 
 /// Makespan of a fixed-sequence two-stage pipeline: stage-one times
 /// `loads` (serialized, e.g. the shared memory channel) feed stage-two
@@ -53,20 +97,22 @@ pub fn flowshop_makespan(loads: &[f64], triggers: &[f64]) -> f64 {
     best
 }
 
-/// Reusable per-round scratch: the wave description and the stage-time
-/// vectors.  Kept on the [`Engine`] across rounds so the hot loop stops
-/// recloning job lists and rebuilding batch vectors every round — after
-/// the first round at a given wave shape, a round allocates nothing
-/// here.
+/// Reusable per-round scratch: the wave description, the stage-time
+/// vectors, and the concurrent executor's recycled channel payloads.
+/// Kept on the [`Engine`] across rounds so the hot loop stops recloning
+/// job lists and rebuilding batch vectors every round — after the first
+/// round at a given wave shape, a round allocates nothing here (the
+/// fetch/completion messages and their buffers round-trip through
+/// `fetch_pool` instead of being reallocated per round).
 #[derive(Default)]
 pub(crate) struct RoundBuffers {
     /// Planned slots as `(key, start, end)` ranges into `jobs`.
     slots: Vec<(SlotKey, usize, usize)>,
     /// Every planned slot's interested jobs, flattened.
     jobs: Vec<usize>,
-    /// Stage-one probe tasks (active prefetch only).
+    /// Stage-one probe tasks (fork-join active prefetch only).
     probes: Vec<ProbeTask>,
-    /// Probe results aligned with `jobs` (active prefetch only).
+    /// Probe results aligned with `jobs` (fork-join active prefetch only).
     unprocessed: Vec<u64>,
     /// Per-slot fused Load seconds (two-stage model).
     load: Vec<f64>,
@@ -82,6 +128,18 @@ pub(crate) struct RoundBuffers {
     push_jobs: Vec<usize>,
     /// One batch's unprocessed counts (straggler detection).
     batch_unprocessed: Vec<u64>,
+    /// Concurrent path: reorder buffer for completed loads.
+    ready: Vec<Option<FetchMsg>>,
+    /// Concurrent path: recycled fetch/completion message payloads.
+    fetch_pool: Vec<FetchMsg>,
+    /// Concurrent path: pooled `(slot, job)` entry origins, in the
+    /// fork-join executor's exact entry order.
+    origins: Vec<(usize, usize)>,
+    /// Concurrent path: per-entry chunk statistics, aligned with
+    /// `origins`.
+    stats: Vec<ProcessStats>,
+    /// Concurrent path: one batch's planned chunk tasks.
+    chunk_scratch: Vec<ChunkTask>,
 }
 
 impl RoundBuffers {
@@ -98,6 +156,8 @@ impl RoundBuffers {
         self.lanes.clear();
         self.push_jobs.clear();
         self.batch_unprocessed.clear();
+        self.origins.clear();
+        self.stats.clear();
     }
 }
 
@@ -106,6 +166,29 @@ impl Engine {
     /// planner's ordered view) and returns the round's modeled seconds
     /// under the pipeline cost model.
     pub(crate) fn exec_round(&mut self, picks: &[usize]) -> f64 {
+        // Width 1 must reproduce the legacy engine bit-for-bit, so only
+        // multi-slot waves may take the concurrent executor.
+        if picks.len() > 1 && self.config.io_workers > 0 {
+            self.exec_round_concurrent(picks)
+        } else {
+            self.exec_round_forkjoin(picks)
+        }
+    }
+
+    /// Collects the planned wave into the round buffers.
+    fn collect_wave(&mut self, picks: &[usize], round: &mut RoundBuffers) {
+        round.begin(picks.len());
+        for &idx in picks {
+            let (key, jobs) = self.planner.slot(idx);
+            let start = round.jobs.len();
+            round.jobs.extend_from_slice(jobs);
+            round.slots.push((key, start, round.jobs.len()));
+        }
+    }
+
+    /// The classic fork-join executor: serial charge loop, then one
+    /// scoped [`TaskPool`] drain (per batch at width 1).
+    fn exec_round_forkjoin(&mut self, picks: &[usize]) -> f64 {
         let workers = self.config.workers;
         let batch_size = workers.max(1);
         let cost = self.config.cost;
@@ -119,13 +202,7 @@ impl Engine {
         let prefetching = pipelined && self.prefetch.is_active();
 
         let mut round = std::mem::take(&mut self.round);
-        round.begin(picks.len());
-        for &idx in picks {
-            let (key, jobs) = self.planner.slot(idx);
-            let start = round.jobs.len();
-            round.jobs.extend_from_slice(jobs);
-            round.slots.push((key, start, round.jobs.len()));
-        }
+        self.collect_wave(picks, &mut round);
 
         // --- Prefetch: issue the wave's stage-one probe scans through
         // the worker pool in one parallel drain, before the serial charge
@@ -255,6 +332,193 @@ impl Engine {
             };
             round.trigger[si] += cost.compute_seconds(&as_metrics) / workers.max(1) as f64;
         }
+        self.finish_round(round, prefetching)
+    }
+
+    /// The concurrent executor: per-shard I/O workers stream completed
+    /// loads over bounded channels into the main-thread install stage,
+    /// which feeds the persistent trigger workers.  Charge sequence,
+    /// chunk plan, and float-accumulation order replicate
+    /// [`Self::exec_round_forkjoin`] exactly — see the module docs.
+    fn exec_round_concurrent(&mut self, picks: &[usize]) -> f64 {
+        let workers = self.config.workers;
+        let cost = self.config.cost;
+        let prefetching = self.prefetch.is_active();
+
+        let mut round = std::mem::take(&mut self.round);
+        self.collect_wave(picks, &mut round);
+
+        let mut crew = self.ensure_crew();
+        let nslots = round.slots.len();
+        crew.begin_round(round.jobs.len());
+        round.ready.clear();
+        round.ready.resize_with(nslots, || None);
+        let window = crew.window();
+
+        let mut installed = 0usize;
+        let mut next_dispatch = 0usize;
+        let mut stalled: Option<FetchMsg> = None;
+        while installed < nslots {
+            // Dispatch fetches in plan order, at most `window` slots
+            // beyond the installing slot, without ever blocking on a
+            // full fetch queue (deadlock freedom at capacity 1).
+            while next_dispatch < nslots && next_dispatch < installed + window {
+                let msg = match stalled.take() {
+                    Some(msg) => msg,
+                    None => {
+                        let ((pid, _), start, end) = round.slots[next_dispatch];
+                        let mut msg = round.fetch_pool.pop().unwrap_or_default();
+                        msg.seq = next_dispatch;
+                        msg.pid = pid;
+                        msg.jobs.clear();
+                        msg.jobs.extend(
+                            round.jobs[start..end]
+                                .iter()
+                                .map(|&j| (j, Arc::clone(&self.jobs[j].runtime))),
+                        );
+                        msg
+                    }
+                };
+                let lane = self.prefetch.lane_of(msg.pid);
+                match crew.try_dispatch(lane, msg) {
+                    Ok(()) => next_dispatch += 1,
+                    Err(msg) => {
+                        stalled = Some(msg);
+                        break;
+                    }
+                }
+            }
+            // Install strictly in plan order; block only on the
+            // completion channel, whose producers never wait on us.
+            if round.ready[installed].is_none() {
+                let msg = crew.recv_done();
+                let seq = msg.seq;
+                debug_assert!(round.ready[seq].is_none(), "duplicate completion");
+                round.ready[seq] = Some(msg);
+                continue;
+            }
+            let mut msg = round.ready[installed].take().expect("checked above");
+            self.install_slot(installed, &msg, &mut round, &mut crew);
+            msg.jobs.clear();
+            msg.counts.clear();
+            round.fetch_pool.push(msg);
+            installed += 1;
+        }
+        debug_assert!(stalled.is_none());
+
+        // --- Trigger merge: wait for the chunk queue to drain, then
+        // charge compute in pooled-entry order (the fork-join order). ---
+        crew.finish_round(&mut round.stats);
+        for (idx, stats) in round.stats.iter().enumerate() {
+            let (si, j) = round.origins[idx];
+            self.ledger.charge_compute(j, *stats);
+            let as_metrics = Metrics {
+                vertex_ops: stats.vertex_ops,
+                edge_ops: stats.edge_ops,
+                ..Metrics::default()
+            };
+            round.trigger[si] += cost.compute_seconds(&as_metrics) / workers.max(1) as f64;
+        }
+        self.crew = Some(crew);
+        self.finish_round(round, prefetching)
+    }
+
+    /// Installs one completed load: the slot's ledger charge loop (the
+    /// fork-join executor's exact sequence) plus chunk-task handoff to
+    /// the crew's trigger workers.
+    fn install_slot(
+        &mut self,
+        si: usize,
+        msg: &FetchMsg,
+        round: &mut RoundBuffers,
+        crew: &mut ExecCrew,
+    ) {
+        let workers = self.config.workers;
+        let batch_size = workers.max(1);
+        let cost = self.config.cost;
+        let prefetching = self.prefetch.is_active();
+        let ((pid, version), start, end) = round.slots[si];
+        debug_assert_eq!(pid, msg.pid);
+        let before = *self.ledger.metrics();
+        let structure = CacheObject::Structure { pid, version };
+        let sbytes = self.jobs[round.jobs[start]]
+            .runtime
+            .view()
+            .partition(pid)
+            .structure_bytes();
+        let lane = self.prefetch.lane_of(pid);
+        round.lanes.push(lane);
+        let spills_possible = self.store.has_spills();
+        let mut pinned = false;
+        let mut off = start;
+        while off < end {
+            let batch_end = (off + batch_size).min(end);
+            for &j in &round.jobs[off..batch_end] {
+                let outcome = self.ledger.charge_access_on(lane, j, structure, sbytes);
+                if spills_possible
+                    && outcome.bytes_from_disk > 0
+                    && self.jobs[j].runtime.view().partition_spilled(pid)
+                {
+                    self.ledger.charge_spill_fetch(lane, j, sbytes);
+                }
+                if !pinned {
+                    self.ledger.pin(&structure);
+                    pinned = true;
+                }
+            }
+            for &j in &round.jobs[off..batch_end] {
+                let tbytes = self.jobs[j].runtime.private_table_bytes(pid);
+                self.ledger.charge_access_on(
+                    lane,
+                    j,
+                    CacheObject::PrivateTable { job: j as u32, pid },
+                    tbytes,
+                );
+            }
+            // The I/O worker already ran this slot's probe scans; their
+            // values are position-aligned with the slot's job list.
+            round.batch_unprocessed.clear();
+            round
+                .batch_unprocessed
+                .extend_from_slice(&msg.counts[(off - start)..(batch_end - start)]);
+            let base = round.origins.len();
+            for &j in &round.jobs[off..batch_end] {
+                round.origins.push((si, j));
+            }
+            plan_chunks_into(
+                pid,
+                &round.batch_unprocessed,
+                workers.max(batch_end - off),
+                self.config.straggler_split,
+                &mut round.chunk_scratch,
+            );
+            for task in &round.chunk_scratch {
+                let job = round.jobs[off + task.job_slot];
+                crew.push_chunk(
+                    base + task.job_slot,
+                    pid,
+                    task.chunk,
+                    task.nchunks,
+                    Arc::clone(&self.jobs[job].runtime),
+                );
+            }
+            off = batch_end;
+        }
+        let delta = self.ledger.metrics().since(&before);
+        if prefetching {
+            let stages = cost.stage_seconds(&delta, workers);
+            round.fetch.push(stages.fetch);
+            round.install.push(stages.install);
+        } else {
+            round.load.push(cost.access_seconds(&delta));
+        }
+    }
+
+    /// The round tail shared by both executors: mark the wave processed,
+    /// run Push for every finished iteration, and price the round.
+    fn finish_round(&mut self, mut round: RoundBuffers, prefetching: bool) -> f64 {
+        let workers = self.config.workers;
+        let cost = self.config.cost;
         for &((pid, version), start, end) in &round.slots {
             for &j in &round.jobs[start..end] {
                 self.jobs[j].runtime.mark_processed(pid);

@@ -153,24 +153,42 @@ pub fn plan_chunks(
     budget: usize,
     straggler_split: bool,
 ) -> Vec<ChunkTask> {
+    let mut tasks = Vec::new();
+    plan_chunks_into(pid, unprocessed, budget, straggler_split, &mut tasks);
+    tasks
+}
+
+/// [`plan_chunks`] into a caller-owned buffer (cleared first), so hot
+/// loops can recycle the task vector across batches and rounds.
+pub fn plan_chunks_into(
+    pid: PartitionId,
+    unprocessed: &[u64],
+    budget: usize,
+    straggler_split: bool,
+    tasks: &mut Vec<ChunkTask>,
+) {
+    tasks.clear();
     let njobs = unprocessed.len();
-    let mut nchunks = vec![1usize; njobs];
-    if straggler_split && budget > njobs && njobs > 0 {
-        let straggler = unprocessed
+    if njobs == 0 {
+        return;
+    }
+    let mut straggler = usize::MAX;
+    let mut extra = 0;
+    if straggler_split && budget > njobs {
+        straggler = unprocessed
             .iter()
             .enumerate()
             .max_by_key(|(_, &c)| c)
             .map(|(i, _)| i)
             .expect("non-empty batch");
-        nchunks[straggler] += budget - njobs;
+        extra = budget - njobs;
     }
-    let mut tasks = Vec::new();
-    for (slot, &n) in nchunks.iter().enumerate() {
+    for slot in 0..njobs {
+        let n = if slot == straggler { 1 + extra } else { 1 };
         for chunk in 0..n {
             tasks.push(ChunkTask { job_slot: slot, pid, chunk, nchunks: n });
         }
     }
-    tasks
 }
 
 /// Accumulates chunk tasks from one or more loaded slots and drains them

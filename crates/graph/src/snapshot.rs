@@ -66,18 +66,22 @@
 //! - **Concurrent apply** ([`ShardedSnapshotStore::with_apply_workers`],
 //!   default 1 = the serial path): partition rebuilds — pure,
 //!   lock-free reads of the pre-delta state — fan out on scoped worker
-//!   threads claiming partitions from a shared cursor, and each result
-//!   is parked behind its owning shard's lock, so a shard's chain
-//!   inputs assemble under per-shard locking however the partitions
-//!   interleave across workers.  The vertex-level current-index merge
-//!   stays single-threaded and ordered, so the result is
-//!   **bit-identical** to the serial apply at any worker count (pinned
-//!   by `tests/store_stress.rs` and the `placement_is_transparent`
-//!   proptest).
+//!   threads claiming partitions from a shared cursor.  The whole
+//!   rebuild path is lock-free: each worker stacks its results in a
+//!   local vector and the main thread merges the pid-tagged results
+//!   after the scope joins.  Deltas whose estimated rebuild work is
+//!   too small to amortize a thread spawn stay serial
+//!   ([`ShardedSnapshotStore::with_apply_threshold`], default
+//!   [`DEFAULT_APPLY_EDGES_PER_WORKER`] edges per worker; `0` removes
+//!   the clamp for the differential suites).  The vertex-level
+//!   current-index merge stays single-threaded and ordered, so the
+//!   result is **bit-identical** to the serial apply at any worker
+//!   count (pinned by `tests/store_stress.rs` and the
+//!   `placement_is_transparent` proptest).
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use crate::edge::{Edge, EdgeList};
 use crate::partition::{Partition, PartitionSet};
@@ -497,6 +501,10 @@ pub struct ShardedSnapshotStore {
     /// Worker threads `apply` may fan partition rebuilds out on
     /// (1 = the serial path, bit-for-bit).
     apply_workers: usize,
+    /// Estimated rebuild edges each apply worker must have before the
+    /// fan-out engages (0 = no clamp; see
+    /// [`with_apply_threshold`](Self::with_apply_threshold)).
+    apply_edges_per_worker: usize,
     /// Store-wide count of spilled records (fast-path guard: spill
     /// checks are free while nothing has ever spilled).
     spilled_records: usize,
@@ -506,8 +514,15 @@ pub struct ShardedSnapshotStore {
 /// defaults to one shard via [`ShardedSnapshotStore::new`].
 pub type SnapshotStore = ShardedSnapshotStore;
 
-/// One shard's locked rebuild bucket during a concurrent `apply`.
-type RebuildBucket = Mutex<Vec<(PartitionId, Result<Partition, SnapshotError>)>>;
+/// Default minimum rebuild work (estimated affected edges) per apply
+/// worker before `apply` fans out on threads.  Below roughly this many
+/// edges per worker, the spawn/join cost of a scoped thread exceeds
+/// the rebuild it would perform and fanning out is a slowdown.
+pub const DEFAULT_APPLY_EDGES_PER_WORKER: usize = 8192;
+
+/// One worker's locally accumulated rebuild results during a
+/// concurrent `apply` (lock-free; merged on the main thread).
+type RebuildResults = Vec<(PartitionId, Result<Partition, SnapshotError>)>;
 
 impl ShardedSnapshotStore {
     /// Wraps a base partitioned graph as snapshot timestamp 0, on a
@@ -537,6 +552,7 @@ impl ShardedSnapshotStore {
             compaction: CompactionPolicy::default(),
             capacity: ShardCapacity::default(),
             apply_workers: 1,
+            apply_edges_per_worker: DEFAULT_APPLY_EDGES_PER_WORKER,
             spilled_records: 0,
         }
     }
@@ -582,6 +598,26 @@ impl ShardedSnapshotStore {
     /// Worker threads `apply` fans out on (1 = serial).
     pub fn apply_workers(&self) -> usize {
         self.apply_workers
+    }
+
+    /// Sets the minimum estimated rebuild work (affected edges) each
+    /// apply worker must have before [`apply`](Self::apply) fans out
+    /// (builder style).  Small deltas stay serial regardless of
+    /// [`with_apply_workers`](Self::with_apply_workers): below the
+    /// threshold, the spawn/join cost of scoped threads dwarfs the
+    /// rebuild itself and the fan-out is a net slowdown.  `0` disables
+    /// the clamp entirely — a test-only override that keeps the
+    /// unclamped concurrent path reachable on the tiny fixtures the
+    /// differential suites use.  Results are bit-identical either way.
+    pub fn with_apply_threshold(mut self, edges_per_worker: usize) -> Self {
+        self.apply_edges_per_worker = edges_per_worker;
+        self
+    }
+
+    /// Estimated affected edges required per apply worker before the
+    /// fan-out engages (`0` = no clamp).
+    pub fn apply_threshold(&self) -> usize {
+        self.apply_edges_per_worker
     }
 
     /// Whether any record's payload has ever been spilled.
@@ -922,9 +958,10 @@ impl ShardedSnapshotStore {
         //    a pure, lock-free function of the pre-delta state, so with
         //    more than one apply worker the rebuilds fan out on scoped
         //    threads claiming partitions from a shared cursor; each
-        //    finished result is parked behind its owning shard's lock
-        //    (see the fan-out below).  The vertex-level merge afterwards
-        //    stays single-threaded and ordered, so the result is
+        //    worker accumulates its results locally (no shared lock on
+        //    the rebuild path) and the main thread merges after the
+        //    join.  The vertex-level merge afterwards stays
+        //    single-threaded and ordered, so the result is
         //    bit-identical to the serial path at any worker count.
         let rebuild_one = |pid: PartitionId| -> Result<Partition, SnapshotError> {
             let mut edges = resolve(pid).edges_global();
@@ -959,39 +996,57 @@ impl ShardedSnapshotStore {
         // count: a caller asking for 4 apply workers gets 4 real
         // threads even on a 1-core host, so the differential suites
         // exercise the concurrent path (not a silently serial fallback)
-        // on every machine that runs them.
-        let fanout = |units: usize| self.apply_workers.min(units);
+        // on every machine that runs them.  Small deltas additionally
+        // clamp to the estimated rebuild work (one thread per
+        // `apply_edges_per_worker` affected edges): below the
+        // threshold the spawn/join cost exceeds the rebuild itself,
+        // so the fan-out would be a slowdown, not a speedup.
+        let rebuild_edges: usize = affected
+            .iter()
+            .map(|&pid| resolve(pid).num_edges())
+            .sum::<usize>()
+            + delta.additions.len();
+        let work_cap = match self.apply_edges_per_worker {
+            0 => usize::MAX,
+            per => (rebuild_edges / per).max(1),
+        };
+        let fanout = |units: usize| self.apply_workers.min(units).min(work_cap);
         let mut rebuilt: HashMap<PartitionId, Partition> = HashMap::new();
         let threads = fanout(affected.len());
         if threads > 1 {
-            // One result bucket per shard, each behind its own lock:
-            // workers claim partitions from a shared cursor and park
-            // every rebuild under the owning shard's lock, so a shard's
-            // chain inputs assemble behind per-shard locking however
-            // the partitions interleave across workers.
-            let locks: Vec<RebuildBucket> =
-                self.shards.iter().map(|_| Mutex::new(Vec::new())).collect();
+            // Workers claim partitions from a shared cursor and stack
+            // results in a worker-local vector — the rebuild path holds
+            // no lock at all; the main thread merges the pid-tagged
+            // results after the scope joins, so the chain inputs
+            // assemble identically however the partitions interleave
+            // across workers.
             let cursor = AtomicUsize::new(0);
-            std::thread::scope(|scope| {
-                for _ in 0..threads {
-                    scope.spawn(|| loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(&pid) = affected.get(i) else {
-                            break;
-                        };
-                        let built = rebuild_one(pid);
-                        locks[self.shard_of(pid)]
-                            .lock()
-                            .expect("shard lock")
-                            .push((pid, built));
-                    });
-                }
+            let results: Vec<RebuildResults> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut local = RebuildResults::new();
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                let Some(&pid) = affected.get(i) else {
+                                    break;
+                                };
+                                local.push((pid, rebuild_one(pid)));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("apply worker panicked"))
+                    .collect()
             });
             // Surface the error the serial (sorted-pid) loop would have
             // hit first.
             let mut first_err: Option<(PartitionId, SnapshotError)> = None;
-            for lock in locks {
-                for (pid, r) in lock.into_inner().expect("shard lock") {
+            for local in results {
+                for (pid, r) in local {
                     match r {
                         Ok(p) => {
                             rebuilt.insert(pid, p);
@@ -2213,7 +2268,10 @@ mod tests {
                 VertexCutPartitioner::new(8).partition(&el),
                 shards,
             )
-            .with_apply_workers(workers);
+            .with_apply_workers(workers)
+            // The fixture is tiny; disable the work-size clamp so the
+            // concurrent rebuild path actually runs.
+            .with_apply_threshold(0);
             assert_eq!(s.apply_workers(), workers.max(1));
             for i in 1..=12u64 {
                 // Each delta spans several partitions so the fan-out is real.
@@ -2250,13 +2308,49 @@ mod tests {
         }
         // Errors surface identically: the serial loop's first (smallest
         // affected pid) edge-not-found wins in both modes.
-        let mut a = store_mut().with_apply_workers(4);
+        let mut a = store_mut().with_apply_workers(4).with_apply_threshold(0);
         let mut b = store_mut();
         let bad = GraphDelta {
             additions: vec![Edge::unit(0, 2), Edge::unit(4, 6)],
             removals: vec![(0, 1), (0, 1)],
         };
         assert_eq!(a.apply(1, &bad).unwrap_err(), b.apply(1, &bad).unwrap_err());
+    }
+
+    /// The work-size threshold keeps small applies serial even with a
+    /// large worker budget, and `0` removes the clamp — observable only
+    /// through the builder/accessor and bit-identical results, since
+    /// thread count never changes what any view sees.
+    #[test]
+    fn apply_threshold_defaults_and_override() {
+        let s = store_mut();
+        assert_eq!(s.apply_threshold(), DEFAULT_APPLY_EDGES_PER_WORKER);
+        let s = s.with_apply_threshold(0);
+        assert_eq!(s.apply_threshold(), 0);
+        let s = s.with_apply_threshold(1024);
+        assert_eq!(s.apply_threshold(), 1024);
+
+        // A small delta applied under a huge worker budget with the
+        // default threshold (clamped serial) must match the unclamped
+        // concurrent apply and the plain serial apply bit-for-bit.
+        let run = |workers: usize, threshold: usize| {
+            let mut s = store_mut()
+                .with_apply_workers(workers)
+                .with_apply_threshold(threshold);
+            for i in 1..=6u64 {
+                let v = (i % 8) as u32;
+                s.apply(i, &GraphDelta::adding([Edge::unit(v, (v + 2) % 8)]))
+                    .unwrap();
+            }
+            let s = Arc::new(s);
+            let view = s.view_at(6);
+            (0..view.num_partitions() as u32)
+                .map(|pid| (view.version_of(pid), view.partition(pid).edges_global()))
+                .collect::<Vec<_>>()
+        };
+        let serial = run(1, DEFAULT_APPLY_EDGES_PER_WORKER);
+        assert_eq!(run(8, DEFAULT_APPLY_EDGES_PER_WORKER), serial);
+        assert_eq!(run(8, 0), serial);
     }
 
     /// The default policy keeps resident bytes far below the EveryK(1)

@@ -1,0 +1,191 @@
+//! Concurrent-executor differential stress: the channel-staged pipeline
+//! (`EngineConfig::io_workers`) must be bit-identical to the fork-join
+//! executor at every I/O-worker count, prefetch depth, and channel
+//! capacity — including capacity 1, where any ordering bug in the
+//! dispatch loop shows up as a deadlock (caught by CI's per-binary
+//! timeout) instead of a wrong answer.
+//!
+//! The mix uses integer-valued programs only (BFS, SSSP, WCC,
+//! reachability): their accumulators are exact min/or folds, so results,
+//! traffic counters, *and* the modeled-seconds bit pattern must all
+//! match exactly.  CI runs this binary with default threading and with
+//! `--test-threads=1`.
+
+use std::sync::Arc;
+
+use cgraph::algos::{Bfs, Reachability, Sssp, Wcc};
+use cgraph::core::{Engine, EngineConfig};
+use cgraph::graph::snapshot::SnapshotStore;
+use cgraph::graph::vertex_cut::VertexCutPartitioner;
+use cgraph::graph::{generate, Partitioner};
+use cgraph::memsim::{HierarchyConfig, Metrics};
+use cgraph_bench::ingest_stream_spread;
+
+const SHARDS: usize = 4;
+
+/// One shared evolving store: a 4-shard chain with enough deltas that
+/// jobs arriving at different timestamps bind to different snapshot
+/// versions, so waves mix partition versions and spread across lanes.
+fn shared_store() -> Arc<SnapshotStore> {
+    let el = generate::rmat(9, 4, generate::RmatParams::default(), 2024);
+    let n = el.num_vertices();
+    let ps = VertexCutPartitioner::new(16).partition(&el);
+    let mut store = SnapshotStore::with_shards(ps, SHARDS);
+    for (i, delta) in ingest_stream_spread(n, 24, 48, 4).iter().enumerate() {
+        store
+            .apply((i as u64 + 1) * 10, delta)
+            .expect("evolving delta applies");
+    }
+    Arc::new(store)
+}
+
+/// Everything one run can observe, flattened for exact comparison.
+#[derive(PartialEq, Debug)]
+struct RunDigest {
+    bfs: Vec<u32>,
+    /// SSSP distances are f32 min-folds: exactly commutative, so even
+    /// these compare bit-for-bit across executors.
+    sssp: Vec<f32>,
+    wcc: Vec<u32>,
+    reach: Vec<bool>,
+    late_bfs: Vec<u32>,
+    loads: u64,
+    metrics: Metrics,
+    /// Bit pattern of the modeled pipeline seconds: the concurrent
+    /// executor must reproduce the serial charge/accumulation order
+    /// exactly, so even the float result is bit-identical.
+    modeled_bits: u64,
+}
+
+/// Tight enough that loads actually rotate through the cache.
+fn tight_hierarchy(store: &Arc<SnapshotStore>) -> HierarchyConfig {
+    let view = store.base_view();
+    let total: u64 = (0..view.num_partitions() as u32)
+        .map(|pid| view.partition(pid).structure_bytes())
+        .sum();
+    HierarchyConfig { cache_bytes: (total / 4).max(1), memory_bytes: total * 4 }
+}
+
+fn run_cfg(
+    store: &Arc<SnapshotStore>,
+    io_workers: usize,
+    depth: usize,
+    capacity: usize,
+) -> RunDigest {
+    let hierarchy = tight_hierarchy(store);
+    let mut engine = Engine::new(
+        Arc::clone(store),
+        EngineConfig {
+            workers: 2,
+            wavefront: 4,
+            prefetch_depth: depth,
+            io_workers,
+            channel_capacity: capacity,
+            hierarchy,
+            ..EngineConfig::default()
+        },
+    );
+    // Arrivals spread over the chain: jobs bind to distinct snapshots.
+    let bfs = engine.submit_at(Bfs::new(0), 0);
+    let sssp = engine.submit_at(Sssp::new(1), 50);
+    let wcc = engine.submit_at(Wcc, 120);
+    let reach = engine.submit_at(Reachability::new(0), 180);
+    let late_bfs = engine.submit_at(Bfs::new(3), 240);
+    let report = engine.run();
+    assert!(report.completed, "stress run must converge");
+    RunDigest {
+        bfs: engine.results::<Bfs>(bfs).unwrap(),
+        sssp: engine.results::<Sssp>(sssp).unwrap(),
+        wcc: engine.results::<Wcc>(wcc).unwrap(),
+        reach: engine.results::<Reachability>(reach).unwrap(),
+        late_bfs: engine.results::<Bfs>(late_bfs).unwrap(),
+        loads: report.loads,
+        metrics: report.metrics,
+        modeled_bits: report.modeled_seconds.to_bits(),
+    }
+}
+
+#[test]
+fn channel_pipeline_matches_serial_at_every_worker_count_and_depth() {
+    let store = shared_store();
+    for depth in [0usize, 2, 4] {
+        let serial = run_cfg(&store, 0, depth, 2);
+        for io in [1usize, 2, 4, 8] {
+            let concurrent = run_cfg(&store, io, depth, 2);
+            assert_eq!(
+                concurrent, serial,
+                "io_workers={io} depth={depth} diverged from fork-join"
+            );
+        }
+    }
+}
+
+#[test]
+fn capacity_one_channels_neither_deadlock_nor_diverge() {
+    // Capacity 1 maximally stresses the dispatch loop's no-blocking
+    // invariant: a full fetch queue must stash-and-drain, never block.
+    let store = shared_store();
+    for depth in [0usize, 2, 4] {
+        let serial = run_cfg(&store, 0, depth, 1);
+        for io in [1usize, 4, 8] {
+            let concurrent = run_cfg(&store, io, depth, 1);
+            assert_eq!(
+                concurrent, serial,
+                "io_workers={io} depth={depth} capacity=1 diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn racing_engines_on_one_shared_store_stay_deterministic() {
+    // Several concurrent engines — different I/O-worker counts, depths,
+    // and channel bounds — race on the same Arc'd store from separate
+    // OS threads; every one must land on the serial digest.
+    let store = shared_store();
+    let serial = run_cfg(&store, 0, 2, 2);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = [(1usize, 1usize), (2, 2), (4, 1), (8, 4)]
+            .into_iter()
+            .map(|(io, capacity)| {
+                let store = Arc::clone(&store);
+                scope.spawn(move || run_cfg(&store, io, 2, capacity))
+            })
+            .collect();
+        for handle in handles {
+            let digest = handle.join().expect("racing engine run panicked");
+            assert_eq!(digest, serial, "racing engine diverged from serial");
+        }
+    });
+}
+
+#[test]
+fn width_one_waves_stay_on_the_legacy_path() {
+    // A single-slot wave has nothing to pipeline: io_workers must be
+    // ignored and the classic executor reproduced exactly.
+    let store = shared_store();
+    let run = |io: usize| {
+        let mut engine = Engine::new(
+            Arc::clone(&store),
+            EngineConfig {
+                workers: 2,
+                wavefront: 1,
+                io_workers: io,
+                hierarchy: tight_hierarchy(&store),
+                ..EngineConfig::default()
+            },
+        );
+        let b = engine.submit(Bfs::new(0));
+        let s = engine.submit(Sssp::new(1));
+        let report = engine.run();
+        assert!(report.completed);
+        (
+            engine.results::<Bfs>(b).unwrap(),
+            engine.results::<Sssp>(s).unwrap(),
+            report.loads,
+            report.metrics,
+            report.modeled_seconds.to_bits(),
+        )
+    };
+    assert_eq!(run(8), run(0));
+}

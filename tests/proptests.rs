@@ -338,7 +338,10 @@ proptest! {
             let mut s = ShardedSnapshotStore::with_placement(ps, 2, placement)
                 .with_compaction(CompactionPolicy::EveryK(2))
                 .with_capacity(cap)
-                .with_apply_workers(workers);
+                .with_apply_workers(workers)
+                // Tiny proptest deltas: lift the work-size clamp so
+                // multi-worker variants really run concurrently.
+                .with_apply_threshold(0);
             for (ts, d) in &deltas {
                 s.apply(*ts, d).unwrap();
             }

@@ -116,7 +116,11 @@ fn concurrent_apply_stress_matches_serial() {
                 scope.spawn(move || {
                     let store = apply_all(
                         ShardedSnapshotStore::with_placement(ps, shards, placement)
-                            .with_apply_workers(workers),
+                            .with_apply_workers(workers)
+                            // The fixture's deltas are small; disable
+                            // the work-size clamp so the concurrent
+                            // rebuild path is what this suite races.
+                            .with_apply_threshold(0),
                         stream,
                     );
                     (shards, workers, digests(&store))
@@ -151,7 +155,9 @@ fn interleaved_writers_on_shared_store_stay_serializable() {
 
     const WRITERS: usize = 4;
     let store = Mutex::new(Some(
-        ShardedSnapshotStore::with_shards(ps, 4).with_apply_workers(4),
+        ShardedSnapshotStore::with_shards(ps, 4)
+            .with_apply_workers(4)
+            .with_apply_threshold(0),
     ));
     let turn = AtomicUsize::new(0);
     std::thread::scope(|scope| {
