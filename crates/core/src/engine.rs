@@ -11,7 +11,7 @@ use cgraph_graph::snapshot::SnapshotStore;
 use cgraph_graph::{FootprintProfile, PartitionSet, ShardPlacement};
 use cgraph_memsim::{CostModel, HierarchyConfig, JobMetrics, Metrics};
 
-use crate::exec::crew::ExecCrew;
+use crate::exec::crew::{ExecCrew, ExecError};
 use crate::exec::ledger::JobTiming;
 use crate::exec::wavefront::RoundBuffers;
 use crate::exec::{ChargeLedger, PrefetchQueue, SlotPlanner};
@@ -206,6 +206,10 @@ pub struct Engine {
     pub(crate) pipeline_seconds: f64,
     /// Lazily spawned concurrent executor crew (`io_workers > 0` only).
     pub(crate) crew: Option<ExecCrew>,
+    /// Set when a concurrent-executor worker died (panicking user code,
+    /// disconnected channel): the crew has been shut down gracefully and
+    /// the engine refuses further rounds.  See [`Engine::exec_error`].
+    pub(crate) fault: Option<ExecError>,
 }
 
 impl Engine {
@@ -239,6 +243,7 @@ impl Engine {
             loads: 0,
             pipeline_seconds: 0.0,
             crew: None,
+            fault: None,
         }
     }
 
@@ -310,11 +315,22 @@ impl Engine {
     /// slot planner immediately and are scheduled from the next round
     /// on, matching the paper's runtime registration of new jobs.
     pub fn step_round(&mut self) -> bool {
-        if !self.prepare_round() {
+        if self.fault.is_some() || !self.prepare_round() {
             return false;
         }
         self.exec_planned_round();
         true
+    }
+
+    /// The concurrent executor's parked failure, if a worker thread died
+    /// (panicking user code inside `process_chunk` or a probe scan) or a
+    /// crew channel disconnected.  The engine shuts the crew down
+    /// gracefully at the fault — channels closed, surviving workers
+    /// joined — and every later [`step_round`](Self::step_round) /
+    /// [`run`](Self::run) refuses to execute instead of hanging on or
+    /// re-panicking over a half-dead pipeline.
+    pub fn exec_error(&self) -> Option<ExecError> {
+        self.fault
     }
 
     /// Retires converged jobs and reports whether any slot is pending —
@@ -358,13 +374,15 @@ impl Engine {
         let start_pipeline = self.pipeline_seconds;
         let width = self.config.wavefront.max(1);
         let mut completed = true;
-        while self.prepare_round() {
+        while self.fault.is_none() && self.prepare_round() {
             if self.loads - start_loads >= self.config.max_loads {
                 completed = false;
                 break;
             }
             self.exec_planned_round();
         }
+        // A crew fault mid-run is a truncation, not a completion.
+        completed &= self.fault.is_none();
         let metrics = self.ledger.metrics().since(&start_metrics);
         // Width 1 keeps the classic linear figure bit-for-bit; wider
         // waves report the pipeline model their schedule actually earns.

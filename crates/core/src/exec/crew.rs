@@ -45,15 +45,80 @@
 //! (the I/O workers) never wait on anything main holds; the chunk queue
 //! is unbounded-but-recycled, so compute workers always make progress
 //! and signal completion through a condvar main waits on last.
+//!
+//! # Worker failure
+//!
+//! A worker panic (user code inside `process_chunk` or a probe scan)
+//! must not hang or abort the engine, so every blocking edge is
+//! failure-aware:
+//!
+//! * Compute workers run each chunk under an unwind guard: if
+//!   `process_chunk` panics, the guard settles the chunk's outstanding
+//!   count, records the failure label, and wakes the round condvar, so
+//!   [`ExecCrew::finish_round`] returns [`ExecError::WorkerPanic`]
+//!   instead of waiting forever on a completion that will never come.
+//! * The main thread never waits on the completion channel blindly:
+//!   [`ExecCrew::recv_done`] polls I/O worker liveness, so a dead
+//!   worker (its queued fetches lost with it) surfaces as a typed
+//!   error instead of a hang, and a disconnected channel does the same
+//!   in [`ExecCrew::try_dispatch`].
+//! * Every mutex acquisition recovers from poisoning
+//!   (`PoisonError::into_inner`): the guarded state — `u64` counters, a
+//!   task deque, flags — is valid at every intermediate step, so a
+//!   panicking peer cannot cascade panics into other workers or the
+//!   main thread.
 
 use std::collections::VecDeque;
-use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use cgraph_graph::PartitionId;
 
 use crate::job::{JobRuntime, ProcessStats};
+
+/// A concurrent-executor failure: a worker thread died (panicked user
+/// code) or a channel it served disconnected.  Surfaced by
+/// [`crate::Engine::exec_error`] after the engine shuts the crew down
+/// gracefully; never a panic or a hang on the main thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// A worker thread panicked; the label says which stage.
+    WorkerPanic(&'static str),
+    /// A channel disconnected outside shutdown; the label says which.
+    Disconnected(&'static str),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::WorkerPanic(what) => write!(f, "executor worker panicked: {what}"),
+            ExecError::Disconnected(what) => write!(f, "executor channel disconnected: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Outcome of a non-blocking fetch dispatch.
+pub(crate) enum Dispatch {
+    /// Accepted by the lane's I/O worker queue.
+    Sent,
+    /// Queue full; the message is handed back for the caller to stash.
+    Full(FetchMsg),
+    /// The lane's I/O worker is gone (panicked mid-round).
+    Dead(ExecError),
+}
+
+/// Locks a mutex, recovering the guard from a poisoned peer: all crew
+/// state behind mutexes is valid at every intermediate step, so a
+/// panicking worker must not cascade its panic into healthy threads.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// One slot's fetch order: the I/O worker runs the slot's stage-one
 /// probe scans and sends the message back on the completion channel
@@ -103,7 +168,7 @@ impl ChunkQueue {
     }
 
     fn pop(&self) -> Option<ChunkMsg> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_recover(&self.state);
         loop {
             if let Some(msg) = st.tasks.pop_front() {
                 return Some(msg);
@@ -111,12 +176,15 @@ impl ChunkQueue {
             if st.closed {
                 return None;
             }
-            st = self.ready.wait(st).unwrap();
+            st = self
+                .ready
+                .wait(st)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
         }
     }
 
     fn close(&self) {
-        self.state.lock().unwrap().closed = true;
+        lock_recover(&self.state).closed = true;
         self.ready.notify_all();
     }
 }
@@ -133,17 +201,45 @@ struct RoundState {
 struct RoundInner {
     totals: Vec<ProcessStats>,
     remaining: usize,
+    /// Set by a compute worker's unwind guard when `process_chunk`
+    /// panicked; the round then fails typed instead of hanging.
+    failed: Option<&'static str>,
 }
 
 impl RoundState {
     fn record(&self, entry: usize, stats: ProcessStats) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_recover(&self.inner);
         inner.totals[entry].vertex_ops += stats.vertex_ops;
         inner.totals[entry].edge_ops += stats.edge_ops;
         inner.remaining -= 1;
         if inner.remaining == 0 {
             self.done.notify_all();
         }
+    }
+
+    /// Settles a chunk whose worker panicked: the outstanding count
+    /// still goes down (so the waiter's arithmetic stays coherent) and
+    /// the failure label wakes [`ExecCrew::finish_round`] immediately —
+    /// other chunks may still be queued behind a dead worker pool, so
+    /// waiting for `remaining == 0` could block forever.
+    fn fail(&self, what: &'static str) {
+        let mut inner = lock_recover(&self.inner);
+        inner.remaining = inner.remaining.saturating_sub(1);
+        inner.failed.get_or_insert(what);
+        self.done.notify_all();
+    }
+}
+
+/// Unwind guard armed around `process_chunk`: disarmed (forgotten) on
+/// normal return, it marks the round failed if the chunk panics.
+struct ChunkPanicGuard<'a> {
+    round: &'a RoundState,
+}
+
+impl Drop for ChunkPanicGuard<'_> {
+    fn drop(&mut self) {
+        self.round
+            .fail("process_chunk panicked in a trigger worker");
     }
 }
 
@@ -194,7 +290,7 @@ impl ExecCrew {
         drop(done_tx);
         let chunks = Arc::new(ChunkQueue::new());
         let round = Arc::new(RoundState {
-            inner: Mutex::new(RoundInner { totals: Vec::new(), remaining: 0 }),
+            inner: Mutex::new(RoundInner { totals: Vec::new(), remaining: 0, failed: None }),
             done: Condvar::new(),
         });
         for w in 0..compute {
@@ -229,31 +325,53 @@ impl ExecCrew {
     /// chunk in flight).
     pub(crate) fn begin_round(&mut self, entries: usize) {
         debug_assert_eq!(self.outstanding, 0, "round started with chunks in flight");
-        let mut inner = self.round.inner.lock().unwrap();
+        let mut inner = lock_recover(&self.round.inner);
         debug_assert_eq!(inner.remaining, 0);
         inner.totals.clear();
         inner.totals.resize(entries, ProcessStats::default());
+        inner.failed = None;
     }
 
     /// Non-blocking fetch dispatch to the lane's owning I/O worker; the
     /// message is handed back when the worker's queue is full so the
     /// caller can stash it and drain completions instead of blocking.
-    pub(crate) fn try_dispatch(&self, lane: usize, msg: FetchMsg) -> Result<(), FetchMsg> {
+    /// A disconnected queue — the worker panicked mid-round — reports
+    /// [`Dispatch::Dead`] instead of panicking the main thread.
+    pub(crate) fn try_dispatch(&self, lane: usize, msg: FetchMsg) -> Dispatch {
         match self.fetch_txs[lane % self.nio].try_send(msg) {
-            Ok(()) => Ok(()),
-            Err(TrySendError::Full(msg)) => Err(msg),
-            Err(TrySendError::Disconnected(_)) => panic!("I/O worker died"),
+            Ok(()) => Dispatch::Sent,
+            Err(TrySendError::Full(msg)) => Dispatch::Full(msg),
+            Err(TrySendError::Disconnected(_)) => Dispatch::Dead(ExecError::WorkerPanic(
+                "an I/O worker's fetch queue is gone",
+            )),
         }
     }
 
     /// Blocks for the next completed load (any plan order).  Safe to
     /// block on: completion producers never wait on the main thread.
-    pub(crate) fn recv_done(&self) -> FetchMsg {
-        self.done_rx
+    /// The wait polls I/O-worker liveness — a worker that panicked takes
+    /// its queued fetches with it, so the completion this call waits for
+    /// may never arrive; liveness polling turns that hang into a typed
+    /// error.  Workers only exit outside [`Drop`] by panicking, so a
+    /// finished handle mid-round is unambiguous.
+    pub(crate) fn recv_done(&self) -> Result<FetchMsg, ExecError> {
+        let rx = self
+            .done_rx
             .as_ref()
-            .expect("crew active")
-            .recv()
-            .expect("I/O workers alive")
+            .ok_or(ExecError::Disconnected("completion channel closed"))?;
+        loop {
+            match rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(msg) => return Ok(msg),
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.handles[..self.nio].iter().any(|h| h.is_finished()) {
+                        return Err(ExecError::WorkerPanic("an I/O worker died mid-round"));
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(ExecError::Disconnected("every I/O worker is gone"));
+                }
+            }
+        }
     }
 
     /// Queues one chunk task for the compute workers.
@@ -266,10 +384,10 @@ impl ExecCrew {
         runtime: Arc<dyn JobRuntime>,
     ) {
         {
-            let mut inner = self.round.inner.lock().unwrap();
+            let mut inner = lock_recover(&self.round.inner);
             inner.remaining += 1;
         }
-        let mut st = self.chunks.state.lock().unwrap();
+        let mut st = lock_recover(&self.chunks.state);
         st.tasks
             .push_back(ChunkMsg { entry, pid, chunk, nchunks, runtime });
         drop(st);
@@ -279,14 +397,27 @@ impl ExecCrew {
 
     /// Blocks until every queued chunk has been processed, then copies
     /// the per-entry totals into `out` (cleared first) in entry order.
-    pub(crate) fn finish_round(&mut self, out: &mut Vec<ProcessStats>) {
-        let mut inner = self.round.inner.lock().unwrap();
-        while inner.remaining > 0 {
-            inner = self.round.done.wait(inner).unwrap();
+    /// A chunk whose worker panicked fails the round with
+    /// [`ExecError::WorkerPanic`] as soon as the unwind guard reports it
+    /// — the remaining queue may sit behind a dead worker pool, so
+    /// waiting it out could hang forever.  After an error the crew must
+    /// be dropped (its bookkeeping no longer matches the queue).
+    pub(crate) fn finish_round(&mut self, out: &mut Vec<ProcessStats>) -> Result<(), ExecError> {
+        let mut inner = lock_recover(&self.round.inner);
+        while inner.remaining > 0 && inner.failed.is_none() {
+            inner = self
+                .round
+                .done
+                .wait(inner)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        if let Some(what) = inner.failed {
+            return Err(ExecError::WorkerPanic(what));
         }
         out.clear();
         out.extend_from_slice(&inner.totals);
         self.outstanding = 0;
+        Ok(())
     }
 }
 
@@ -320,7 +451,12 @@ fn io_loop(rx: Receiver<FetchMsg>, done_tx: SyncSender<FetchMsg>) {
 
 fn compute_loop(queue: Arc<ChunkQueue>, round: Arc<RoundState>) {
     while let Some(msg) = queue.pop() {
+        // Armed across the user-code call: a panic inside
+        // `process_chunk` unwinds through the guard, which settles the
+        // chunk and marks the round failed before the thread dies.
+        let guard = ChunkPanicGuard { round: &round };
         let stats = msg.runtime.process_chunk(msg.pid, msg.chunk, msg.nchunks);
+        std::mem::forget(guard);
         round.record(msg.entry, stats);
     }
 }
@@ -328,6 +464,8 @@ fn compute_loop(queue: Arc<ChunkQueue>, round: Arc<RoundState>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::job::{JobId, PushStats};
+    use cgraph_graph::GraphView;
 
     #[test]
     fn idle_crew_shuts_down() {
@@ -342,5 +480,97 @@ mod tests {
         let crew = ExecCrew::spawn(0, 0, 0, 0);
         assert_eq!(crew.nio, 1);
         assert_eq!(crew.window(), 1);
+    }
+
+    /// A runtime whose chunks panic on demand — only the methods the
+    /// crew's trigger path touches are live.
+    struct FaultyRuntime {
+        panic_on: usize,
+    }
+
+    impl JobRuntime for FaultyRuntime {
+        fn id(&self) -> JobId {
+            0
+        }
+        fn name(&self) -> String {
+            "faulty".into()
+        }
+        fn view(&self) -> &GraphView {
+            unreachable!("crew tests never resolve the view")
+        }
+        fn iteration(&self) -> u64 {
+            0
+        }
+        fn pending(&self) -> Vec<PartitionId> {
+            Vec::new()
+        }
+        fn is_pending(&self, _pid: PartitionId) -> bool {
+            false
+        }
+        fn unprocessed_vertices(&self, _pid: PartitionId) -> u64 {
+            0
+        }
+        fn private_table_bytes(&self, _pid: PartitionId) -> u64 {
+            0
+        }
+        fn process_chunk(&self, _pid: PartitionId, chunk: usize, _nchunks: usize) -> ProcessStats {
+            assert_ne!(chunk, self.panic_on, "injected chunk fault");
+            ProcessStats { vertex_ops: 1, edge_ops: 2 }
+        }
+        fn mark_processed(&self, _pid: PartitionId) {}
+        fn reenter_partition(&self, _pid: PartitionId, _max_rounds: u64) -> ProcessStats {
+            ProcessStats::default()
+        }
+        fn iteration_complete(&self) -> bool {
+            true
+        }
+        fn push_and_advance(&self) -> PushStats {
+            PushStats::default()
+        }
+        fn is_converged(&self) -> bool {
+            true
+        }
+        fn partition_change(&self, _pid: PartitionId) -> f64 {
+            0.0
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn panicking_chunk_fails_the_round_instead_of_hanging() {
+        // Two compute workers, four chunks, one of which panics: the
+        // round must come back with a typed error (not wedge on the
+        // condvar, not abort the test process) and the crew must still
+        // drop cleanly afterwards.
+        let mut crew = ExecCrew::spawn(1, 2, 1, 1);
+        crew.begin_round(1);
+        let runtime: Arc<dyn JobRuntime> = Arc::new(FaultyRuntime { panic_on: 2 });
+        for chunk in 0..4 {
+            crew.push_chunk(0, 0, chunk, 4, Arc::clone(&runtime));
+        }
+        let mut out = Vec::new();
+        let err = crew.finish_round(&mut out).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::WorkerPanic("process_chunk panicked in a trigger worker")
+        );
+        drop(crew);
+    }
+
+    #[test]
+    fn clean_chunks_still_fold_after_guard_refactor() {
+        let mut crew = ExecCrew::spawn(1, 2, 1, 1);
+        crew.begin_round(2);
+        let runtime: Arc<dyn JobRuntime> = Arc::new(FaultyRuntime { panic_on: usize::MAX });
+        for chunk in 0..3 {
+            crew.push_chunk(chunk % 2, 0, chunk, 3, Arc::clone(&runtime));
+        }
+        let mut out = Vec::new();
+        crew.finish_round(&mut out).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], ProcessStats { vertex_ops: 2, edge_ops: 4 });
+        assert_eq!(out[1], ProcessStats { vertex_ops: 1, edge_ops: 2 });
     }
 }

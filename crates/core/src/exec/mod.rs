@@ -40,6 +40,7 @@ pub mod planner;
 pub mod prefetch;
 pub mod wavefront;
 
+pub use crew::ExecError;
 pub use ledger::{ChargeLedger, JobTiming};
 pub use planner::{SlotKey, SlotPlanner};
 pub use prefetch::{pipeline_makespan, PrefetchQueue};

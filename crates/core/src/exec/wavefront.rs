@@ -72,7 +72,7 @@ use std::sync::Arc;
 use cgraph_memsim::{CacheObject, Metrics};
 
 use crate::engine::Engine;
-use crate::exec::crew::{ExecCrew, FetchMsg};
+use crate::exec::crew::{Dispatch, ExecCrew, ExecError, FetchMsg};
 use crate::exec::planner::SlotKey;
 use crate::job::{JobRuntime, ProcessStats};
 use crate::workers::{plan_chunks_into, ChunkTask, ProbeTask, TaskPool};
@@ -347,8 +347,47 @@ impl Engine {
 
         let mut round = std::mem::take(&mut self.round);
         self.collect_wave(picks, &mut round);
-
         let mut crew = self.ensure_crew();
+
+        match self.pump_concurrent_round(&mut round, &mut crew) {
+            Ok(()) => {
+                // --- Trigger merge: charge compute in pooled-entry
+                // order (the fork-join order). ---
+                for (idx, stats) in round.stats.iter().enumerate() {
+                    let (si, j) = round.origins[idx];
+                    self.ledger.charge_compute(j, *stats);
+                    let as_metrics = Metrics {
+                        vertex_ops: stats.vertex_ops,
+                        edge_ops: stats.edge_ops,
+                        ..Metrics::default()
+                    };
+                    round.trigger[si] += cost.compute_seconds(&as_metrics) / workers.max(1) as f64;
+                }
+                self.crew = Some(crew);
+                self.finish_round(round, prefetching)
+            }
+            Err(fault) => {
+                // Graceful shutdown instead of a panic or a hang:
+                // dropping the crew closes every channel and joins the
+                // surviving workers; the typed error parks on the
+                // engine, which refuses further rounds (the round's
+                // partial ledger state is unreachable behind the fault).
+                drop(crew);
+                self.round = round;
+                self.fault = Some(fault);
+                0.0
+            }
+        }
+    }
+
+    /// The failable half of the concurrent round: fetch dispatch, the
+    /// ordered install loop, and the trigger drain.  Any dead worker or
+    /// disconnected channel surfaces here as a typed [`ExecError`].
+    fn pump_concurrent_round(
+        &mut self,
+        round: &mut RoundBuffers,
+        crew: &mut ExecCrew,
+    ) -> Result<(), ExecError> {
         let nslots = round.slots.len();
         crew.begin_round(round.jobs.len());
         round.ready.clear();
@@ -381,46 +420,32 @@ impl Engine {
                 };
                 let lane = self.prefetch.lane_of(msg.pid);
                 match crew.try_dispatch(lane, msg) {
-                    Ok(()) => next_dispatch += 1,
-                    Err(msg) => {
+                    Dispatch::Sent => next_dispatch += 1,
+                    Dispatch::Full(msg) => {
                         stalled = Some(msg);
                         break;
                     }
+                    Dispatch::Dead(err) => return Err(err),
                 }
             }
             // Install strictly in plan order; block only on the
             // completion channel, whose producers never wait on us.
             if round.ready[installed].is_none() {
-                let msg = crew.recv_done();
+                let msg = crew.recv_done()?;
                 let seq = msg.seq;
                 debug_assert!(round.ready[seq].is_none(), "duplicate completion");
                 round.ready[seq] = Some(msg);
                 continue;
             }
             let mut msg = round.ready[installed].take().expect("checked above");
-            self.install_slot(installed, &msg, &mut round, &mut crew);
+            self.install_slot(installed, &msg, round, crew);
             msg.jobs.clear();
             msg.counts.clear();
             round.fetch_pool.push(msg);
             installed += 1;
         }
         debug_assert!(stalled.is_none());
-
-        // --- Trigger merge: wait for the chunk queue to drain, then
-        // charge compute in pooled-entry order (the fork-join order). ---
-        crew.finish_round(&mut round.stats);
-        for (idx, stats) in round.stats.iter().enumerate() {
-            let (si, j) = round.origins[idx];
-            self.ledger.charge_compute(j, *stats);
-            let as_metrics = Metrics {
-                vertex_ops: stats.vertex_ops,
-                edge_ops: stats.edge_ops,
-                ..Metrics::default()
-            };
-            round.trigger[si] += cost.compute_seconds(&as_metrics) / workers.max(1) as f64;
-        }
-        self.crew = Some(crew);
-        self.finish_round(round, prefetching)
+        crew.finish_round(&mut round.stats)
     }
 
     /// Installs one completed load: the slot's ledger charge loop (the

@@ -43,8 +43,10 @@ pub mod workers;
 
 pub use api::JobEngine;
 pub use engine::{Engine, EngineConfig, RunReport, SchedulerKind, SyncStrategy};
-pub use exec::{ChargeLedger, JobTiming, PrefetchQueue, SlotPlanner};
+pub use exec::{ChargeLedger, ExecError, JobTiming, PrefetchQueue, SlotPlanner};
 pub use job::{JobId, JobRuntime, ProcessStats, PushStats, TypedJob};
 pub use program::{EdgeDirection, VertexInfo, VertexProgram};
 pub use scheduler::{OrderScheduler, PriorityScheduler, Scheduler, SlotInfo};
-pub use serve::{AdmissionController, Arrival, JobLatency, ServeConfig, ServeLoop, ServeReport};
+pub use serve::{
+    AdmissionController, Arrival, JobLatency, ServeConfig, ServeJournal, ServeLoop, ServeReport,
+};

@@ -18,6 +18,10 @@ pub struct Arrival<E = Engine> {
     pub at: f64,
     /// Display name of the job kind (for reports).
     pub name: &'static str,
+    /// Offer-order sequence number, stamped by a journaling
+    /// [`ServeLoop`](super::ServeLoop) — the deterministic identity a
+    /// re-offered trace reproduces across restarts.
+    pub(crate) seq: Option<u64>,
     submit: SubmitFn<E>,
 }
 
@@ -36,7 +40,7 @@ impl<E> Arrival<E> {
             at.is_finite() && at >= 0.0,
             "arrival time must be finite and ≥ 0"
         );
-        Arrival { at, name, submit: Box::new(submit) }
+        Arrival { at, name, seq: None, submit: Box::new(submit) }
     }
 
     /// The store timestamp this arrival binds its snapshot at: the

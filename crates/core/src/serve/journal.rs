@@ -1,0 +1,184 @@
+//! The durable completion journal behind restartable serving.
+//!
+//! A [`ServeLoop`](super::ServeLoop) driving a long trace can be killed
+//! mid-stream — process crash, node reboot, operator stop.  The journal
+//! makes the loop resumable: every job that *genuinely converged* is
+//! appended as one `K_SERVE_DONE` frame, and a restarted loop re-offered
+//! the same trace skips journaled jobs entirely — no re-execution, no
+//! double-charged engine work, their latencies reported from the journal
+//! verbatim.
+//!
+//! # Frame layout
+//!
+//! The journal is a single WAL segment (`cgraph_graph::wal` format:
+//! 8-byte segment header, length/CRC-framed records) whose frames all
+//! carry kind [`K_SERVE_DONE`]:
+//!
+//! ```text
+//! [kind = 9][seq u64][arrival f64][admitted f64][completed f64]
+//! ```
+//!
+//! `seq` is the job's offer order — the deterministic identity a
+//! re-offered trace reproduces.  The three timestamps are the job's
+//! fully resolved virtual-time lifecycle, stored as IEEE-754 bits.
+//!
+//! # Durability and recovery policy
+//!
+//! Frames are appended as jobs converge and fsynced once per serve-loop
+//! iteration (a round's batch of completions shares one `fdatasync`).
+//! On open, a torn tail frame — the kill landed mid-append — is
+//! truncated away and serving resumes from the longest clean prefix;
+//! mid-log corruption (a CRC mismatch on an interior frame) refuses with
+//! a typed [`StoreError`], never a panic, because silently dropping an
+//! *acknowledged* completion would re-run a finished job.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use cgraph_graph::wal::{scan_segment, SegmentId, SegmentWriter, StoreError, K_SERVE_DONE};
+
+/// One journaled job lifecycle, in virtual seconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JournalEntry {
+    /// Arrival at the admission queue.
+    pub arrival: f64,
+    /// Release into the engine.
+    pub admitted: f64,
+    /// Convergence.
+    pub completed: f64,
+}
+
+/// An append-only completion journal over one WAL segment file.
+pub struct ServeJournal {
+    writer: SegmentWriter,
+    entries: HashMap<u64, JournalEntry>,
+}
+
+impl ServeJournal {
+    /// Opens (or creates) the journal at `path`, replaying every intact
+    /// completion frame.  A torn tail — from a kill mid-append — is
+    /// truncated; mid-log corruption is a typed error.
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        if !path.exists() {
+            let writer = SegmentWriter::create(path, SegmentId::Journal)?;
+            return Ok(ServeJournal { writer, entries: HashMap::new() });
+        }
+        let scanned = scan_segment(path, SegmentId::Journal)?;
+        let mut entries = HashMap::new();
+        for frame in &scanned.frames {
+            let mut r = frame.body(SegmentId::Journal);
+            if frame.kind() != K_SERVE_DONE {
+                return Err(r.corrupt("unexpected frame kind in serve journal"));
+            }
+            let seq = r.u64()?;
+            let arrival = r.f64()?;
+            let admitted = r.f64()?;
+            let completed = r.f64()?;
+            if r.remaining() != 0 {
+                return Err(r.corrupt("trailing bytes in serve-done frame"));
+            }
+            entries.insert(seq, JournalEntry { arrival, admitted, completed });
+        }
+        let writer = SegmentWriter::open_clean(path, SegmentId::Journal, scanned.clean_len)?;
+        Ok(ServeJournal { writer, entries })
+    }
+
+    /// The journaled lifecycle of offer-order job `seq`, if it completed
+    /// in a previous incarnation.
+    pub fn entry(&self, seq: u64) -> Option<JournalEntry> {
+        self.entries.get(&seq).copied()
+    }
+
+    /// Number of journaled completions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no completion has been journaled yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Appends one completion frame (buffered in the OS page cache until
+    /// [`sync`](Self::sync)).
+    pub fn record(&mut self, seq: u64, entry: JournalEntry) -> Result<(), StoreError> {
+        let mut payload = Vec::with_capacity(33);
+        payload.push(K_SERVE_DONE);
+        payload.extend_from_slice(&seq.to_le_bytes());
+        payload.extend_from_slice(&entry.arrival.to_bits().to_le_bytes());
+        payload.extend_from_slice(&entry.admitted.to_bits().to_le_bytes());
+        payload.extend_from_slice(&entry.completed.to_bits().to_le_bytes());
+        self.writer.append(&payload)?;
+        self.entries.insert(seq, entry);
+        Ok(())
+    }
+
+    /// Fsyncs appended frames (no-op when nothing is dirty).  A
+    /// completion is crash-durable only after this returns.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.writer.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgraph_graph::wal::fault;
+
+    fn dir(tag: &str) -> std::path::PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("cgraph-serve-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn entry(k: u64) -> JournalEntry {
+        JournalEntry { arrival: k as f64, admitted: k as f64 + 0.5, completed: k as f64 + 2.0 }
+    }
+
+    #[test]
+    fn round_trips_completions() {
+        let d = dir("roundtrip");
+        let path = d.join("journal.seg");
+        let mut j = ServeJournal::open(&path).unwrap();
+        assert!(j.is_empty());
+        for k in 0..5 {
+            j.record(k, entry(k)).unwrap();
+        }
+        j.sync().unwrap();
+        drop(j);
+        let j = ServeJournal::open(&path).unwrap();
+        assert_eq!(j.len(), 5);
+        assert_eq!(j.entry(3), Some(entry(3)));
+        assert_eq!(j.entry(5), None);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_mid_log_corruption_is_typed() {
+        let d = dir("torn");
+        let path = d.join("journal.seg");
+        let mut j = ServeJournal::open(&path).unwrap();
+        for k in 0..4 {
+            j.record(k, entry(k)).unwrap();
+        }
+        j.sync().unwrap();
+        drop(j);
+        let full = fault::file_len(&path).unwrap();
+        // Chop into the last frame: the prefix must survive.
+        fault::truncate_at(&path, full - 7).unwrap();
+        let j = ServeJournal::open(&path).unwrap();
+        assert_eq!(j.len(), 3, "torn tail frame dropped, prefix kept");
+        drop(j);
+        // Flip a payload bit in an interior frame: typed error, no panic.
+        fault::flip_bit(&path, 30, 3).unwrap();
+        let err = match ServeJournal::open(&path) {
+            Ok(_) => panic!("corrupted journal must refuse to open"),
+            Err(e) => e,
+        };
+        assert!(
+            matches!(err, StoreError::Corruption { .. }),
+            "mid-log corruption must refuse: {err}"
+        );
+    }
+}

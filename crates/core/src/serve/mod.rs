@@ -32,9 +32,11 @@
 //! `cgraph_algos::arrivals`.
 
 pub mod admission;
+pub mod journal;
 pub mod report;
 pub mod serve_loop;
 
 pub use admission::{AdmissionController, Arrival};
+pub use journal::{JournalEntry, ServeJournal};
 pub use report::{JobLatency, ServeReport};
 pub use serve_loop::{ServeConfig, ServeLoop};

@@ -1,8 +1,13 @@
 //! The round-interleaved serving driver.
 
+use std::path::Path;
+
+use cgraph_graph::StoreError;
+
 use crate::engine::Engine;
 use crate::job::JobId;
 use crate::serve::admission::{AdmissionController, Arrival};
+use crate::serve::journal::{JournalEntry, ServeJournal};
 use crate::serve::report::{JobLatency, ServeReport};
 
 /// Serving-layer configuration.
@@ -44,12 +49,26 @@ pub struct ServeLoop {
     admission: AdmissionController<Engine>,
     time_scale: f64,
     clock: f64,
-    /// Every admitted job, in admission order.
-    tracked: Vec<(JobId, &'static str)>,
+    /// Every admitted job, in admission order, with its offer-order
+    /// journal sequence (when journaling).
+    tracked: Vec<(JobId, &'static str, Option<u64>)>,
     /// Admitted jobs not yet stamped complete.
     open: Vec<JobId>,
     waves: u64,
     rounds: u64,
+    /// Durable completion journal (restartable serving only).
+    journal: Option<ServeJournal>,
+    /// First journal I/O failure: journaling stops (the serve itself
+    /// continues), and the error is exposed for the caller.
+    journal_fault: Option<StoreError>,
+    /// Next offer-order sequence number.
+    next_seq: u64,
+    /// Journal-replayed lifecycles of offers skipped because a previous
+    /// incarnation already completed them; drained into the next
+    /// [`serve`](Self::serve) call's report.
+    resumed: Vec<JobLatency>,
+    /// Total offers skipped via the journal since construction.
+    resumed_count: u64,
 }
 
 impl ServeLoop {
@@ -69,11 +88,57 @@ impl ServeLoop {
             open: Vec::new(),
             waves: 0,
             rounds: 0,
+            journal: None,
+            journal_fault: None,
+            next_seq: 0,
+            resumed: Vec::new(),
+            resumed_count: 0,
         }
     }
 
-    /// Queues one arrival.
+    /// Wraps an engine for **restartable** serving: completions are
+    /// journaled to the WAL segment at `path`
+    /// ([`ServeJournal`](crate::serve::journal::ServeJournal)), and a
+    /// loop re-opened over the same path skips every offer a previous
+    /// incarnation already finished — no re-execution, no double-charged
+    /// engine work, the journaled latencies reported verbatim.  Offer
+    /// order is the identity: restarts must re-offer the same trace in
+    /// the same order.
+    pub fn with_journal(
+        engine: Engine,
+        config: ServeConfig,
+        path: &Path,
+    ) -> Result<Self, StoreError> {
+        let journal = ServeJournal::open(path)?;
+        let mut sl = ServeLoop::new(engine, config);
+        sl.journal = Some(journal);
+        Ok(sl)
+    }
+
+    /// Queues one arrival.  Under a journal
+    /// ([`with_journal`](Self::with_journal)), an offer a previous
+    /// incarnation completed is consumed here instead: its journaled
+    /// lifecycle goes straight to the next report.
     pub fn offer(&mut self, arrival: Arrival) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if let Some(journal) = &self.journal {
+            if let Some(entry) = journal.entry(seq) {
+                self.resumed.push(JobLatency {
+                    job: seq as JobId,
+                    name: arrival.name,
+                    arrival: entry.arrival,
+                    admitted: entry.admitted,
+                    completed: entry.completed,
+                });
+                self.resumed_count += 1;
+                return;
+            }
+            let mut arrival = arrival;
+            arrival.seq = Some(seq);
+            self.admission.offer(arrival);
+            return;
+        }
         self.admission.offer(arrival);
     }
 
@@ -87,6 +152,18 @@ impl ServeLoop {
     /// The current virtual time.
     pub fn clock(&self) -> f64 {
         self.clock
+    }
+
+    /// Offers skipped because the journal showed a previous incarnation
+    /// already completed them.
+    pub fn resumed(&self) -> u64 {
+        self.resumed_count
+    }
+
+    /// The first journal I/O failure, if journaling had to stop (the
+    /// serve itself keeps going; later restarts simply resume less).
+    pub fn journal_error(&self) -> Option<&StoreError> {
+        self.journal_fault.as_ref()
     }
 
     /// The wrapped engine (read access; results, metrics, store).
@@ -107,27 +184,67 @@ impl ServeLoop {
         }
         self.waves += 1;
         for a in wave {
-            let (at, name, ts) = (a.at, a.name, a.bind_timestamp());
+            let (at, name, seq, ts) = (a.at, a.name, a.seq, a.bind_timestamp());
             let id = a.submit(&mut self.engine, ts);
             self.engine.record_admission(id, at, self.clock);
-            self.tracked.push((id, name));
+            self.tracked.push((id, name, seq));
             self.open.push(id);
         }
         true
     }
 
-    /// Stamps completion for every open job that has converged.
+    /// Stamps completion for every open job that has converged, and
+    /// journals the genuinely converged (never valve-truncated) ones.
     fn note_completions(&mut self) {
         let clock = self.clock;
+        let mut finished: Vec<JobId> = Vec::new();
         let engine = &mut self.engine;
         self.open.retain(|&id| {
             if engine.job_done(id) {
                 engine.record_completion(id, clock);
+                finished.push(id);
                 false
             } else {
                 true
             }
         });
+        if self.journal.is_some() {
+            for id in finished {
+                self.journal_completion(id);
+            }
+        }
+    }
+
+    /// Appends one converged job's lifecycle to the journal; a write
+    /// failure stops journaling but not serving.
+    fn journal_completion(&mut self, id: JobId) {
+        let Some(&(_, _, Some(seq))) = self.tracked.iter().find(|t| t.0 == id) else {
+            return;
+        };
+        let Some(journal) = self.journal.as_mut() else {
+            return;
+        };
+        let timing = self.engine.job_timing(id).expect("admitted jobs are timed");
+        let entry = JournalEntry {
+            arrival: timing.arrival,
+            admitted: timing.admitted,
+            completed: timing.completed.expect("completion was just stamped"),
+        };
+        if let Err(e) = journal.record(seq, entry) {
+            self.journal = None;
+            self.journal_fault.get_or_insert(e);
+        }
+    }
+
+    /// Makes the round's journaled completions crash-durable (one fsync
+    /// for the whole batch); a failure stops journaling but not serving.
+    fn sync_journal(&mut self) {
+        if let Some(journal) = self.journal.as_mut() {
+            if let Err(e) = journal.sync() {
+                self.journal = None;
+                self.journal_fault.get_or_insert(e);
+            }
+        }
     }
 
     /// Serves the stream to exhaustion: admits, executes, and advances
@@ -159,7 +276,15 @@ impl ServeLoop {
                 self.rounds += 1;
                 self.clock += (self.engine.pipeline_seconds() - before) * self.time_scale;
                 self.note_completions();
+                self.sync_journal();
                 continue;
+            }
+            // A faulted engine (concurrent-executor worker death) can
+            // never finish its open jobs: stop serving instead of
+            // spinning on the idle-clock jump.
+            if self.engine.exec_error().is_some() {
+                completed = false;
+                break;
             }
             // Engine idle: jump to the next admission deadline, or stop
             // once the stream is exhausted.
@@ -168,6 +293,10 @@ impl ServeLoop {
                 None => break,
             }
         }
+        // Truncated jobs below are stamped but never journaled — only
+        // genuine convergence may be skipped on restart.  Flush any
+        // completions the last iteration journaled.
+        self.sync_journal();
         // Resolve truncated jobs at the stop-time so the report is
         // total; `completed` records that they were cut short.
         let clock = self.clock;
@@ -175,19 +304,20 @@ impl ServeLoop {
             self.engine.record_completion(id, clock);
         }
         self.open.clear();
-        let jobs: Vec<JobLatency> = self.tracked[report_from..]
-            .iter()
-            .map(|&(id, name)| {
-                let t = self.engine.job_timing(id).expect("admitted jobs are timed");
-                JobLatency {
-                    job: id,
-                    name,
-                    arrival: t.arrival,
-                    admitted: t.admitted,
-                    completed: t.completed.expect("served jobs are complete"),
-                }
-            })
-            .collect();
+        // Journal-resumed offers lead the report (their lifecycles are a
+        // previous incarnation's, so they sort before this serve's), so
+        // the combined job list covers the whole re-offered trace.
+        let mut jobs: Vec<JobLatency> = std::mem::take(&mut self.resumed);
+        jobs.extend(self.tracked[report_from..].iter().map(|&(id, name, _)| {
+            let t = self.engine.job_timing(id).expect("admitted jobs are timed");
+            JobLatency {
+                job: id,
+                name,
+                arrival: t.arrival,
+                admitted: t.admitted,
+                completed: t.completed.expect("served jobs are complete"),
+            }
+        }));
         ServeReport::new(
             "cgraph-serve",
             self.admission.window(),

@@ -19,6 +19,8 @@
 //! * [`io`] — plain-text and binary edge-list round-tripping.
 //! * [`snapshot`] — the incremental snapshot store for evolving graphs
 //!   (paper §3.2.1, Fig. 5).
+//! * [`wal`] — the append-only, CRC-checksummed segment format that makes
+//!   the snapshot store durable and crash-recoverable.
 //!
 //! # Examples
 //!
@@ -42,6 +44,7 @@ pub mod snapshot;
 pub mod stats;
 pub mod types;
 pub mod vertex_cut;
+pub mod wal;
 
 pub use builder::GraphBuilder;
 pub use csr::Csr;
@@ -52,6 +55,7 @@ pub use snapshot::{
     ShardPlacement, ShardedSnapshotStore, SnapshotShard, SnapshotStore,
 };
 pub use types::{LocalId, PartitionId, VersionId, VertexId, Weight, NO_PARTITION};
+pub use wal::{SegmentId, StoreError};
 
 /// A strategy that turns an edge list into a [`PartitionSet`].
 ///

@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use crate::edge::Edge;
 use crate::types::{LocalId, PartitionId, VertexId, Weight, NO_PARTITION};
+use crate::wal;
 
 /// Per-replica metadata stored inside a [`Partition`]
 /// (the "Flag" and "Master Location" columns of the paper's Fig. 4(b)).
@@ -261,6 +262,124 @@ impl Partition {
         let per_edge = 2 * (std::mem::size_of::<LocalId>() + std::mem::size_of::<Weight>());
         (self.vertices.len() * per_vertex + self.num_edges() * per_edge + 64) as u64
     }
+
+    /// Serializes the partition as an exact field dump.
+    ///
+    /// The raw CSR arrays are dumped rather than an edge list because the
+    /// in-CSR's source ordering depends on original edge insertion order:
+    /// rebuilding from edges could permute it, and float accumulation over
+    /// in-edges would then diverge bit-for-bit.  The dump round-trips
+    /// exactly (and decodes faster than a rebuild).
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        wal::put_u32(out, self.id);
+        wal::put_u32(out, self.vertices.len() as u32);
+        for &v in &self.vertices {
+            wal::put_u32(out, v);
+        }
+        // `vid` and `is_master` are derivable (vid = vertices[i],
+        // is_master = master_partition == id), so only the rest is dumped.
+        for m in &self.meta {
+            wal::put_u32(out, m.master_partition);
+            wal::put_u32(out, m.global_out_degree);
+            wal::put_u32(out, m.global_in_degree);
+        }
+        for &o in &self.out_offsets {
+            wal::put_u32(out, o);
+        }
+        wal::put_u32(out, self.out_targets.len() as u32);
+        for &t in &self.out_targets {
+            wal::put_u32(out, t);
+        }
+        for &w in &self.out_weights {
+            wal::put_u32(out, w.to_bits());
+        }
+        for &o in &self.in_offsets {
+            wal::put_u32(out, o);
+        }
+        for &s in &self.in_sources {
+            wal::put_u32(out, s);
+        }
+        for &w in &self.in_weights {
+            wal::put_u32(out, w.to_bits());
+        }
+        wal::put_f64(out, self.avg_degree);
+    }
+
+    /// Decodes a partition written by [`encode`](Self::encode), validating
+    /// CSR shape invariants so a corrupt-but-checksummed payload surfaces as
+    /// a typed error rather than a later index panic.
+    pub(crate) fn decode(r: &mut wal::WireReader<'_>) -> Result<Partition, wal::StoreError> {
+        let id = r.u32()?;
+        let nv = r.len(4)?;
+        let mut vertices = Vec::with_capacity(nv);
+        for _ in 0..nv {
+            vertices.push(r.u32()?);
+        }
+        let mut meta = Vec::with_capacity(nv);
+        for &vid in &vertices {
+            let master_partition = r.u32()?;
+            let global_out_degree = r.u32()?;
+            let global_in_degree = r.u32()?;
+            meta.push(VertexMeta {
+                vid,
+                is_master: master_partition == id,
+                master_partition,
+                global_out_degree,
+                global_in_degree,
+            });
+        }
+        let read_offsets = |r: &mut wal::WireReader<'_>| -> Result<Vec<u32>, wal::StoreError> {
+            let mut offs = Vec::with_capacity(nv + 1);
+            for _ in 0..nv + 1 {
+                offs.push(r.u32()?);
+            }
+            Ok(offs)
+        };
+        let out_offsets = read_offsets(r)?;
+        let ne = r.len(4)?;
+        if out_offsets.last().copied().unwrap_or(0) as usize != ne {
+            return Err(r.corrupt("out-CSR offsets disagree with edge count"));
+        }
+        let read_locals = |r: &mut wal::WireReader<'_>| -> Result<Vec<LocalId>, wal::StoreError> {
+            let mut v = Vec::with_capacity(ne);
+            for _ in 0..ne {
+                let l = r.u32()?;
+                if l as usize >= nv {
+                    return Err(r.corrupt("CSR entry references a local id out of range"));
+                }
+                v.push(l);
+            }
+            Ok(v)
+        };
+        let read_weights = |r: &mut wal::WireReader<'_>| -> Result<Vec<Weight>, wal::StoreError> {
+            let mut v = Vec::with_capacity(ne);
+            for _ in 0..ne {
+                v.push(f32::from_bits(r.u32()?));
+            }
+            Ok(v)
+        };
+        let out_targets = read_locals(r)?;
+        let out_weights = read_weights(r)?;
+        let in_offsets = read_offsets(r)?;
+        if in_offsets.last().copied().unwrap_or(0) as usize != ne {
+            return Err(r.corrupt("in-CSR offsets disagree with edge count"));
+        }
+        let in_sources = read_locals(r)?;
+        let in_weights = read_weights(r)?;
+        let avg_degree = r.f64()?;
+        Ok(Partition {
+            id,
+            vertices,
+            meta,
+            out_offsets,
+            out_targets,
+            out_weights,
+            in_offsets,
+            in_sources,
+            in_weights,
+            avg_degree,
+        })
+    }
 }
 
 /// The complete partitioned graph: partitions plus global replica tables.
@@ -398,6 +517,68 @@ impl PartitionSet {
         let lo = self.replica_offsets[vid as usize] as usize;
         let hi = self.replica_offsets[vid as usize + 1] as usize;
         &self.replica_parts[lo..hi]
+    }
+
+    /// Serializes the global replica tables (everything except the
+    /// partitions themselves, which are framed individually).
+    pub(crate) fn encode_meta(&self, out: &mut Vec<u8>) {
+        wal::put_u32(out, self.num_vertices);
+        wal::put_u64(out, self.num_edges);
+        wal::put_u32(out, self.partitions.len() as u32);
+        for &m in &self.master_of {
+            wal::put_u32(out, m);
+        }
+        for &o in &self.replica_offsets {
+            wal::put_u32(out, o);
+        }
+        wal::put_u32(out, self.replica_parts.len() as u32);
+        for &p in &self.replica_parts {
+            wal::put_u32(out, p);
+        }
+    }
+
+    /// Reassembles a partition set from decoded tables plus its decoded
+    /// partitions (which must be in id order, one per partition slot).
+    pub(crate) fn decode_meta(
+        r: &mut wal::WireReader<'_>,
+        partitions: Vec<Arc<Partition>>,
+    ) -> Result<PartitionSet, wal::StoreError> {
+        let num_vertices = r.u32()?;
+        let num_edges = r.u64()?;
+        let np = r.u32()? as usize;
+        if partitions.len() != np {
+            return Err(r.corrupt("base segment partition count disagrees with meta"));
+        }
+        for (i, p) in partitions.iter().enumerate() {
+            if p.id() as usize != i {
+                return Err(r.corrupt("base partitions out of id order"));
+            }
+        }
+        let n = num_vertices as usize;
+        let mut master_of = Vec::with_capacity(n);
+        for _ in 0..n {
+            master_of.push(r.u32()?);
+        }
+        let mut replica_offsets = Vec::with_capacity(n + 1);
+        for _ in 0..n + 1 {
+            replica_offsets.push(r.u32()?);
+        }
+        let nr = r.len(4)?;
+        if replica_offsets.last().copied().unwrap_or(0) as usize != nr {
+            return Err(r.corrupt("replica offsets disagree with replica count"));
+        }
+        let mut replica_parts = Vec::with_capacity(nr);
+        for _ in 0..nr {
+            replica_parts.push(r.u32()?);
+        }
+        Ok(PartitionSet {
+            partitions,
+            num_vertices,
+            num_edges,
+            master_of,
+            replica_offsets,
+            replica_parts,
+        })
     }
 
     /// Average number of replicas per non-isolated vertex

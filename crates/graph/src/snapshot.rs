@@ -78,14 +78,33 @@
 //!   result is **bit-identical** to the serial apply at any worker
 //!   count (pinned by `tests/store_stress.rs` and the
 //!   `placement_is_transparent` proptest).
+//!
+//! # Durability
+//!
+//! A store becomes durable via [`ShardedSnapshotStore::persist_to`]:
+//! every apply then appends CRC-checksummed frames to the [`crate::wal`]
+//! segment files *before* mutating memory, and
+//! [`ShardedSnapshotStore::open`] / [`ShardedSnapshotStore::recover`]
+//! rebuild the store — records, checkpoints, spill flags, and the
+//! incremental [`CurrentIndex`] — by replaying them.  Recovery truncates
+//! a torn tail (a crash mid-append) and refuses mid-log corruption with
+//! a typed [`StoreError`].  On a durable store, capacity spill is *real*:
+//! spilled payloads are dropped from memory and reads through them
+//! rehydrate from the shard segment (read-through), so the modeled spill
+//! cost can be compared against measured disk time.
 
 use std::collections::{HashMap, HashSet};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crate::edge::{Edge, EdgeList};
 use crate::partition::{Partition, PartitionSet};
 use crate::types::{PartitionId, VersionId, VertexId, NO_PARTITION};
+use crate::wal::{
+    self, scan_segment, Frame, FrameCursor, FrameHead, PayloadLoc, SegmentId, StoreError, StoreWal,
+    WireReader,
+};
 
 /// A batch of edge additions and removals forming one graph update.
 #[derive(Clone, Debug, Default)]
@@ -210,11 +229,94 @@ struct VertexCheckpoint {
     degree: HashMap<VertexId, (u32, u32)>,
 }
 
+/// One partition payload of a [`ShardRecord`] or [`ShardCheckpoint`]:
+/// resident in memory, on disk (rehydrated on first read), or both.
+///
+/// In-memory stores always hold the `Arc` and no disk location — every
+/// existing code path is unchanged.  On a durable store each payload
+/// also records where its bytes live in the owning shard segment, which
+/// is what makes two things possible: recovery can leave cold pre-
+/// checkpoint payloads *lazy* (decoded only if a historical walk
+/// actually reaches them), and capacity spill can genuinely drop the
+/// resident copy so later reads do real I/O.
+#[derive(Debug, Default)]
+struct PayloadCell {
+    /// The decoded partition, once resident.  `OnceLock` so a shared
+    /// `&self` walk can materialize a lazy payload exactly once.
+    part: OnceLock<Arc<Partition>>,
+    /// Where the payload's bytes live on disk (durable stores only).
+    disk: Option<PayloadLoc>,
+}
+
+impl Clone for PayloadCell {
+    fn clone(&self) -> Self {
+        let part = OnceLock::new();
+        if let Some(p) = self.part.get() {
+            let _ = part.set(Arc::clone(p));
+        }
+        PayloadCell { part, disk: self.disk }
+    }
+}
+
+impl PayloadCell {
+    /// A resident, purely in-memory payload.
+    fn resident(part: Arc<Partition>) -> Self {
+        let cell = OnceLock::new();
+        let _ = cell.set(part);
+        PayloadCell { part: cell, disk: None }
+    }
+
+    /// A resident payload that also knows its on-disk location.
+    fn resident_at(part: Arc<Partition>, loc: PayloadLoc) -> Self {
+        let cell = OnceLock::new();
+        let _ = cell.set(part);
+        PayloadCell { part: cell, disk: Some(loc) }
+    }
+
+    /// An on-disk-only payload, decoded on first read.
+    fn lazy(loc: PayloadLoc) -> Self {
+        PayloadCell { part: OnceLock::new(), disk: Some(loc) }
+    }
+
+    /// The resident payload, if materialized (never triggers I/O —
+    /// accounting and eviction use this).
+    fn get(&self) -> Option<&Arc<Partition>> {
+        self.part.get()
+    }
+
+    /// The payload, rehydrating from `wal` if not resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rehydration I/O fails: the view API is infallible by
+    /// design, and the frame was CRC-verified when the store opened, so
+    /// a failure here means the segment file vanished or the device
+    /// died under a live store — not a recoverable application state.
+    fn load(&self, wal: Option<&StoreWal>) -> &Arc<Partition> {
+        self.part.get_or_init(|| {
+            let loc = self.disk.expect("payload neither resident nor on disk");
+            let wal = wal.expect("disk-backed payload without an open wal");
+            match wal.read_partition(loc) {
+                Ok(p) => Arc::new(p),
+                Err(e) => panic!("failed to rehydrate spilled partition payload: {e}"),
+            }
+        })
+    }
+
+    /// Drops the resident copy if (and only if) the payload is disk-
+    /// backed — real spill on a durable store, a no-op otherwise.
+    fn drop_resident(&mut self) {
+        if self.disk.is_some() {
+            self.part = OnceLock::new();
+        }
+    }
+}
+
 /// Partition-level overrides contributed by **one** delta to one shard's
 /// chain (plus an optional materialized cumulative checkpoint).
 #[derive(Clone, Debug, Default)]
 struct ShardRecord {
-    overrides: HashMap<PartitionId, Arc<Partition>>,
+    overrides: HashMap<PartitionId, PayloadCell>,
     versions: HashMap<PartitionId, VersionId>,
     checkpoint: Option<ShardCheckpoint>,
     /// Whether capacity enforcement moved this record's payloads — its
@@ -229,7 +331,7 @@ struct ShardRecord {
 /// Materialized cumulative partition state for one shard.
 #[derive(Clone, Debug, Default)]
 struct ShardCheckpoint {
-    overrides: HashMap<PartitionId, Arc<Partition>>,
+    overrides: HashMap<PartitionId, PayloadCell>,
     versions: HashMap<PartitionId, VersionId>,
 }
 
@@ -508,6 +610,10 @@ pub struct ShardedSnapshotStore {
     /// Store-wide count of spilled records (fast-path guard: spill
     /// checks are free while nothing has ever spilled).
     spilled_records: usize,
+    /// The open durability layer, when [`persist_to`](Self::persist_to)
+    /// or [`open`](Self::open) attached one (`None` = in-memory store,
+    /// every pre-durability code path byte-for-byte).
+    wal: Option<StoreWal>,
 }
 
 /// The ubiquitous single-`Arc` spelling: a [`ShardedSnapshotStore`]
@@ -554,6 +660,7 @@ impl ShardedSnapshotStore {
             apply_workers: 1,
             apply_edges_per_worker: DEFAULT_APPLY_EDGES_PER_WORKER,
             spilled_records: 0,
+            wal: None,
         }
     }
 
@@ -576,7 +683,14 @@ impl ShardedSnapshotStore {
     /// docs).  Enforcement runs at every subsequent install.
     pub fn with_capacity(mut self, capacity: ShardCapacity) -> Self {
         self.capacity = capacity;
-        self.enforce_capacity();
+        // The builder signature is infallible; on a durable store a
+        // failed spill append is deferred into the wal and surfaced by
+        // the next fallible operation.
+        if let Err(e) = self.enforce_capacity() {
+            if let Some(w) = &mut self.wal {
+                w.poison(&e);
+            }
+        }
         self
     }
 
@@ -756,15 +870,39 @@ impl ShardedSnapshotStore {
         base()
     }
 
+    /// Like [`Self::shard_at`] but specialized for the payloads
+    /// themselves: an override supplied by a spilled or lazily-recovered
+    /// record rehydrates from the shard segment on first touch
+    /// (read-through; the latest view and in-memory stores never do
+    /// I/O here).
     fn partition_at(&self, record: Option<usize>, pid: PartitionId) -> &Arc<Partition> {
-        self.shard_at(
-            record,
-            pid,
-            |c| c.parts.get(&pid),
-            |r| r.overrides.get(&pid),
-            |cp| cp.overrides.get(&pid),
-            || self.base.partition(pid),
-        )
+        if self.is_latest(record) {
+            return self
+                .current
+                .parts
+                .get(&pid)
+                .unwrap_or_else(|| self.base.partition(pid));
+        }
+        let Some(ri) = record else {
+            return self.base.partition(pid);
+        };
+        let s = self.shard_of(pid);
+        let shard = &self.shards[s];
+        let mut h = self.records[ri].shard_heads[s];
+        while h > 0 {
+            let r = &shard.records[h - 1];
+            if let Some(cell) = r.overrides.get(&pid) {
+                return cell.load(self.wal.as_ref());
+            }
+            if let Some(cp) = &r.checkpoint {
+                return match cp.overrides.get(&pid) {
+                    Some(cell) => cell.load(self.wal.as_ref()),
+                    None => self.base.partition(pid),
+                };
+            }
+            h -= 1;
+        }
+        self.base.partition(pid)
     }
 
     fn version_at(&self, record: Option<usize>, pid: PartitionId) -> VersionId {
@@ -831,14 +969,23 @@ impl ShardedSnapshotStore {
     /// [`CompactionPolicy`] schedules a checkpoint, which clone the
     /// accumulated overrides (amortized O(state/k)).
     ///
+    /// On a durable store the new record's frames are appended and
+    /// fsync'd before the in-memory state mutates, so an I/O error
+    /// leaves the store consistent (the log then holds a committed
+    /// prefix; see the [`crate::wal`] module docs).
+    ///
     /// Returns the number of partitions that were re-versioned.
-    pub fn apply(&mut self, timestamp: u64, delta: &GraphDelta) -> Result<usize, SnapshotError> {
+    pub fn apply(&mut self, timestamp: u64, delta: &GraphDelta) -> Result<usize, StoreError> {
+        if let Some(w) = &self.wal {
+            w.check()?;
+        }
         let prev_ts = self.latest_timestamp();
         if timestamp <= prev_ts {
             return Err(SnapshotError::NonMonotonicTimestamp {
                 previous: prev_ts,
                 given: timestamp,
-            });
+            }
+            .into());
         }
         let n = self.base.num_vertices();
         let np = self.base.num_partitions();
@@ -882,7 +1029,7 @@ impl ShardedSnapshotStore {
         let mut out_cache: HashMap<VertexId, Vec<HashSet<VertexId>>> = HashMap::new();
         for &(s, d) in &delta.removals {
             if s >= n || d >= n {
-                return Err(SnapshotError::VertexOutOfRange(s.max(d)));
+                return Err(SnapshotError::VertexOutOfRange(s.max(d)).into());
             }
             let reps = replicas(s);
             let adj = out_cache.entry(s).or_default();
@@ -910,7 +1057,7 @@ impl ShardedSnapshotStore {
         let mut added: HashMap<PartitionId, Vec<Edge>> = HashMap::new();
         for &e in &delta.additions {
             if e.src >= n || e.dst >= n {
-                return Err(SnapshotError::VertexOutOfRange(e.src.max(e.dst)));
+                return Err(SnapshotError::VertexOutOfRange(e.src.max(e.dst)).into());
             }
             let pid = match (master(e.src), master(e.dst)) {
                 (m, _) if m != NO_PARTITION => m,
@@ -1021,7 +1168,7 @@ impl ShardedSnapshotStore {
             // assemble identically however the partitions interleave
             // across workers.
             let cursor = AtomicUsize::new(0);
-            let results: Vec<RebuildResults> = std::thread::scope(|scope| {
+            let results: Vec<Result<RebuildResults, StoreError>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..threads)
                     .map(|_| {
                         scope.spawn(|| {
@@ -1037,16 +1184,22 @@ impl ShardedSnapshotStore {
                         })
                     })
                     .collect();
+                // A panicked worker must not abort the whole store:
+                // surface it as a typed error and refuse the partial
+                // result (no state has been installed yet).
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("apply worker panicked"))
+                    .map(|h| {
+                        h.join()
+                            .map_err(|_| StoreError::WorkerPanic("apply partition rebuild"))
+                    })
                     .collect()
             });
             // Surface the error the serial (sorted-pid) loop would have
-            // hit first.
+            // hit first; a worker panic outranks any semantic error.
             let mut first_err: Option<(PartitionId, SnapshotError)> = None;
             for local in results {
-                for (pid, r) in local {
+                for (pid, r) in local? {
                     match r {
                         Ok(p) => {
                             rebuilt.insert(pid, p);
@@ -1060,7 +1213,7 @@ impl ShardedSnapshotStore {
                 }
             }
             if let Some((_, e)) = first_err {
-                return Err(e);
+                return Err(e.into());
             }
         } else {
             for &pid in &affected {
@@ -1110,15 +1263,24 @@ impl ShardedSnapshotStore {
         if threads > 1 {
             let chunk = parts.len().div_ceil(threads);
             let lookup = &master_lookup;
-            std::thread::scope(|scope| {
-                for slice in parts.chunks_mut(chunk) {
-                    scope.spawn(move || {
-                        for (_, p) in slice.iter_mut() {
-                            p.patch_masters(lookup);
-                        }
-                    });
-                }
+            // Join explicitly: an unwinding patch worker becomes a typed
+            // error instead of propagating the panic out of the scope.
+            let panicked = std::thread::scope(|scope| {
+                let handles: Vec<_> = parts
+                    .chunks_mut(chunk)
+                    .map(|slice| {
+                        scope.spawn(move || {
+                            for (_, p) in slice.iter_mut() {
+                                p.patch_masters(lookup);
+                            }
+                        })
+                    })
+                    .collect();
+                handles.into_iter().any(|h| h.join().is_err())
             });
+            if panicked {
+                return Err(StoreError::WorkerPanic("apply master patch"));
+            }
         } else {
             for (_, p) in parts.iter_mut() {
                 p.patch_masters(&master_lookup);
@@ -1132,53 +1294,97 @@ impl ShardedSnapshotStore {
                 .push((pid, p));
         }
 
-        // 7. Append one *layered* record to each affected shard's chain
-        //    (only this delta's partitions; untouched shards keep their
-        //    head) and fold the same entries into the current index.
+        // 7. Stage one *layered* record per affected shard (only this
+        //    delta's partitions; untouched shards keep their head).  On
+        //    a durable store the shard frames and then the store-level
+        //    commit frame are appended BEFORE any in-memory mutation,
+        //    so an I/O error refuses the apply with the store
+        //    unchanged; shards are staged in ascending id for a
+        //    deterministic frame order.
+        let mut by_shard: Vec<(usize, Vec<(PartitionId, Partition)>)> =
+            by_shard.into_iter().collect();
+        by_shard.sort_unstable_by_key(|&(s, _)| s);
         let mut shard_heads: Vec<usize> = self
             .records
             .last()
             .map(|r| r.shard_heads.clone())
             .unwrap_or_else(|| vec![0; self.shards.len()]);
+        type StagedArcs = Vec<(PartitionId, Arc<Partition>, VersionId)>;
+        let mut staged: Vec<(usize, ShardRecord, StagedArcs)> = Vec::with_capacity(by_shard.len());
         for (s, parts) in by_shard {
-            let mut rec = ShardRecord::default();
+            let mut arcs: StagedArcs = Vec::with_capacity(parts.len());
             for (pid, p) in parts {
                 let ver = self.current.versions.get(&pid).copied().unwrap_or(0) + 1;
-                let part = Arc::new(p);
-                rec.versions.insert(pid, ver);
-                rec.overrides.insert(pid, Arc::clone(&part));
-                self.current.versions.insert(pid, ver);
-                self.current.parts.insert(pid, part);
+                arcs.push((pid, Arc::new(p), ver));
             }
-            let shard = Arc::make_mut(&mut self.shards[s]);
-            shard.records.push(rec);
-            shard_heads[s] = shard.records.len();
+            arcs.sort_unstable_by_key(|&(pid, _, _)| pid);
+            let mut rec = ShardRecord::default();
+            for &(pid, _, ver) in &arcs {
+                rec.versions.insert(pid, ver);
+            }
+            match &mut self.wal {
+                Some(w) => {
+                    let (payload, spans) =
+                        encode_shard_frame(wal::K_SHARD_REC, None, &rec.versions, &arcs);
+                    let base = w.append_shard(s, &payload)?;
+                    for ((pid, part, _), (rel, len)) in arcs.iter().zip(spans) {
+                        let loc = PayloadLoc { shard: s as u32, offset: base + rel as u64, len };
+                        rec.overrides
+                            .insert(*pid, PayloadCell::resident_at(Arc::clone(part), loc));
+                    }
+                }
+                None => {
+                    for (pid, part, _) in &arcs {
+                        rec.overrides
+                            .insert(*pid, PayloadCell::resident(Arc::clone(part)));
+                    }
+                }
+            }
+            shard_heads[s] = self.shards[s].records.len() + 1;
+            staged.push((s, rec, arcs));
         }
-
-        // 8. Fold the vertex-level delta into the current index and push
-        //    the snapshot's layered record.
-        for (&v, &m) in &master_delta {
-            self.current.master.insert(v, m);
-        }
-        for (&v, reps) in &replica_delta {
-            self.current.replicas.insert(v, reps.clone());
-        }
-        for (&v, &d) in &degree_delta {
-            self.current.degree.insert(v, d);
-        }
-        self.records.push(SnapshotRecord {
+        let vrec = SnapshotRecord {
             timestamp,
             shard_heads,
             master_delta,
             replica_delta,
             degree_delta,
             checkpoint: None,
-        });
+        };
+        // The store-level commit frame: once this is appended, recovery
+        // will keep the shard records it points at.
+        if let Some(w) = &mut self.wal {
+            w.append_store(&encode_apply_frame(&vrec))?;
+        }
+
+        // 8. Commit: from here on, pure in-memory mutation — push the
+        //    shard records, fold every delta into the current index,
+        //    and push the snapshot's layered record.
+        for (s, rec, arcs) in staged {
+            Arc::make_mut(&mut self.shards[s]).records.push(rec);
+            for (pid, part, ver) in arcs {
+                self.current.versions.insert(pid, ver);
+                self.current.parts.insert(pid, part);
+            }
+        }
+        for (&v, &m) in &vrec.master_delta {
+            self.current.master.insert(v, m);
+        }
+        for (&v, reps) in &vrec.replica_delta {
+            self.current.replicas.insert(v, reps.clone());
+        }
+        for (&v, &d) in &vrec.degree_delta {
+            self.current.degree.insert(v, d);
+        }
+        self.records.push(vrec);
 
         if self.compaction.due(self.records.len()) {
-            self.compact();
+            self.compact()?;
         }
-        self.enforce_capacity();
+        self.enforce_capacity()?;
+        if let Some(w) = &mut self.wal {
+            w.sync_dirty()?;
+        }
         Ok(affected.len())
     }
 
@@ -1205,9 +1411,9 @@ impl ShardedSnapshotStore {
     /// cadence bounds the chain, and unlimited capacity (the default)
     /// pays nothing; an incrementally maintained per-shard counter is
     /// the known follow-up if long capped chains ever matter.
-    fn enforce_capacity(&mut self) {
+    fn enforce_capacity(&mut self) -> Result<(), StoreError> {
         if !self.capacity.is_limited() {
-            return;
+            return Ok(());
         }
         let cap = self.capacity.max_resident_bytes;
         let mut compacted = false;
@@ -1217,33 +1423,60 @@ impl ShardedSnapshotStore {
         for _pass in 0..2 {
             let compacted_before = compacted;
             for s in 0..self.shards.len() {
-                self.enforce_shard(s, cap, &mut compacted);
+                self.enforce_shard(s, cap, &mut compacted)?;
             }
             if compacted == compacted_before {
                 break;
             }
         }
+        Ok(())
     }
 
     /// One shard's spill loop (see [`enforce_capacity`](Self::enforce_capacity)).
-    fn enforce_shard(&mut self, s: usize, cap: u64, compacted: &mut bool) {
+    ///
+    /// On a durable store a spill is *real*: the event is logged to the
+    /// store segment and the record's resident payload copies are
+    /// dropped, so any later read through the record rehydrates from
+    /// the shard segment (the disk time `bench_durability` measures
+    /// against the modeled cost).  In-memory stores keep the payloads —
+    /// spill stays the pure cost model it was.
+    fn enforce_shard(
+        &mut self,
+        s: usize,
+        cap: u64,
+        compacted: &mut bool,
+    ) -> Result<(), StoreError> {
         loop {
             if self.shard_resident_bytes(s) <= cap {
-                return;
+                return Ok(());
             }
             match Self::first_evictable(&self.shards[s]) {
                 Some(i) => {
-                    Arc::make_mut(&mut self.shards[s]).records[i].spilled = true;
+                    if let Some(w) = &mut self.wal {
+                        w.append_store(&encode_spill_frame(s as u32, i as u64))?;
+                    }
+                    let rec = &mut Arc::make_mut(&mut self.shards[s]).records[i];
+                    rec.spilled = true;
+                    if self.wal.is_some() {
+                        for c in rec.overrides.values_mut() {
+                            c.drop_resident();
+                        }
+                        if let Some(cp) = &mut rec.checkpoint {
+                            for c in cp.overrides.values_mut() {
+                                c.drop_resident();
+                            }
+                        }
+                    }
                     self.spilled_records += 1;
                 }
                 None if !*compacted => {
                     // No pre-checkpoint record left to spill: stamp
                     // checkpoints at the heads so everything older
                     // becomes evictable, then retry.
-                    self.compact();
+                    self.compact()?;
                     *compacted = true;
                 }
-                None => return,
+                None => return Ok(()),
             }
         }
     }
@@ -1262,15 +1495,23 @@ impl ShardedSnapshotStore {
     /// dropped the record; serving from the checkpoint copy instead is
     /// the per-payload refinement this leaves as follow-up).
     fn first_evictable(shard: &SnapshotShard) -> Option<usize> {
+        // Only materialized payloads matter on both sides: a lazy
+        // (recovered, never-read) payload holds no RAM, so it neither
+        // anchors anything nor makes its record worth spilling.
         let horizon = shard.newest_checkpoint()?;
         let anchored: HashSet<*const Partition> = shard.records[horizon..]
             .iter()
             .flat_map(|r| {
-                r.overrides.values().map(Arc::as_ptr).chain(
-                    r.checkpoint
-                        .iter()
-                        .flat_map(|cp| cp.overrides.values().map(Arc::as_ptr)),
-                )
+                r.overrides
+                    .values()
+                    .filter_map(PayloadCell::get)
+                    .map(Arc::as_ptr)
+                    .chain(r.checkpoint.iter().flat_map(|cp| {
+                        cp.overrides
+                            .values()
+                            .filter_map(PayloadCell::get)
+                            .map(Arc::as_ptr)
+                    }))
             })
             .collect();
         shard.records[..horizon].iter().position(|r| {
@@ -1278,6 +1519,7 @@ impl ShardedSnapshotStore {
                 && r.overrides
                     .values()
                     .chain(r.checkpoint.iter().flat_map(|cp| cp.overrides.values()))
+                    .filter_map(PayloadCell::get)
                     .any(|p| !anchored.contains(&Arc::as_ptr(p)))
         })
     }
@@ -1299,10 +1541,12 @@ impl ShardedSnapshotStore {
         const ENTRY: u64 = 16;
         let mut seen: HashSet<*const Partition> = HashSet::new();
         let mut bytes = 0u64;
-        let mut count = |o: &HashMap<PartitionId, Arc<Partition>>,
+        let mut count = |o: &HashMap<PartitionId, PayloadCell>,
                          v: &HashMap<PartitionId, VersionId>| {
             let mut b = ENTRY * (o.len() + v.len()) as u64;
-            for p in o.values() {
+            // Only materialized payloads occupy RAM: a lazy recovered
+            // cell costs its key entry and nothing more.
+            for p in o.values().filter_map(PayloadCell::get) {
                 if seen.insert(Arc::as_ptr(p)) {
                     b += p.structure_bytes();
                 }
@@ -1367,28 +1611,30 @@ impl ShardedSnapshotStore {
     /// Purely representational: no view observes any difference.  Called
     /// automatically every K deltas under [`CompactionPolicy::EveryK`];
     /// safe (and idempotent) to call manually at any time.
-    pub fn compact(&mut self) {
-        let Some(last) = self.records.last_mut() else {
-            return;
+    pub fn compact(&mut self) -> Result<(), StoreError> {
+        let Some(last_idx) = self.records.len().checked_sub(1) else {
+            return Ok(());
         };
-        if last.checkpoint.is_none() {
-            last.checkpoint = Some(VertexCheckpoint {
+        if self.records[last_idx].checkpoint.is_none() {
+            let cp = VertexCheckpoint {
                 master: self.current.master.clone(),
                 replicas: self.current.replicas.clone(),
                 degree: self.current.degree.clone(),
-            });
+            };
+            if let Some(w) = &mut self.wal {
+                w.append_store(&encode_vertex_cp_frame(last_idx as u64, &cp))?;
+            }
+            self.records[last_idx].checkpoint = Some(cp);
         }
-        let mut per_shard: Vec<ShardCheckpoint> =
-            vec![ShardCheckpoint::default(); self.shards.len()];
+        // The cumulative partition state, grouped by owning shard
+        // (sorted by pid so durable frames are deterministic).
+        let mut per_shard: Vec<Vec<(PartitionId, Arc<Partition>, VersionId)>> =
+            vec![Vec::new(); self.shards.len()];
         for (&pid, part) in &self.current.parts {
-            per_shard[self.shard_of(pid)]
-                .overrides
-                .insert(pid, Arc::clone(part));
+            let ver = self.current.versions.get(&pid).copied().unwrap_or(0);
+            per_shard[self.shard_of(pid)].push((pid, Arc::clone(part), ver));
         }
-        for (&pid, &ver) in &self.current.versions {
-            per_shard[self.shard_of(pid)].versions.insert(pid, ver);
-        }
-        for (s, cp) in per_shard.into_iter().enumerate() {
+        for (s, mut arcs) in per_shard.into_iter().enumerate() {
             // A shard's cumulative state only changes when a record is
             // appended to it, so its newest record always equals the
             // current state — stamping there is exact.
@@ -1396,11 +1642,41 @@ impl ShardedSnapshotStore {
                 .records
                 .last()
                 .is_some_and(|r| r.checkpoint.is_none());
-            if needs {
-                let shard = Arc::make_mut(&mut self.shards[s]);
-                shard.records.last_mut().expect("checked above").checkpoint = Some(cp);
+            if !needs {
+                continue;
             }
+            arcs.sort_unstable_by_key(|&(pid, _, _)| pid);
+            let mut cp = ShardCheckpoint::default();
+            for &(pid, _, ver) in &arcs {
+                cp.versions.insert(pid, ver);
+            }
+            match &mut self.wal {
+                Some(w) => {
+                    let rec_idx = (self.shards[s].records.len() - 1) as u64;
+                    let (payload, spans) =
+                        encode_shard_frame(wal::K_SHARD_CP, Some(rec_idx), &cp.versions, &arcs);
+                    let base = w.append_shard(s, &payload)?;
+                    for ((pid, part, _), (rel, len)) in arcs.iter().zip(spans) {
+                        let loc = PayloadLoc { shard: s as u32, offset: base + rel as u64, len };
+                        cp.overrides
+                            .insert(*pid, PayloadCell::resident_at(Arc::clone(part), loc));
+                    }
+                }
+                None => {
+                    for (pid, part, _) in &arcs {
+                        cp.overrides
+                            .insert(*pid, PayloadCell::resident(Arc::clone(part)));
+                    }
+                }
+            }
+            let shard = Arc::make_mut(&mut self.shards[s]);
+            shard
+                .records
+                .last_mut()
+                .expect("needs implies a record")
+                .checkpoint = Some(cp);
         }
+        Ok(())
     }
 
     /// Approximate resident bytes held by the delta chains beyond the
@@ -1422,10 +1698,10 @@ impl ShardedSnapshotStore {
                 + r.values().map(|v| vec_bytes(v)).sum::<u64>()
         }
         let mut seen: HashSet<*const Partition> = HashSet::new();
-        let mut part_maps = |o: &HashMap<PartitionId, Arc<Partition>>,
+        let mut part_maps = |o: &HashMap<PartitionId, PayloadCell>,
                              v: &HashMap<PartitionId, VersionId>| {
             let mut b = ENTRY * (o.len() + v.len()) as u64;
-            for p in o.values() {
+            for p in o.values().filter_map(PayloadCell::get) {
                 if seen.insert(Arc::as_ptr(p)) {
                     b += p.structure_bytes();
                 }
@@ -1463,8 +1739,377 @@ impl ShardedSnapshotStore {
             &self.current.replicas,
             &self.current.degree,
         );
-        bytes += part_maps(&self.current.parts, &self.current.versions);
+        // The current index holds plain `Arc`s (always resident).
+        bytes += ENTRY * (self.current.parts.len() + self.current.versions.len()) as u64;
+        for p in self.current.parts.values() {
+            if seen.insert(Arc::as_ptr(p)) {
+                bytes += p.structure_bytes();
+            }
+        }
         bytes
+    }
+
+    // ---- durability -------------------------------------------------
+
+    /// Whether this store has an open durability layer.
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// The directory the store's segments live in, when durable.
+    pub fn wal_dir(&self) -> Option<&Path> {
+        self.wal.as_ref().map(|w| w.dir())
+    }
+
+    /// Attaches a durability layer: creates `dir` (manifest, base
+    /// segment, and empty store/shard segments, all fsync'd) and
+    /// returns the store with every subsequent [`apply`](Self::apply) /
+    /// [`compact`](Self::compact) / spill logged through it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any snapshot was already applied: the log must hold
+    /// the *whole* delta history, so durability attaches at the base.
+    pub fn persist_to(mut self, dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        assert!(
+            self.records.is_empty(),
+            "persist_to must be called before any delta is applied"
+        );
+        let manifest = encode_manifest_frame(&self);
+        let base_frames = encode_base_frames(&self.base);
+        self.wal = Some(StoreWal::create(
+            dir.as_ref(),
+            self.shards.len(),
+            &manifest,
+            &base_frames,
+        )?);
+        Ok(self)
+    }
+
+    /// Drops this store and re-opens it from its own directory — the
+    /// in-process equivalent of a crash-restart, used by the
+    /// kill-and-recover suites.
+    pub fn recover(self) -> Result<Self, StoreError> {
+        let Some(w) = &self.wal else {
+            return Err(StoreError::Io(std::io::Error::other(
+                "recover() requires a durable store (persist_to/open)",
+            )));
+        };
+        let dir = w.dir().to_path_buf();
+        drop(self);
+        Self::open(dir)
+    }
+
+    /// Re-opens a durable store from `dir` by replaying its segments.
+    ///
+    /// Recovery rebuilds everything — the vertex and shard delta
+    /// chains, checkpoints, spill flags, and the incremental
+    /// [`CurrentIndex`] — from the logs, truncating any torn tail or
+    /// uncommitted suffix (shard frames whose store-level commit frame
+    /// never hit the disk) so the result is exactly the newest
+    /// committed prefix.  Mid-log corruption is refused with a typed
+    /// [`StoreError`]; nothing panics on bad bytes.
+    ///
+    /// To make recovery O(post-checkpoint) rather than O(chain),
+    /// partition payloads strictly below a shard's newest checkpoint
+    /// stay *lazy* — their frame boundaries are header-verified and
+    /// their offsets recorded, but their payloads are neither
+    /// checksummed nor decoded at open: like spilled records, they
+    /// read through (and re-verify) only if a historical walk actually
+    /// reaches them.  The commit log (`store.seg`), manifest, and base
+    /// are always fully verified.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let dir = dir.as_ref();
+        // Manifest and base are write-once at persist time; a torn one
+        // means the store never durably existed.
+        let m = scan_segment(&wal::manifest_path(dir), SegmentId::Manifest)?;
+        if m.torn || m.frames.is_empty() {
+            return Err(StoreError::Truncated { segment: SegmentId::Manifest, len: m.clean_len });
+        }
+        let manifest = decode_manifest_frame(&m.frames[0])?;
+        let b = scan_segment(&wal::base_path(dir), SegmentId::Base)?;
+        if b.torn {
+            return Err(StoreError::Truncated { segment: SegmentId::Base, len: b.clean_len });
+        }
+        let base = decode_base_frames(&b.frames, &manifest)?;
+
+        // Appendable segments: scan (tolerating torn tails), parse
+        // frames into events, then reconcile the two levels into the
+        // newest committed prefix.  The store segment (commit log) is
+        // fully read and verified; shard segments stream header + frame
+        // metadata only, leaving partition payload bytes on disk until
+        // — unless — a frame decodes eagerly below, so recovery I/O
+        // tracks the post-checkpoint tail, not the chain.
+        let store_scan = scan_segment(&wal::store_path(dir), SegmentId::Store)?;
+        let mut shard_cursors: Vec<FrameCursor> = Vec::with_capacity(manifest.shards);
+        let mut shard_frames: Vec<Vec<FrameHead>> = Vec::with_capacity(manifest.shards);
+        let mut shard_events: Vec<Vec<ShardEvent>> = Vec::with_capacity(manifest.shards);
+        for s in 0..manifest.shards {
+            let seg = SegmentId::Shard(s as u32);
+            let (events, heads, cursor) = scan_shard_frames(&wal::shard_path(dir, s), seg)?;
+            shard_events.push(events);
+            shard_frames.push(heads);
+            shard_cursors.push(cursor);
+        }
+        let store_events: Vec<StoreEvent> = store_scan
+            .frames
+            .iter()
+            .enumerate()
+            .map(|(i, f)| parse_store_frame(i, f))
+            .collect::<Result<_, _>>()?;
+
+        // Store-level prefix cut: an event is kept only while it is
+        // consistent with everything kept before it AND with the shard
+        // records that actually survived.  The first inconsistent event
+        // starts the discarded crash suffix.
+        let avail: Vec<usize> = shard_events
+            .iter()
+            .map(|evs| evs.iter().filter(|e| e.cp_rec_idx.is_none()).count())
+            .collect();
+        let mut heads = vec![0usize; manifest.shards];
+        let mut last_ts = 0u64;
+        let mut kept_applies = 0usize;
+        let mut store_cut = wal::SEG_HEADER_LEN;
+        let mut spills: Vec<(u32, u64)> = Vec::new();
+        let mut vertex_cps: Vec<(usize, usize)> = Vec::new();
+        let mut records: Vec<SnapshotRecord> = Vec::new();
+        for ev in store_events {
+            match ev {
+                StoreEvent::Apply(rec, end) => {
+                    let consistent = rec.timestamp > last_ts
+                        && rec.shard_heads.len() == manifest.shards
+                        && rec
+                            .shard_heads
+                            .iter()
+                            .zip(&heads)
+                            .all(|(&new, &old)| new >= old)
+                        && rec.shard_heads.iter().zip(&avail).all(|(&h, &a)| h <= a);
+                    if !consistent {
+                        break;
+                    }
+                    last_ts = rec.timestamp;
+                    heads.copy_from_slice(&rec.shard_heads);
+                    records.push(*rec);
+                    kept_applies += 1;
+                    store_cut = end;
+                }
+                StoreEvent::VertexCp { rec_idx, frame, end } => {
+                    if kept_applies == 0 || rec_idx as usize != kept_applies - 1 {
+                        break;
+                    }
+                    vertex_cps.push((rec_idx as usize, frame));
+                    store_cut = end;
+                }
+                StoreEvent::Spill { shard, rec, end } => {
+                    if shard as usize >= manifest.shards || rec >= heads[shard as usize] as u64 {
+                        break;
+                    }
+                    spills.push((shard, rec));
+                    store_cut = end;
+                }
+            }
+        }
+
+        // Shard-level prefix cut: keep records up to the heads the
+        // committed applies reference, and checkpoints stamped on a
+        // kept record's chain position; everything after the first
+        // stray frame (an uncommitted apply's leftovers) is cut.
+        let mut shard_cuts = vec![wal::SEG_HEADER_LEN; manifest.shards];
+        let mut kept_shard_events: Vec<Vec<ShardEvent>> = Vec::with_capacity(manifest.shards);
+        for (s, events) in shard_events.into_iter().enumerate() {
+            let mut kept = Vec::with_capacity(events.len());
+            let mut recs_seen = 0usize;
+            for ev in events {
+                match ev.cp_rec_idx {
+                    None => {
+                        if recs_seen >= heads[s] {
+                            break;
+                        }
+                        recs_seen += 1;
+                    }
+                    Some(idx) => {
+                        if recs_seen == 0 || idx as usize != recs_seen - 1 {
+                            break;
+                        }
+                    }
+                }
+                shard_cuts[s] = ev.end;
+                kept.push(ev);
+            }
+            kept_shard_events.push(kept);
+        }
+
+        // The cuts are final: truncate the crash suffix now and attach
+        // the append/read handles (the eager decodes below read through
+        // them).
+        let wal = StoreWal::open_clean(dir.to_path_buf(), store_cut, &shard_cuts)?;
+
+        // Rebuild the shard chains.  Records at or after a shard's
+        // newest checkpoint (and that checkpoint itself) decode
+        // eagerly, deduplicated by (pid, version) so the recovered tail
+        // shares payload `Arc`s like the survivor did; everything older
+        // stays lazy.
+        let mut cache: HashMap<(PartitionId, VersionId), Arc<Partition>> = HashMap::new();
+        let mut shards: Vec<Arc<SnapshotShard>> = Vec::with_capacity(manifest.shards);
+        for (s, events) in kept_shard_events.iter().enumerate() {
+            let seg = SegmentId::Shard(s as u32);
+            let cursor = &mut shard_cursors[s];
+            let heads = &shard_frames[s];
+            let newest_cp: Option<usize> = events
+                .iter()
+                .rev()
+                .find_map(|e| e.cp_rec_idx.map(|i| i as usize));
+            let mut recs: Vec<ShardRecord> = Vec::new();
+            for (fi, ev) in events.iter().enumerate() {
+                let (slot_cp, eager) = match ev.cp_rec_idx {
+                    None => {
+                        let i = recs.len();
+                        (None, newest_cp.is_none_or(|c| i >= c))
+                    }
+                    Some(idx) => (Some(idx as usize), newest_cp == Some(idx as usize)),
+                };
+                // An eager frame's payload is pulled off disk (and its
+                // deferred CRC settled) exactly when its bytes are about
+                // to become state; lazy frames stay unread.
+                let payload: Option<Vec<u8>> = if eager {
+                    Some(cursor.read_payload(&heads[fi])?)
+                } else {
+                    None
+                };
+                let mut overrides: HashMap<PartitionId, PayloadCell> =
+                    HashMap::with_capacity(ev.parts.len());
+                for &(pid, offset, len) in &ev.parts {
+                    let loc = PayloadLoc { shard: s as u32, offset, len };
+                    let cell = if let Some(buf) = &payload {
+                        let ver = *ev.versions.get(&pid).ok_or(StoreError::Corruption {
+                            segment: seg,
+                            offset,
+                            detail: "shard frame payload without a version entry",
+                        })?;
+                        let arc = match cache.get(&(pid, ver)) {
+                            Some(a) => Arc::clone(a),
+                            None => {
+                                let rel = (offset - heads[fi].payload_offset) as usize;
+                                let mut r =
+                                    WireReader::new(&buf[rel..rel + len as usize], seg, offset);
+                                let a = Arc::new(Partition::decode(&mut r)?);
+                                cache.insert((pid, ver), Arc::clone(&a));
+                                a
+                            }
+                        };
+                        PayloadCell::resident_at(arc, loc)
+                    } else {
+                        PayloadCell::lazy(loc)
+                    };
+                    overrides.insert(pid, cell);
+                }
+                match slot_cp {
+                    None => recs.push(ShardRecord {
+                        overrides,
+                        versions: ev.versions.clone(),
+                        checkpoint: None,
+                        spilled: false,
+                    }),
+                    Some(idx) => {
+                        recs[idx].checkpoint =
+                            Some(ShardCheckpoint { overrides, versions: ev.versions.clone() });
+                    }
+                }
+            }
+            shards.push(Arc::new(SnapshotShard { records: recs }));
+        }
+
+        // Vertex level: materialize only the newest kept checkpoint —
+        // the one that seeds the current index.  Older checkpoints are
+        // walk-bounding representation, not state; decoding each
+        // cumulative map would make recovery O(checkpoints × vertices)
+        // again, so they stay CRC-verified-but-undecoded and vertex
+        // walks from old pinned views just run to the base.
+        if let Some(&(idx, frame)) = vertex_cps.last() {
+            records[idx].checkpoint = Some(decode_vertex_checkpoint(&store_scan.frames[frame])?);
+        }
+        let mut spilled_records = 0usize;
+        for (sh, rec) in spills {
+            let shard = Arc::make_mut(&mut shards[sh as usize]);
+            let r = &mut shard.records[rec as usize];
+            if !r.spilled {
+                r.spilled = true;
+                spilled_records += 1;
+            }
+            for c in r.overrides.values_mut() {
+                c.drop_resident();
+            }
+            if let Some(cp) = &mut r.checkpoint {
+                for c in cp.overrides.values_mut() {
+                    c.drop_resident();
+                }
+            }
+        }
+
+        // The current index: seed from the newest checkpoints, fold
+        // only the post-checkpoint records — O(post-checkpoint), the
+        // recovery speedup `bench_durability` gates.
+        let mut current = CurrentIndex::default();
+        let vertex_from = match records.iter().rposition(|r| r.checkpoint.is_some()) {
+            Some(i) => {
+                let cp = records[i].checkpoint.as_ref().expect("just found");
+                current.master = cp.master.clone();
+                current.replicas = cp.replicas.clone();
+                current.degree = cp.degree.clone();
+                i + 1
+            }
+            None => 0,
+        };
+        for rec in &records[vertex_from..] {
+            for (&v, &m) in &rec.master_delta {
+                current.master.insert(v, m);
+            }
+            for (&v, reps) in &rec.replica_delta {
+                current.replicas.insert(v, reps.clone());
+            }
+            for (&v, &d) in &rec.degree_delta {
+                current.degree.insert(v, d);
+            }
+        }
+        for shard in &shards {
+            let from = match shard.newest_checkpoint() {
+                Some(i) => {
+                    let cp = shard.records[i].checkpoint.as_ref().expect("just found");
+                    for (&pid, cell) in &cp.overrides {
+                        let arc = cell.get().expect("newest checkpoint decodes eagerly");
+                        current.parts.insert(pid, Arc::clone(arc));
+                    }
+                    for (&pid, &ver) in &cp.versions {
+                        current.versions.insert(pid, ver);
+                    }
+                    i + 1
+                }
+                None => 0,
+            };
+            for rec in &shard.records[from..] {
+                for (&pid, cell) in &rec.overrides {
+                    let arc = cell.get().expect("post-checkpoint records decode eagerly");
+                    current.parts.insert(pid, Arc::clone(arc));
+                }
+                for (&pid, &ver) in &rec.versions {
+                    current.versions.insert(pid, ver);
+                }
+            }
+        }
+
+        Ok(ShardedSnapshotStore {
+            base,
+            shards,
+            placement: manifest.placement,
+            records,
+            current,
+            compaction: manifest.compaction,
+            capacity: manifest.capacity,
+            apply_workers: 1,
+            apply_edges_per_worker: DEFAULT_APPLY_EDGES_PER_WORKER,
+            spilled_records,
+            wal: Some(wal),
+        })
     }
 
     /// A view of the newest snapshot.
@@ -1485,6 +2130,451 @@ impl ShardedSnapshotStore {
         let idx = self.records.partition_point(|r| r.timestamp <= ts);
         GraphView { store: Arc::clone(self), record: idx.checked_sub(1) }
     }
+}
+
+// ---------------------------------------------------------------------
+// Durable frame codec.
+//
+// Every map is serialized sorted by key, and `apply` stages shards in
+// ascending id with their partitions sorted by pid, so the byte stream
+// for a given store history is fully deterministic — which is what lets
+// the kill-and-recover suites compare a recovered store against the
+// survivor structurally.
+// ---------------------------------------------------------------------
+
+/// The decoded `MANIFEST`: the configuration a durable store directory
+/// was created with.
+struct Manifest {
+    shards: usize,
+    num_partitions: usize,
+    compaction: CompactionPolicy,
+    capacity: ShardCapacity,
+    placement: ShardPlacement,
+}
+
+fn encode_manifest_frame(store: &ShardedSnapshotStore) -> Vec<u8> {
+    let mut out = vec![wal::K_MANIFEST];
+    wal::put_u32(&mut out, store.shards.len() as u32);
+    wal::put_u32(&mut out, store.base.num_partitions() as u32);
+    match store.compaction {
+        CompactionPolicy::Off => {
+            wal::put_u8(&mut out, 0);
+            wal::put_u64(&mut out, 0);
+        }
+        CompactionPolicy::EveryK(k) => {
+            wal::put_u8(&mut out, 1);
+            wal::put_u64(&mut out, k as u64);
+        }
+    }
+    wal::put_u64(&mut out, store.capacity.max_resident_bytes);
+    match &store.placement {
+        ShardPlacement::RoundRobin => wal::put_u8(&mut out, 0),
+        ShardPlacement::Hash => wal::put_u8(&mut out, 1),
+        ShardPlacement::Locality(table) => {
+            wal::put_u8(&mut out, 2);
+            wal::put_u32(&mut out, table.len() as u32);
+            for &s in table.iter() {
+                wal::put_u32(&mut out, s);
+            }
+        }
+    }
+    out
+}
+
+fn decode_manifest_frame(f: &Frame) -> Result<Manifest, StoreError> {
+    let mut r = f.body(SegmentId::Manifest);
+    if f.kind() != wal::K_MANIFEST {
+        return Err(r.corrupt("expected a manifest frame"));
+    }
+    let shards = r.u32()? as usize;
+    let num_partitions = r.u32()? as usize;
+    let compaction = match r.u8()? {
+        0 => {
+            r.u64()?;
+            CompactionPolicy::Off
+        }
+        1 => CompactionPolicy::EveryK(r.u64()? as usize),
+        _ => return Err(r.corrupt("unknown compaction policy tag")),
+    };
+    let capacity = ShardCapacity { max_resident_bytes: r.u64()? };
+    let placement = match r.u8()? {
+        0 => ShardPlacement::RoundRobin,
+        1 => ShardPlacement::Hash,
+        2 => {
+            let n = r.len(4)?;
+            let mut table = Vec::with_capacity(n);
+            for _ in 0..n {
+                table.push(r.u32()?);
+            }
+            ShardPlacement::Locality(table.into())
+        }
+        _ => return Err(r.corrupt("unknown placement tag")),
+    };
+    if shards == 0 || r.remaining() != 0 {
+        return Err(r.corrupt("malformed manifest"));
+    }
+    Ok(Manifest { shards, num_partitions, compaction, capacity, placement })
+}
+
+/// The base partition set as write-once frames: one meta frame (the
+/// replica tables) followed by one frame per partition, in id order.
+fn encode_base_frames(base: &PartitionSet) -> Vec<Vec<u8>> {
+    let mut frames = Vec::with_capacity(1 + base.num_partitions());
+    let mut meta = vec![wal::K_BASE_META];
+    base.encode_meta(&mut meta);
+    frames.push(meta);
+    for pid in 0..base.num_partitions() as PartitionId {
+        let mut f = vec![wal::K_BASE_PART];
+        base.partition(pid).encode(&mut f);
+        frames.push(f);
+    }
+    frames
+}
+
+fn decode_base_frames(frames: &[Frame], manifest: &Manifest) -> Result<PartitionSet, StoreError> {
+    let expect = 1 + manifest.num_partitions;
+    if frames.len() != expect {
+        return Err(StoreError::Corruption {
+            segment: SegmentId::Base,
+            offset: frames.last().map_or(wal::SEG_HEADER_LEN, |f| f.end_offset),
+            detail: "base segment frame count disagrees with the manifest",
+        });
+    }
+    let mut parts = Vec::with_capacity(manifest.num_partitions);
+    for f in &frames[1..] {
+        let mut r = f.body(SegmentId::Base);
+        if f.kind() != wal::K_BASE_PART {
+            return Err(r.corrupt("expected a base partition frame"));
+        }
+        parts.push(Arc::new(Partition::decode(&mut r)?));
+    }
+    let mut r = frames[0].body(SegmentId::Base);
+    if frames[0].kind() != wal::K_BASE_META {
+        return Err(r.corrupt("expected the base meta frame"));
+    }
+    PartitionSet::decode_meta(&mut r, parts)
+}
+
+// Sorted-map wire helpers (see the section comment: deterministic byte
+// streams require a fixed entry order).
+
+fn put_master_map(out: &mut Vec<u8>, m: &HashMap<VertexId, PartitionId>) {
+    let mut entries: Vec<(VertexId, PartitionId)> = m.iter().map(|(&k, &v)| (k, v)).collect();
+    entries.sort_unstable();
+    wal::put_u32(out, entries.len() as u32);
+    for (v, p) in entries {
+        wal::put_u32(out, v);
+        wal::put_u32(out, p);
+    }
+}
+
+fn read_master_map(r: &mut WireReader<'_>) -> Result<HashMap<VertexId, PartitionId>, StoreError> {
+    let n = r.len(8)?;
+    let mut m = HashMap::with_capacity(n);
+    for _ in 0..n {
+        let v = r.u32()?;
+        let p = r.u32()?;
+        m.insert(v, p);
+    }
+    Ok(m)
+}
+
+fn put_replica_map(out: &mut Vec<u8>, m: &HashMap<VertexId, Vec<PartitionId>>) {
+    let mut entries: Vec<(VertexId, &Vec<PartitionId>)> = m.iter().map(|(&k, v)| (k, v)).collect();
+    entries.sort_unstable_by_key(|&(v, _)| v);
+    wal::put_u32(out, entries.len() as u32);
+    for (v, reps) in entries {
+        wal::put_u32(out, v);
+        wal::put_u32(out, reps.len() as u32);
+        for &p in reps {
+            wal::put_u32(out, p);
+        }
+    }
+}
+
+fn read_replica_map(
+    r: &mut WireReader<'_>,
+) -> Result<HashMap<VertexId, Vec<PartitionId>>, StoreError> {
+    let n = r.len(8)?;
+    let mut m = HashMap::with_capacity(n);
+    for _ in 0..n {
+        let v = r.u32()?;
+        let k = r.len(4)?;
+        let mut reps = Vec::with_capacity(k);
+        for _ in 0..k {
+            reps.push(r.u32()?);
+        }
+        m.insert(v, reps);
+    }
+    Ok(m)
+}
+
+fn put_degree_map(out: &mut Vec<u8>, m: &HashMap<VertexId, (u32, u32)>) {
+    let mut entries: Vec<(VertexId, (u32, u32))> = m.iter().map(|(&k, &v)| (k, v)).collect();
+    entries.sort_unstable_by_key(|&(v, _)| v);
+    wal::put_u32(out, entries.len() as u32);
+    for (v, (o, i)) in entries {
+        wal::put_u32(out, v);
+        wal::put_u32(out, o);
+        wal::put_u32(out, i);
+    }
+}
+
+fn read_degree_map(r: &mut WireReader<'_>) -> Result<HashMap<VertexId, (u32, u32)>, StoreError> {
+    let n = r.len(12)?;
+    let mut m = HashMap::with_capacity(n);
+    for _ in 0..n {
+        let v = r.u32()?;
+        let o = r.u32()?;
+        let i = r.u32()?;
+        m.insert(v, (o, i));
+    }
+    Ok(m)
+}
+
+fn put_version_map(out: &mut Vec<u8>, m: &HashMap<PartitionId, VersionId>) {
+    let mut entries: Vec<(PartitionId, VersionId)> = m.iter().map(|(&k, &v)| (k, v)).collect();
+    entries.sort_unstable();
+    wal::put_u32(out, entries.len() as u32);
+    for (p, v) in entries {
+        wal::put_u32(out, p);
+        wal::put_u32(out, v);
+    }
+}
+
+/// The store-level commit frame for one apply: the vertex deltas plus
+/// the shard heads this snapshot sees.  Once this frame is durable the
+/// shard records it references are committed (they were synced first).
+fn encode_apply_frame(rec: &SnapshotRecord) -> Vec<u8> {
+    let mut out = vec![wal::K_APPLY];
+    wal::put_u64(&mut out, rec.timestamp);
+    wal::put_u32(&mut out, rec.shard_heads.len() as u32);
+    for &h in &rec.shard_heads {
+        wal::put_u64(&mut out, h as u64);
+    }
+    put_master_map(&mut out, &rec.master_delta);
+    put_replica_map(&mut out, &rec.replica_delta);
+    put_degree_map(&mut out, &rec.degree_delta);
+    out
+}
+
+fn encode_vertex_cp_frame(rec_idx: u64, cp: &VertexCheckpoint) -> Vec<u8> {
+    let mut out = vec![wal::K_VERTEX_CP];
+    wal::put_u64(&mut out, rec_idx);
+    put_master_map(&mut out, &cp.master);
+    put_replica_map(&mut out, &cp.replicas);
+    put_degree_map(&mut out, &cp.degree);
+    out
+}
+
+fn encode_spill_frame(shard: u32, rec: u64) -> Vec<u8> {
+    let mut out = vec![wal::K_SPILL];
+    wal::put_u32(&mut out, shard);
+    wal::put_u64(&mut out, rec);
+    out
+}
+
+/// Encodes one shard frame (a record's overrides, or a checkpoint's
+/// cumulative state): the version map, then each partition blob.
+/// Returns the payload plus one `(offset, len)` span per entry of
+/// `arcs` (offsets relative to the payload start), which `apply` /
+/// `compact` turn into [`PayloadLoc`]s once the frame's disk position
+/// is known.
+fn encode_shard_frame(
+    kind: u8,
+    rec_idx: Option<u64>,
+    versions: &HashMap<PartitionId, VersionId>,
+    arcs: &[(PartitionId, Arc<Partition>, VersionId)],
+) -> (Vec<u8>, Vec<(u32, u32)>) {
+    let mut out = vec![kind];
+    if let Some(idx) = rec_idx {
+        wal::put_u64(&mut out, idx);
+    }
+    put_version_map(&mut out, versions);
+    wal::put_u32(&mut out, arcs.len() as u32);
+    let mut spans = Vec::with_capacity(arcs.len());
+    for (pid, part, _) in arcs {
+        wal::put_u32(&mut out, *pid);
+        let len_at = out.len();
+        wal::put_u32(&mut out, 0); // blob length, patched below
+        let start = out.len();
+        part.encode(&mut out);
+        let blob = (out.len() - start) as u32;
+        out[len_at..len_at + 4].copy_from_slice(&blob.to_le_bytes());
+        spans.push((start as u32, blob));
+    }
+    (out, spans)
+}
+
+// ---------------------------------------------------------------------
+// Recovery-side frame parsers.
+// ---------------------------------------------------------------------
+
+/// One parsed store-segment frame (`end` = segment offset one past the
+/// frame, the truncation point if the prefix cut lands here).
+enum StoreEvent {
+    Apply(Box<SnapshotRecord>, u64),
+    VertexCp {
+        rec_idx: u64,
+        frame: usize,
+        end: u64,
+    },
+    Spill {
+        shard: u32,
+        rec: u64,
+        end: u64,
+    },
+}
+
+fn parse_store_frame(frame: usize, f: &Frame) -> Result<StoreEvent, StoreError> {
+    let mut r = f.body(SegmentId::Store);
+    let ev = match f.kind() {
+        wal::K_APPLY => {
+            let timestamp = r.u64()?;
+            let n = r.len(8)?;
+            let mut shard_heads = Vec::with_capacity(n);
+            for _ in 0..n {
+                shard_heads.push(r.u64()? as usize);
+            }
+            let master_delta = read_master_map(&mut r)?;
+            let replica_delta = read_replica_map(&mut r)?;
+            let degree_delta = read_degree_map(&mut r)?;
+            StoreEvent::Apply(
+                Box::new(SnapshotRecord {
+                    timestamp,
+                    shard_heads,
+                    master_delta,
+                    replica_delta,
+                    degree_delta,
+                    checkpoint: None,
+                }),
+                f.end_offset,
+            )
+        }
+        wal::K_VERTEX_CP => {
+            // Only the stamp target is read here; the cumulative maps
+            // stay undecoded until [`decode_vertex_checkpoint`] — and
+            // only the newest kept checkpoint ever is.
+            let rec_idx = r.u64()?;
+            return Ok(StoreEvent::VertexCp { rec_idx, frame, end: f.end_offset });
+        }
+        wal::K_SPILL => {
+            let shard = r.u32()?;
+            let rec = r.u64()?;
+            StoreEvent::Spill { shard, rec, end: f.end_offset }
+        }
+        _ => return Err(r.corrupt("unknown store frame kind")),
+    };
+    if r.remaining() != 0 {
+        return Err(r.corrupt("trailing bytes after store frame body"));
+    }
+    Ok(ev)
+}
+
+/// Decodes the cumulative vertex state out of a `K_VERTEX_CP` frame.
+/// Recovery calls this for the newest kept checkpoint only: older
+/// checkpoints are pure walk-bounding representation, so their
+/// CRC-verified payloads are dropped undecoded (a walk that would have
+/// stopped at one simply continues to the base — same answers, longer
+/// walk, exactly the [`CompactionPolicy`] transparency contract).
+fn decode_vertex_checkpoint(f: &Frame) -> Result<VertexCheckpoint, StoreError> {
+    let mut r = f.body(SegmentId::Store);
+    let _rec_idx = r.u64()?;
+    let cp = VertexCheckpoint {
+        master: read_master_map(&mut r)?,
+        replicas: read_replica_map(&mut r)?,
+        degree: read_degree_map(&mut r)?,
+    };
+    if r.remaining() != 0 {
+        return Err(r.corrupt("trailing bytes after store frame body"));
+    }
+    Ok(cp)
+}
+
+/// One parsed shard-segment frame: a chain record (`cp_rec_idx` =
+/// `None`) or a checkpoint stamped onto record `cp_rec_idx`.  Partition
+/// payloads are *not* decoded here — only their absolute segment spans,
+/// so recovery can leave cold ones lazy.
+struct ShardEvent {
+    cp_rec_idx: Option<u64>,
+    versions: HashMap<PartitionId, VersionId>,
+    /// `(pid, absolute segment offset, len)` per partition blob.
+    parts: Vec<(PartitionId, u64, u32)>,
+    /// Segment offset one past the frame.
+    end: u64,
+}
+
+/// Streams every frame of a shard segment into events, reading only
+/// frame headers and metadata — kind, version map, and the partition
+/// (pid, offset, length) table — while seeking past the partition
+/// payload bytes themselves.  Field reads are bounds-checked against
+/// the header-vouched frame length, so malformed metadata surfaces as
+/// typed corruption; payload bit rot is caught by
+/// [`FrameCursor::read_payload`] when (and only when) a frame decodes
+/// eagerly, or at read-through for payloads kept lazy.  Returns the
+/// cursor alongside the events so recovery can pull eager payloads
+/// through the same handle.
+fn scan_shard_frames(
+    path: &Path,
+    seg: SegmentId,
+) -> Result<(Vec<ShardEvent>, Vec<FrameHead>, FrameCursor), StoreError> {
+    fn bounded(cur: &FrameCursor, end: u64, need: u64) -> Result<(), StoreError> {
+        if cur.pos() + need > end {
+            return Err(cur.corrupt_at(cur.pos(), "payload shorter than its encoding claims"));
+        }
+        Ok(())
+    }
+    fn bounded_len(cur: &mut FrameCursor, end: u64, min_elem: u64) -> Result<usize, StoreError> {
+        bounded(cur, end, 4)?;
+        let n = cur.u32()? as u64;
+        if n.saturating_mul(min_elem.max(1)) > end - cur.pos() {
+            return Err(cur.corrupt_at(cur.pos(), "length field exceeds remaining payload"));
+        }
+        Ok(n as usize)
+    }
+    let mut cur = FrameCursor::open(path, seg)?;
+    let mut events = Vec::new();
+    let mut heads = Vec::new();
+    while let Some(head) = cur.next_frame()? {
+        let end = head.end_offset;
+        if head.payload_len == 0 {
+            return Err(cur.corrupt_at(head.payload_offset, "empty shard frame payload"));
+        }
+        let cp_rec_idx = match cur.u8()? {
+            wal::K_SHARD_REC => None,
+            wal::K_SHARD_CP => {
+                bounded(&cur, end, 8)?;
+                Some(cur.u64()?)
+            }
+            _ => return Err(cur.corrupt_at(head.payload_offset, "unknown shard frame kind")),
+        };
+        let vn = bounded_len(&mut cur, end, 8)?;
+        let mut versions = HashMap::with_capacity(vn);
+        for _ in 0..vn {
+            let p = cur.u32()?;
+            let v = cur.u32()?;
+            versions.insert(p, v);
+        }
+        let n = bounded_len(&mut cur, end, 8)?;
+        let mut parts = Vec::with_capacity(n);
+        for _ in 0..n {
+            bounded(&cur, end, 8)?;
+            let pid = cur.u32()?;
+            let len = cur.u32()?;
+            let at = cur.pos();
+            if at + len as u64 > end {
+                return Err(cur.corrupt_at(at, "payload shorter than its encoding claims"));
+            }
+            cur.skip(len as u64)?;
+            parts.push((pid, at, len));
+        }
+        if cur.pos() != end {
+            return Err(cur.corrupt_at(cur.pos(), "trailing bytes after shard frame body"));
+        }
+        events.push(ShardEvent { cp_rec_idx, versions, parts, end });
+        heads.push(head);
+    }
+    Ok((events, heads, cur))
 }
 
 /// A consistent, immutable view of the graph at one snapshot.
@@ -1673,7 +2763,7 @@ mod tests {
     fn missing_removal_is_an_error() {
         let mut s = store_mut();
         let err = s.apply(1, &GraphDelta::removing([(0, 5)])).unwrap_err();
-        assert_eq!(err, SnapshotError::EdgeNotFound(0, 5));
+        assert_eq!(err, StoreError::Snapshot(SnapshotError::EdgeNotFound(0, 5)));
         assert_eq!(s.num_snapshots(), 0);
     }
 
@@ -1683,7 +2773,10 @@ mod tests {
         let err = s
             .apply(1, &GraphDelta::adding([Edge::unit(0, 99)]))
             .unwrap_err();
-        assert_eq!(err, SnapshotError::VertexOutOfRange(99));
+        assert_eq!(
+            err,
+            StoreError::Snapshot(SnapshotError::VertexOutOfRange(99))
+        );
     }
 
     #[test]
@@ -1693,7 +2786,10 @@ mod tests {
         let err = s
             .apply(5, &GraphDelta::adding([Edge::unit(0, 3)]))
             .unwrap_err();
-        assert!(matches!(err, SnapshotError::NonMonotonicTimestamp { .. }));
+        assert!(matches!(
+            err,
+            StoreError::Snapshot(SnapshotError::NonMonotonicTimestamp { .. })
+        ));
     }
 
     #[test]
@@ -1983,7 +3079,7 @@ mod tests {
                 s.apply((i as u64 + 1) * 10, d).unwrap();
             }
             if post_hoc {
-                s.compact();
+                s.compact().unwrap();
             }
             Arc::new(s)
         };
@@ -2044,9 +3140,9 @@ mod tests {
         assert_eq!(run(CompactionPolicy::EveryK(1)).num_checkpoints(), 6);
 
         let mut s = run(CompactionPolicy::Off);
-        s.compact();
+        s.compact().unwrap();
         assert_eq!(s.num_checkpoints(), 1);
-        s.compact();
+        s.compact().unwrap();
         assert_eq!(s.num_checkpoints(), 1, "compact() is idempotent");
         assert!(s.shard(0).num_checkpoints() >= 1);
     }

@@ -222,7 +222,7 @@ proptest! {
                 s.apply(*ts, d).unwrap();
             }
             if post_hoc {
-                s.compact();
+                s.compact().unwrap();
             }
             std::sync::Arc::new(s)
         };

@@ -434,3 +434,104 @@ fn placement_serves_identically() {
         );
     }
 }
+
+/// A killed serving loop resumes mid-trace through its completion
+/// journal: re-offering the same trace skips every job a previous
+/// incarnation genuinely finished (zero re-runs, zero double-charged
+/// engine work), replays a torn journal tail safely, and the combined
+/// report covers the whole trace exactly once.
+#[test]
+fn killed_serve_loop_resumes_without_rerunning_finished_jobs() {
+    use cgraph::graph::wal::fault;
+
+    let st = store();
+    let tr = trace();
+    let dir = std::env::temp_dir().join(format!("cgraph-serve-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("journal.seg");
+    let cfg = ServeConfig { admission_window: 0.0, time_scale: 1.0 };
+
+    // Reference: one uninterrupted serve, no journal.
+    let (full, _) = serve(&st, &tr, 0.0);
+
+    // A journal over a fresh file must not perturb serving at all.
+    {
+        let probe = dir.join("probe.seg");
+        let engine = Engine::new(Arc::clone(&st), EngineConfig::default());
+        let mut sl = ServeLoop::with_journal(engine, cfg, &probe).unwrap();
+        sl.offer_all(trace_arrivals(&tr, SPH, 64));
+        let report = sl.serve();
+        assert!(sl.journal_error().is_none());
+        assert_eq!(sl.resumed(), 0);
+        assert_eq!(report, full, "journaling must be invisible to the schedule");
+    }
+
+    // Incarnation 1: the load valve kills the loop mid-trace.
+    let engine = Engine::new(
+        Arc::clone(&st),
+        EngineConfig { max_loads: full.loads / 2, ..EngineConfig::default() },
+    );
+    let mut sl = ServeLoop::with_journal(engine, cfg, &path).unwrap();
+    sl.offer_all(trace_arrivals(&tr, SPH, 64));
+    let first = sl.serve();
+    assert!(!first.completed, "the valve must truncate this serve");
+    assert!(sl.journal_error().is_none());
+    drop(sl);
+
+    // The kill may land mid-append: chop into the journal's last frame.
+    // The torn tail must be truncated away on reopen — that one job
+    // simply re-runs (it was never acknowledged durable).
+    let len = fault::file_len(&path).unwrap();
+    fault::truncate_at(&path, len - 3).unwrap();
+
+    // Incarnation 2: fresh engine, same journal, same trace re-offered.
+    let engine = Engine::new(Arc::clone(&st), EngineConfig::default());
+    let mut sl = ServeLoop::with_journal(engine, cfg, &path).unwrap();
+    sl.offer_all(trace_arrivals(&tr, SPH, 64));
+    let resumed = sl.resumed() as usize;
+    assert!(
+        resumed > 0 && resumed < tr.len(),
+        "valve must land mid-trace (resumed {resumed} of {})",
+        tr.len()
+    );
+    let second = sl.serve();
+    assert!(second.completed, "restart must finish the trace");
+    assert!(sl.journal_error().is_none());
+    assert_eq!(
+        second.jobs.len(),
+        tr.len(),
+        "combined report covers the whole trace exactly once"
+    );
+    assert_eq!(
+        resumed + sl.engine().num_jobs(),
+        tr.len(),
+        "no journaled job may be resubmitted (double-charged) after restart"
+    );
+
+    // Every resumed lifecycle is reported verbatim from incarnation 1.
+    for replayed in &second.jobs[..resumed] {
+        assert!(
+            first.jobs.iter().any(|j| {
+                j.name == replayed.name
+                    && j.arrival == replayed.arrival
+                    && j.admitted == replayed.admitted
+                    && j.completed == replayed.completed
+            }),
+            "resumed job {replayed:?} must match a first-incarnation completion"
+        );
+    }
+
+    // Serving again over the finished journal is a pure replay: nothing
+    // admitted, nothing executed.
+    let engine = Engine::new(Arc::clone(&st), EngineConfig::default());
+    let mut sl = ServeLoop::with_journal(engine, cfg, &path).unwrap();
+    sl.offer_all(trace_arrivals(&tr, SPH, 64));
+    assert_eq!(sl.resumed() as usize, tr.len(), "whole trace journaled");
+    let third = sl.serve();
+    assert_eq!(third.jobs.len(), tr.len());
+    assert_eq!(sl.engine().num_jobs(), 0, "pure replay runs no engine work");
+    assert_eq!(third.loads, 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
