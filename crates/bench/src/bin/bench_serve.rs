@@ -14,9 +14,10 @@
 use std::sync::Arc;
 
 use cgraph_bench::{
-    hierarchy_for, partitions_for, print_table, serve_sweep, serve_sweep_json, serve_trace_stream,
-    Scale,
+    hierarchy_for, partitions_for, print_table, serve_sweep, serve_sweep_json,
+    serve_trace_observed, serve_trace_stream, Scale, WallGate,
 };
+use cgraph_core::Observer;
 use cgraph_graph::generate::Dataset;
 use cgraph_graph::snapshot::SnapshotStore;
 use cgraph_trace::{generate_trace, TraceConfig};
@@ -69,6 +70,7 @@ fn main() {
                 format!("w={:.2}ms k={}", p.admission_window * 1e3, p.wavefront),
                 p.jobs.to_string(),
                 format!("{:.1}", p.throughput),
+                fmt_s(p.mean_wait),
                 fmt_s(p.mean_latency),
                 fmt_s(p.p99_latency),
                 p.loads.to_string(),
@@ -80,6 +82,7 @@ fn main() {
         "stream-fifo".to_string(),
         stream.jobs.len().to_string(),
         format!("{:.1}", stream.throughput()),
+        fmt_s(stream.mean_wait()),
         fmt_s(stream.mean_latency()),
         fmt_s(stream.latency_percentile(99.0)),
         stream.loads.to_string(),
@@ -94,6 +97,7 @@ fn main() {
             "config",
             "jobs",
             "jobs/s",
+            "mean wait ms",
             "mean lat ms",
             "p99 lat ms",
             "loads",
@@ -125,7 +129,62 @@ fn main() {
         fifo.p99_latency * 1e3,
     );
 
-    let json = serve_sweep_json(ds.name(), scale.shrink, &points);
+    // Tracing overhead: the same serve run with a live Observer must
+    // produce bit-identical results (asserted unconditionally) and stay
+    // within 5% wall overhead (gated like the executor speedup gates —
+    // enforced only on >=4-core hosts at default scale or larger, but
+    // always recorded in the JSON `gates` rows).
+    let best_serve = |observer: fn() -> Option<Arc<Observer>>| {
+        let mut best = f64::INFINITY;
+        let mut report = None;
+        for _ in 0..3 {
+            let start = std::time::Instant::now();
+            let r =
+                serve_trace_observed(&store, 2, h, &trace, SECONDS_PER_HOUR, 0.01, 4, observer());
+            best = best.min(start.elapsed().as_secs_f64());
+            report = Some(r);
+        }
+        (report.expect("three reps ran"), best)
+    };
+    let (plain, plain_wall) = best_serve(|| None);
+    let (traced, traced_wall) = best_serve(|| Some(Observer::enabled()));
+    assert_eq!(plain.loads, traced.loads, "tracing must not change loads");
+    assert_eq!(
+        plain.rounds, traced.rounds,
+        "tracing must not change rounds"
+    );
+    assert_eq!(
+        plain.modeled_seconds.to_bits(),
+        traced.modeled_seconds.to_bits(),
+        "tracing must not perturb modeled time"
+    );
+    assert_eq!(
+        plain.per_job(),
+        traced.per_job(),
+        "tracing must not change per-job rows"
+    );
+    let ratio = plain_wall / traced_wall.max(1e-9);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "\ntracing overhead: untraced {:.1} ms vs traced {:.1} ms (ratio {:.3}, results identical)",
+        plain_wall * 1e3,
+        traced_wall * 1e3,
+        ratio
+    );
+    let gate = WallGate::resolve("tracing-overhead", 0.95, ratio, cores, scale.shrink <= 5);
+    if gate.enforced() {
+        assert!(
+            ratio >= 0.95,
+            "tracing must cost <=5% wall overhead on the serve loop, got ratio {ratio:.3}"
+        );
+    } else {
+        println!(
+            "(tracing gate {}: {cores} core(s), shrink {})",
+            gate.status, scale.shrink
+        );
+    }
+
+    let json = serve_sweep_json(ds.name(), scale.shrink, &points, &[gate]);
     std::fs::write(&out_path, json).expect("write BENCH_serve.json");
     println!("wrote {out_path}");
 }

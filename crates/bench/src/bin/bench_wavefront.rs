@@ -32,10 +32,10 @@ use std::sync::Arc;
 
 use cgraph_algos::PageRank;
 use cgraph_bench::{
-    out_of_core_hierarchy, paper_mix, partitions_for, print_table, run_wavefront_placed,
-    wavefront_sweep, wavefront_sweep_json, Scale, WallGate,
+    out_of_core_hierarchy, paper_mix, partitions_for, print_table, run_wavefront_observed,
+    run_wavefront_placed, wavefront_sweep, wavefront_sweep_json, Scale, WallGate,
 };
-use cgraph_core::{Engine, EngineConfig};
+use cgraph_core::{Engine, EngineConfig, Observer};
 use cgraph_graph::generate::Dataset;
 use cgraph_graph::snapshot::{ShardPlacement, SnapshotStore};
 use cgraph_memsim::HierarchyConfig;
@@ -304,9 +304,69 @@ fn main() {
         );
     }
 
+    // --- tracing-overhead gate: a live Observer must be results-neutral
+    // and cost <=5% wall at the same k=4 s=4 d=2 concurrent config ---
+    let best_observed = |observer: fn() -> Option<Arc<Observer>>| {
+        let mut best = f64::INFINITY;
+        let mut last = None;
+        for _ in 0..3 {
+            let start = std::time::Instant::now();
+            let report = run_wavefront_observed(
+                &store,
+                4,
+                h,
+                4,
+                4,
+                2,
+                2,
+                ShardPlacement::RoundRobin,
+                &paper_mix(),
+                observer(),
+            );
+            best = best.min(start.elapsed().as_secs_f64());
+            assert!(report.completed, "tracing gate run must converge");
+            last = Some(report);
+        }
+        (best, last.expect("three reps ran"))
+    };
+    let (plain_wall, plain_report) = best_observed(|| None);
+    let (traced_wall, traced_report) = best_observed(|| Some(Observer::enabled()));
+    assert_eq!(
+        plain_report.loads, traced_report.loads,
+        "tracing must not change loads"
+    );
+    assert_eq!(
+        plain_report.metrics, traced_report.metrics,
+        "tracing must not change metrics"
+    );
+    assert_eq!(
+        plain_report.modeled_seconds.to_bits(),
+        traced_report.modeled_seconds.to_bits(),
+        "tracing must not perturb modeled time"
+    );
+    let ratio = plain_wall / traced_wall.max(1e-9);
+    println!(
+        "\ntracing overhead at k=4 s=4 d=2 io=2: untraced {:.1} ms vs traced {:.1} ms \
+         (ratio {ratio:.3}, results identical)",
+        plain_wall * 1e3,
+        traced_wall * 1e3
+    );
+    let trace_gate = WallGate::resolve("tracing-overhead", 0.95, ratio, cores, scale.shrink <= 5);
+    if trace_gate.enforced() {
+        assert!(
+            ratio >= 0.95,
+            "tracing must cost <=5% wall overhead at default scale, got ratio {ratio:.3}"
+        );
+    } else {
+        println!(
+            "(tracing gate {}: {cores} core(s), shrink {})",
+            trace_gate.status, scale.shrink
+        );
+    }
+
     steady_state_alloc_smoke(&store, h, 64 * 1024);
 
-    let json = wavefront_sweep_json(ds.name(), scale.shrink, &points, &[gate]);
+    let json = wavefront_sweep_json(ds.name(), scale.shrink, &points, &[gate, trace_gate]);
     std::fs::write(&out_path, json).expect("write BENCH_wavefront.json");
     println!("wrote {out_path}");
 }

@@ -14,7 +14,8 @@ use std::sync::Arc;
 use cgraph_algos::{trace_arrivals, Bfs, PageRank, SccDriver, Sssp};
 use cgraph_baselines::{BaselinePreset, FifoServe, StreamConfig, StreamEngine};
 use cgraph_core::{
-    Engine, EngineConfig, JobEngine, JobId, SchedulerKind, ServeConfig, ServeLoop, ServeReport,
+    Engine, EngineConfig, JobEngine, JobId, Observer, SchedulerKind, ServeConfig, ServeLoop,
+    ServeReport,
 };
 use cgraph_graph::generate::Dataset;
 use cgraph_graph::snapshot::{CompactionPolicy, GraphDelta, SnapshotStore};
@@ -330,6 +331,28 @@ pub fn run_wavefront_placed(
     placement: ShardPlacement,
     mix: &[(BenchmarkJob, u64)],
 ) -> cgraph_core::RunReport {
+    run_wavefront_observed(
+        store, workers, hierarchy, width, shards, depth, io_workers, placement, mix, None,
+    )
+}
+
+/// [`run_wavefront_placed`] under an explicit observer (`Some` = tracing
+/// and metrics live) — the traced half of the tracing-overhead gate.
+/// `None` is exactly [`run_wavefront_placed`]: the engine resolves it to
+/// the disabled observer.
+#[allow(clippy::too_many_arguments)]
+pub fn run_wavefront_observed(
+    store: &Arc<SnapshotStore>,
+    workers: usize,
+    hierarchy: HierarchyConfig,
+    width: usize,
+    shards: usize,
+    depth: usize,
+    io_workers: usize,
+    placement: ShardPlacement,
+    mix: &[(BenchmarkJob, u64)],
+    observer: Option<Arc<Observer>>,
+) -> cgraph_core::RunReport {
     let mut engine = Engine::new(
         Arc::clone(store),
         EngineConfig {
@@ -340,6 +363,7 @@ pub fn run_wavefront_placed(
             placement,
             prefetch_depth: depth,
             io_workers,
+            observer,
             ..EngineConfig::default()
         },
     );
@@ -549,9 +573,35 @@ pub fn serve_trace(
     window: f64,
     width: usize,
 ) -> ServeReport {
+    serve_trace_observed(
+        store,
+        workers,
+        hierarchy,
+        trace,
+        seconds_per_hour,
+        window,
+        width,
+        None,
+    )
+}
+
+/// [`serve_trace`] under an explicit observer (`Some` = tracing and
+/// metrics live, covering the executor *and* the serve loop) — the
+/// traced half of the serving tracing-overhead gate.
+#[allow(clippy::too_many_arguments)]
+pub fn serve_trace_observed(
+    store: &Arc<SnapshotStore>,
+    workers: usize,
+    hierarchy: HierarchyConfig,
+    trace: &[JobSpan],
+    seconds_per_hour: f64,
+    window: f64,
+    width: usize,
+    observer: Option<Arc<Observer>>,
+) -> ServeReport {
     let engine = Engine::new(
         Arc::clone(store),
-        EngineConfig { workers, hierarchy, wavefront: width, ..EngineConfig::default() },
+        EngineConfig { workers, hierarchy, wavefront: width, observer, ..EngineConfig::default() },
     );
     let mut serve = ServeLoop::new(
         engine,
@@ -593,6 +643,8 @@ pub struct ServePoint {
     pub throughput: f64,
     /// Mean end-to-end latency (virtual seconds).
     pub mean_latency: f64,
+    /// Mean admission-queue wait (virtual seconds).
+    pub mean_wait: f64,
     /// 99th-percentile end-to-end latency.
     pub p99_latency: f64,
     /// Partition loads performed.
@@ -644,12 +696,23 @@ pub fn serve_sweep(
                 Some(f) if f > 0 => 1.0 - report.loads as f64 / f as f64,
                 _ => 0.0,
             };
+            // Per-job figures come off the report's `per_job()` rows —
+            // wait/latency pre-derived, no re-deriving from raw stamps.
+            let rows = report.per_job();
+            let mean_of = |f: fn(&cgraph_core::JobRow) -> f64| {
+                if rows.is_empty() {
+                    0.0
+                } else {
+                    rows.iter().map(f).sum::<f64>() / rows.len() as f64
+                }
+            };
             ServePoint {
                 admission_window: window,
                 wavefront: width,
-                jobs: report.jobs.len(),
+                jobs: rows.len(),
                 throughput: report.throughput(),
-                mean_latency: report.mean_latency(),
+                mean_latency: mean_of(|r| r.latency),
+                mean_wait: mean_of(|r| r.wait),
                 p99_latency: report.latency_percentile(99.0),
                 loads: report.loads,
                 spared_vs_fifo,
@@ -662,22 +725,34 @@ pub fn serve_sweep(
 /// Serializes a serving sweep as the machine-readable
 /// `BENCH_serve.json` tracked by CI (hand-rolled like
 /// [`wavefront_sweep_json`]: the workspace is offline, no serde).
-pub fn serve_sweep_json(dataset: &str, scale_shrink: u32, points: &[ServePoint]) -> String {
+/// `gates` carries the wall-gate rows (e.g. the tracing-overhead gate).
+pub fn serve_sweep_json(
+    dataset: &str,
+    scale_shrink: u32,
+    points: &[ServePoint],
+    gates: &[WallGate],
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str(&format!("  \"dataset\": \"{dataset}\",\n"));
     s.push_str(&format!("  \"scale_shrink\": {scale_shrink},\n"));
+    s.push_str(&format!(
+        "  \"cores\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
     s.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"admission_window\": {:.6}, \"wavefront\": {}, \"jobs\": {}, \
-             \"throughput\": {:.6}, \"mean_latency\": {:.6}, \"p99_latency\": {:.6}, \
+             \"throughput\": {:.6}, \"mean_latency\": {:.6}, \"mean_wait\": {:.6}, \
+             \"p99_latency\": {:.6}, \
              \"loads\": {}, \"spared_vs_fifo\": {:.6}, \"wall_ms\": {:.3}}}{}\n",
             p.admission_window,
             p.wavefront,
             p.jobs,
             p.throughput,
             p.mean_latency,
+            p.mean_wait,
             p.p99_latency,
             p.loads,
             p.spared_vs_fifo,
@@ -685,7 +760,9 @@ pub fn serve_sweep_json(dataset: &str, scale_shrink: u32, points: &[ServePoint])
             if i + 1 < points.len() { "," } else { "" }
         ));
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n");
+    s.push_str(&gates_json(gates));
+    s.push_str("\n}\n");
     s
 }
 

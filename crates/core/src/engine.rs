@@ -16,6 +16,7 @@ use crate::exec::ledger::JobTiming;
 use crate::exec::wavefront::RoundBuffers;
 use crate::exec::{ChargeLedger, PrefetchQueue, SlotPlanner};
 use crate::job::{JobId, JobRuntime, TypedJob};
+use crate::obs::{Observer, Recorder};
 use crate::program::VertexProgram;
 use crate::scheduler::{OrderScheduler, PriorityScheduler, Scheduler};
 
@@ -122,6 +123,15 @@ pub struct EngineConfig {
     /// hold at any value (the install loop never blocks on a full
     /// queue).
     pub channel_capacity: usize,
+    /// Tracing/metrics observer threaded through the executor
+    /// ([`crate::obs`]).  `None` (the default) resolves to
+    /// [`Observer::disabled`], so every instrumentation site reduces to
+    /// one branch on a permanently-off recorder.  Observation is
+    /// strictly read-only — it samples the wall clock and appends to
+    /// private rings, never feeding back into scheduling, charging, or
+    /// results — so enabling it changes no modeled figure and no
+    /// algorithm output (pinned by `tests/observability.rs`).
+    pub observer: Option<Arc<Observer>>,
 }
 
 impl Default for EngineConfig {
@@ -141,6 +151,7 @@ impl Default for EngineConfig {
             max_loads: u64::MAX,
             io_workers: 0,
             channel_capacity: 2,
+            observer: None,
         }
     }
 }
@@ -210,6 +221,14 @@ pub struct Engine {
     /// disconnected channel): the crew has been shut down gracefully and
     /// the engine refuses further rounds.  See [`Engine::exec_error`].
     pub(crate) fault: Option<ExecError>,
+    /// The resolved observer (the config's, or the shared disabled one).
+    pub(crate) obs: Arc<Observer>,
+    /// Main-thread event recorder: fetch-issue / reorder-wait / install
+    /// / push spans.  Permanently off unless the config carried an
+    /// enabled observer.
+    pub(crate) rec: Recorder,
+    /// Rounds executed so far — the round stamp on trace events.
+    pub(crate) round_no: u32,
 }
 
 impl Engine {
@@ -231,6 +250,8 @@ impl Engine {
         };
         let prefetch = PrefetchQueue::with_placement(lanes, config.prefetch_depth, placement);
         let ledger = ChargeLedger::new(config.hierarchy);
+        let obs = config.observer.clone().unwrap_or_else(Observer::disabled);
+        let rec = obs.recorder("main");
         Engine {
             config,
             store,
@@ -244,6 +265,9 @@ impl Engine {
             pipeline_seconds: 0.0,
             crew: None,
             fault: None,
+            obs,
+            rec,
+            round_no: 0,
         }
     }
 
@@ -262,6 +286,7 @@ impl Engine {
                     self.config.workers.max(1),
                     self.config.channel_capacity.max(1),
                     self.prefetch.depth() + 1,
+                    &self.obs,
                 )
             }
         }
@@ -360,6 +385,7 @@ impl Engine {
         let round_seconds = self.exec_round(&picks);
         self.pipeline_seconds += round_seconds;
         self.loads += picks.len() as u64;
+        self.round_no = self.round_no.wrapping_add(1);
     }
 
     /// Runs all submitted jobs to convergence (Alg. 3): `while
@@ -474,6 +500,11 @@ impl Engine {
     /// The engine configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The resolved observer: the config's, or the shared disabled one.
+    pub fn observer(&self) -> &Arc<Observer> {
+        &self.obs
     }
 
     /// The underlying snapshot store.

@@ -77,6 +77,7 @@ use std::time::Duration;
 use cgraph_graph::PartitionId;
 
 use crate::job::{JobRuntime, ProcessStats};
+use crate::obs::{EventKind, Observer, Recorder, NONE};
 
 /// A concurrent-executor failure: a worker thread died (panicked user
 /// code) or a channel it served disconnected.  Surfaced by
@@ -267,8 +268,17 @@ pub(crate) struct ExecCrew {
 impl ExecCrew {
     /// Spawns `nio` I/O workers and `compute` trigger workers over
     /// channels bounded at `capacity` messages, with a `window`-slot
-    /// fetch dispatch window.
-    pub(crate) fn spawn(nio: usize, compute: usize, capacity: usize, window: usize) -> Self {
+    /// fetch dispatch window.  Each worker receives its own
+    /// [`Recorder`] from `obs` (permanently off on a disabled
+    /// observer), created here on the spawning thread and moved into
+    /// the worker — recorders are single-writer by construction.
+    pub(crate) fn spawn(
+        nio: usize,
+        compute: usize,
+        capacity: usize,
+        window: usize,
+        obs: &Observer,
+    ) -> Self {
         let nio = nio.max(1);
         let compute = compute.max(1);
         let capacity = capacity.max(1);
@@ -280,10 +290,11 @@ impl ExecCrew {
             let (tx, rx) = std::sync::mpsc::sync_channel::<FetchMsg>(capacity);
             fetch_txs.push(tx);
             let done_tx = done_tx.clone();
+            let rec = obs.recorder(&format!("cgraph-io-{w}"));
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("cgraph-io-{w}"))
-                    .spawn(move || io_loop(rx, done_tx))
+                    .spawn(move || io_loop(rx, done_tx, rec))
                     .expect("spawn I/O worker"),
             );
         }
@@ -296,10 +307,11 @@ impl ExecCrew {
         for w in 0..compute {
             let queue = Arc::clone(&chunks);
             let state = Arc::clone(&round);
+            let rec = obs.recorder(&format!("cgraph-trigger-{w}"));
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("cgraph-trigger-{w}"))
-                    .spawn(move || compute_loop(queue, state))
+                    .spawn(move || compute_loop(queue, state, rec))
                     .expect("spawn trigger worker"),
             );
         }
@@ -318,6 +330,13 @@ impl ExecCrew {
     /// Fetch dispatch window in slots.
     pub(crate) fn window(&self) -> usize {
         self.window
+    }
+
+    /// Chunk tasks enqueued and not yet drained this round (observability
+    /// only — the round's trigger-queue depth at its high-water mark
+    /// when read just before [`Self::finish_round`]).
+    pub(crate) fn outstanding(&self) -> usize {
+        self.outstanding
     }
 
     /// Resets the per-round accumulation state for `entries` pooled
@@ -435,28 +454,44 @@ impl Drop for ExecCrew {
     }
 }
 
-fn io_loop(rx: Receiver<FetchMsg>, done_tx: SyncSender<FetchMsg>) {
+fn io_loop(rx: Receiver<FetchMsg>, done_tx: SyncSender<FetchMsg>, rec: Recorder) {
     while let Ok(mut msg) = rx.recv() {
+        let t0 = rec.start();
         msg.counts.clear();
         msg.counts.extend(
             msg.jobs
                 .iter()
                 .map(|(_, rt)| rt.unprocessed_vertices(msg.pid)),
         );
+        if rec.on() {
+            let total: u64 = msg.counts.iter().sum();
+            rec.complete(EventKind::FetchComplete, NONE, msg.pid, NONE, t0, total);
+        }
         if done_tx.send(msg).is_err() {
             break;
         }
     }
 }
 
-fn compute_loop(queue: Arc<ChunkQueue>, round: Arc<RoundState>) {
+fn compute_loop(queue: Arc<ChunkQueue>, round: Arc<RoundState>, rec: Recorder) {
     while let Some(msg) = queue.pop() {
         // Armed across the user-code call: a panic inside
         // `process_chunk` unwinds through the guard, which settles the
         // chunk and marks the round failed before the thread dies.
         let guard = ChunkPanicGuard { round: &round };
+        let t0 = rec.start();
         let stats = msg.runtime.process_chunk(msg.pid, msg.chunk, msg.nchunks);
         std::mem::forget(guard);
+        if rec.on() {
+            rec.complete(
+                EventKind::TriggerChunk,
+                msg.runtime.id(),
+                msg.pid,
+                NONE,
+                t0,
+                msg.chunk as u64,
+            );
+        }
         round.record(msg.entry, stats);
     }
 }
@@ -469,7 +504,7 @@ mod tests {
 
     #[test]
     fn idle_crew_shuts_down() {
-        let crew = ExecCrew::spawn(2, 2, 1, 1);
+        let crew = ExecCrew::spawn(2, 2, 1, 1, &crate::obs::Observer::disabled());
         assert_eq!(crew.nio, 2);
         assert_eq!(crew.window(), 1);
         drop(crew);
@@ -477,7 +512,7 @@ mod tests {
 
     #[test]
     fn crew_clamps_degenerate_parameters() {
-        let crew = ExecCrew::spawn(0, 0, 0, 0);
+        let crew = ExecCrew::spawn(0, 0, 0, 0, &crate::obs::Observer::disabled());
         assert_eq!(crew.nio, 1);
         assert_eq!(crew.window(), 1);
     }
@@ -544,7 +579,7 @@ mod tests {
         // round must come back with a typed error (not wedge on the
         // condvar, not abort the test process) and the crew must still
         // drop cleanly afterwards.
-        let mut crew = ExecCrew::spawn(1, 2, 1, 1);
+        let mut crew = ExecCrew::spawn(1, 2, 1, 1, &crate::obs::Observer::disabled());
         crew.begin_round(1);
         let runtime: Arc<dyn JobRuntime> = Arc::new(FaultyRuntime { panic_on: 2 });
         for chunk in 0..4 {
@@ -561,7 +596,7 @@ mod tests {
 
     #[test]
     fn clean_chunks_still_fold_after_guard_refactor() {
-        let mut crew = ExecCrew::spawn(1, 2, 1, 1);
+        let mut crew = ExecCrew::spawn(1, 2, 1, 1, &crate::obs::Observer::disabled());
         crew.begin_round(2);
         let runtime: Arc<dyn JobRuntime> = Arc::new(FaultyRuntime { panic_on: usize::MAX });
         for chunk in 0..3 {

@@ -75,6 +75,7 @@ use crate::engine::Engine;
 use crate::exec::crew::{Dispatch, ExecCrew, ExecError, FetchMsg};
 use crate::exec::planner::SlotKey;
 use crate::job::{JobRuntime, ProcessStats};
+use crate::obs::{EventKind, NONE};
 use crate::workers::{plan_chunks_into, ChunkTask, ProbeTask, TaskPool};
 
 /// Makespan of a fixed-sequence two-stage pipeline: stage-one times
@@ -225,6 +226,7 @@ impl Engine {
 
         // --- Load (and, at width 1, per-batch Trigger) ---
         for (si, &((pid, version), start, end)) in round.slots.iter().enumerate() {
+            let slot_t0 = self.rec.start();
             let before = *self.ledger.metrics();
             let structure = CacheObject::Structure { pid, version };
             let sbytes = self.jobs[round.jobs[start]]
@@ -315,6 +317,17 @@ impl Engine {
             } else {
                 round.load.push(cost.access_seconds(&delta));
             }
+            // Fork-join slots have no separate fetch leg, so the whole
+            // charge loop (plus per-batch chunk drains at width 1)
+            // reports as one Install span.
+            self.rec.complete(
+                EventKind::Install,
+                NONE,
+                pid,
+                self.round_no,
+                slot_t0,
+                (end - start) as u64,
+            );
         }
 
         // --- Trigger: drain every slot's tasks in one scoped pass ---
@@ -419,9 +432,22 @@ impl Engine {
                     }
                 };
                 let lane = self.prefetch.lane_of(msg.pid);
+                let issue_pid = msg.pid;
                 match crew.try_dispatch(lane, msg) {
-                    Dispatch::Sent => next_dispatch += 1,
+                    Dispatch::Sent => {
+                        self.rec.instant(
+                            EventKind::FetchIssue,
+                            NONE,
+                            issue_pid,
+                            self.round_no,
+                            next_dispatch as u64,
+                        );
+                        next_dispatch += 1;
+                    }
                     Dispatch::Full(msg) => {
+                        if self.rec.on() {
+                            self.obs.registry().counter("fetch_dispatch_stalls").inc();
+                        }
                         stalled = Some(msg);
                         break;
                     }
@@ -431,20 +457,58 @@ impl Engine {
             // Install strictly in plan order; block only on the
             // completion channel, whose producers never wait on us.
             if round.ready[installed].is_none() {
+                let wait_t0 = self.rec.start();
                 let msg = crew.recv_done()?;
+                if self.rec.on() {
+                    self.rec.complete(
+                        EventKind::ReorderWait,
+                        NONE,
+                        msg.pid,
+                        self.round_no,
+                        wait_t0,
+                        msg.seq as u64,
+                    );
+                    self.obs
+                        .registry()
+                        .histogram("reorder_wait_us")
+                        .record(self.obs.now_ns().saturating_sub(wait_t0) / 1000);
+                }
                 let seq = msg.seq;
                 debug_assert!(round.ready[seq].is_none(), "duplicate completion");
                 round.ready[seq] = Some(msg);
                 continue;
             }
             let mut msg = round.ready[installed].take().expect("checked above");
+            let install_t0 = self.rec.start();
             self.install_slot(installed, &msg, round, crew);
+            if self.rec.on() {
+                let (_, start, end) = round.slots[installed];
+                self.rec.complete(
+                    EventKind::Install,
+                    NONE,
+                    msg.pid,
+                    self.round_no,
+                    install_t0,
+                    (end - start) as u64,
+                );
+                self.obs
+                    .registry()
+                    .histogram("install_us")
+                    .record(self.obs.now_ns().saturating_sub(install_t0) / 1000);
+            }
             msg.jobs.clear();
             msg.counts.clear();
             round.fetch_pool.push(msg);
             installed += 1;
         }
         debug_assert!(stalled.is_none());
+        if self.rec.on() {
+            let r = self.obs.registry();
+            r.histogram("chunk_tasks_per_round")
+                .record(crew.outstanding() as u64);
+            r.histogram("round_entries")
+                .record(round.origins.len() as u64);
+        }
         crew.finish_round(&mut round.stats)
     }
 
@@ -560,6 +624,7 @@ impl Engine {
         );
 
         // --- Push for every job that finished its iteration ---
+        let push_t0 = self.rec.start();
         let push_before = *self.ledger.metrics();
         round.push_jobs.extend_from_slice(&round.jobs);
         round.push_jobs.sort_unstable();
@@ -591,6 +656,21 @@ impl Engine {
         let push_delta = self.ledger.metrics().since(&push_before);
         let push_access = cost.access_seconds(&push_delta);
         let push_compute = cost.compute_seconds(&push_delta) / workers.max(1) as f64;
+        if self.rec.on() {
+            self.rec.complete(
+                EventKind::Push,
+                NONE,
+                NONE,
+                self.round_no,
+                push_t0,
+                round.push_jobs.len() as u64,
+            );
+            let r = self.obs.registry();
+            r.counter("rounds").inc();
+            r.histogram("wave_width").record(round.slots.len() as u64);
+            r.histogram("push_us")
+                .record(self.obs.now_ns().saturating_sub(push_t0) / 1000);
+        }
 
         let wave = if prefetching {
             self.prefetch

@@ -26,6 +26,9 @@
 //! * [`serve`] — the online serving layer: an admission-controlled
 //!   arrival stream released as version-keyed waves, interleaved with
 //!   execution round by round through [`Engine::step_round`].
+//! * [`obs`] — zero-cost-when-disabled tracing and metrics: per-thread
+//!   lock-free event rings, a counter/gauge/histogram registry, and
+//!   Chrome-trace / JSONL / Prometheus exporters.
 //!
 //! Concrete algorithms (PageRank, SSSP, BFS, WCC, SCC, …) live in
 //! `cgraph-algos`; baseline engines that drive the *same* job runtimes with
@@ -35,6 +38,7 @@ pub mod api;
 pub mod engine;
 pub mod exec;
 pub mod job;
+pub mod obs;
 pub mod program;
 pub mod scheduler;
 pub mod serve;
@@ -45,8 +49,10 @@ pub use api::JobEngine;
 pub use engine::{Engine, EngineConfig, RunReport, SchedulerKind, SyncStrategy};
 pub use exec::{ChargeLedger, ExecError, JobTiming, PrefetchQueue, SlotPlanner};
 pub use job::{JobId, JobRuntime, ProcessStats, PushStats, TypedJob};
+pub use obs::{Observer, Recorder, Registry, TraceDump};
 pub use program::{EdgeDirection, VertexInfo, VertexProgram};
 pub use scheduler::{OrderScheduler, PriorityScheduler, Scheduler, SlotInfo};
 pub use serve::{
-    AdmissionController, Arrival, JobLatency, ServeConfig, ServeJournal, ServeLoop, ServeReport,
+    AdmissionController, Arrival, JobLatency, JobRow, ServeConfig, ServeJournal, ServeLoop,
+    ServeReport,
 };

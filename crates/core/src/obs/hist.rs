@@ -1,0 +1,194 @@
+//! Log-bucketed concurrent histogram: quantiles without samples.
+//!
+//! HDR-style bucketing over `u64` values: values below 16 get exact
+//! unit buckets; above that, each power-of-two octave is split into 16
+//! sub-buckets, so any value lands in a bucket whose width is at most
+//! `value / 16`.  Quantile estimates therefore carry a guaranteed
+//! relative error bound:
+//!
+//! ```text
+//! oracle <= quantile(q) <= oracle * (1 + 1/16)
+//! ```
+//!
+//! where `oracle` is the nearest-rank quantile over the exact sorted
+//! samples — the property `tests/observability.rs` checks under
+//! proptest.  Storage is a fixed 976-slot array of relaxed atomic
+//! counters (`16 * 60 + 16` buckets covers all of `u64`), so recording
+//! is one index computation plus two `fetch_add`s: multi-producer safe,
+//! wait-free, no allocation after construction.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-buckets per octave; the quantile relative-error bound is
+/// `1 / SUB_BUCKETS`.
+pub const SUB_BUCKETS: u64 = 16;
+
+/// Bucket count: 16 exact unit buckets + 16 per octave for octaves
+/// 4..=63 (values `16..=u64::MAX`).
+const BUCKETS: usize = (SUB_BUCKETS as usize) * 61;
+
+/// A concurrent log-bucketed histogram of `u64` observations.
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Bucket index for a value: exact below [`SUB_BUCKETS`], then
+/// `16 * octave + sub` with `sub` the top four bits below the MSB.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as u64; // >= 4
+    let exp = msb - 4; // shift so v >> exp is in [16, 32)
+    (SUB_BUCKETS * exp + (v >> exp)) as usize
+}
+
+/// Inclusive upper bound of a bucket — what `quantile` reports.
+fn bucket_upper(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUB_BUCKETS {
+        return idx;
+    }
+    let exp = idx / SUB_BUCKETS - 1;
+    let off = idx % SUB_BUCKETS;
+    ((off + SUB_BUCKETS + 1) << exp).wrapping_sub(1)
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.  Wait-free, multi-producer safe.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations (wraps only past 2^64).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest observation (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Nearest-rank quantile estimate for `q` in `[0, 1]`: the upper
+    /// bound of the bucket holding the `ceil(q * count)`-th smallest
+    /// sample.  Returns 0 for an empty histogram.  Guaranteed within
+    /// `[oracle, oracle * (1 + 1/16)]` of the exact nearest-rank value.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Never report past the true max: the top bucket's
+                // upper bound can exceed every recorded sample.
+                return bucket_upper(idx).min(self.max());
+            }
+        }
+        self.max()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_u64() {
+        // Upper bounds are strictly increasing and index mapping is
+        // consistent: v always lands in a bucket whose bound >= v.
+        let mut prev = 0;
+        for idx in 1..BUCKETS {
+            let up = bucket_upper(idx);
+            assert!(up > prev, "idx {idx}: {up} <= {prev}");
+            prev = up;
+        }
+        for v in [0u64, 1, 15, 16, 17, 31, 32, 1000, u32::MAX as u64, u64::MAX] {
+            let idx = bucket_index(v);
+            assert!(bucket_upper(idx) >= v);
+            assert!(idx == 0 || bucket_upper(idx - 1) < v);
+        }
+    }
+
+    #[test]
+    fn small_values_exact() {
+        let h = Histogram::new();
+        for v in [3u64, 1, 4, 1, 5, 9, 2, 6] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 31);
+        assert_eq!(h.max(), 9);
+        assert_eq!(h.quantile(0.5), 3); // sorted: 1 1 2 3 4 5 6 9, rank 4
+        assert_eq!(h.quantile(1.0), 9);
+        assert_eq!(h.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn relative_error_bound() {
+        let h = Histogram::new();
+        let mut samples: Vec<u64> = (0..1000).map(|i| (i * i * 7919) % 1_000_000).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        for q in [0.01, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let oracle = samples[rank - 1];
+            let est = h.quantile(q);
+            assert!(est >= oracle, "q={q}: est {est} < oracle {oracle}");
+            assert!(
+                est as f64 <= oracle as f64 * (1.0 + 1.0 / SUB_BUCKETS as f64),
+                "q={q}: est {est} above bound for oracle {oracle}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

@@ -29,6 +29,23 @@ impl JobLatency {
     }
 }
 
+/// One row of [`ServeReport::per_job`]: a served job's identity plus
+/// the derived wait/latency figures callers previously re-derived from
+/// the raw [`JobLatency`] stamps.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JobRow {
+    /// Engine job id.
+    pub job: JobId,
+    /// Job-kind display name.
+    pub name: &'static str,
+    /// Arrival at the admission queue (virtual seconds).
+    pub arrival: f64,
+    /// Queue wait: admission minus arrival.
+    pub wait: f64,
+    /// End-to-end latency: convergence minus arrival.
+    pub latency: f64,
+}
+
 /// Summary of one serving run over an arrival stream.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ServeReport {
@@ -84,6 +101,22 @@ impl ServeReport {
             makespan,
             completed,
         }
+    }
+
+    /// Per-job wait/latency rows, in admission order — the one-stop
+    /// accessor for tables and bench JSON (no re-deriving from the raw
+    /// arrival/admitted/completed stamps).
+    pub fn per_job(&self) -> Vec<JobRow> {
+        self.jobs
+            .iter()
+            .map(|j| JobRow {
+                job: j.job,
+                name: j.name,
+                arrival: j.arrival,
+                wait: j.wait(),
+                latency: j.latency(),
+            })
+            .collect()
     }
 
     /// Jobs served per virtual second of makespan (0 for an empty or

@@ -1,14 +1,21 @@
 //! The round-interleaved serving driver.
 
 use std::path::Path;
+use std::sync::Arc;
 
 use cgraph_graph::StoreError;
 
 use crate::engine::Engine;
 use crate::job::JobId;
+use crate::obs::{EventKind, Observer, Recorder, NONE};
 use crate::serve::admission::{AdmissionController, Arrival};
 use crate::serve::journal::{JournalEntry, ServeJournal};
 use crate::serve::report::{JobLatency, ServeReport};
+
+/// Smoothing factor of the arrival-rate EWMA gauge: each new
+/// inter-arrival sample carries 20% weight, so the gauge tracks bursts
+/// within ~5 arrivals without whiplashing on a single gap.
+const ARRIVAL_EWMA_ALPHA: f64 = 0.2;
 
 /// Serving-layer configuration.
 #[derive(Clone, Copy, Debug)]
@@ -69,6 +76,16 @@ pub struct ServeLoop {
     resumed: Vec<JobLatency>,
     /// Total offers skipped via the journal since construction.
     resumed_count: u64,
+    /// The serve-level observer (defaults to the engine's), feeding the
+    /// admission/wave/queue-wait signals.  Disabled = one branch per
+    /// site.
+    obs: Arc<Observer>,
+    /// Serve-thread event recorder (admission defer/release, rounds).
+    rec: Recorder,
+    /// Previous arrival's virtual time (EWMA inter-arrival sampling).
+    last_arrival: Option<f64>,
+    /// Smoothed arrival rate in jobs per virtual second.
+    arrival_ewma: Option<f64>,
 }
 
 impl ServeLoop {
@@ -79,6 +96,11 @@ impl ServeLoop {
             config.time_scale.is_finite() && config.time_scale > 0.0,
             "time scale must be finite and > 0"
         );
+        // Serving inherits the engine's observer, so one
+        // `EngineConfig::observer` traces executor and serve layers
+        // alike; `with_observer` overrides it.
+        let obs = Arc::clone(engine.observer());
+        let rec = obs.recorder("serve");
         ServeLoop {
             engine,
             admission: AdmissionController::new(config.admission_window),
@@ -93,7 +115,22 @@ impl ServeLoop {
             next_seq: 0,
             resumed: Vec::new(),
             resumed_count: 0,
+            obs,
+            rec,
+            last_arrival: None,
+            arrival_ewma: None,
         }
+    }
+
+    /// Replaces the serve-level observer (admission, wave, and
+    /// queue-wait signals).  The executor's own spans still come from
+    /// the observer the engine was *constructed* with
+    /// (`EngineConfig::observer`) — pass the same `Arc` to both to get
+    /// one merged trace.
+    pub fn with_observer(mut self, obs: Arc<Observer>) -> Self {
+        self.rec = obs.recorder("serve");
+        self.obs = obs;
+        self
     }
 
     /// Wraps an engine for **restartable** serving: completions are
@@ -120,6 +157,9 @@ impl ServeLoop {
     /// incarnation completed is consumed here instead: its journaled
     /// lifecycle goes straight to the next report.
     pub fn offer(&mut self, arrival: Arrival) {
+        if self.rec.on() {
+            self.note_arrival(arrival.at);
+        }
         let seq = self.next_seq;
         self.next_seq += 1;
         if let Some(journal) = &self.journal {
@@ -176,6 +216,34 @@ impl ServeLoop {
         self.engine
     }
 
+    /// Observability tap for one offered arrival: arrival counter plus
+    /// the smoothed arrival-rate gauge (inter-arrival EWMA in jobs per
+    /// virtual second) and an admission-defer instant event.  Only
+    /// called with the recorder on, and reads nothing back — offered
+    /// arrivals behave identically traced or not.
+    fn note_arrival(&mut self, at: f64) {
+        let r = self.obs.registry();
+        r.counter("serve_arrivals").inc();
+        if let Some(prev) = self.last_arrival {
+            let dt = (at - prev).max(1e-9);
+            let sample = 1.0 / dt;
+            let ewma = match self.arrival_ewma {
+                Some(e) => ARRIVAL_EWMA_ALPHA * sample + (1.0 - ARRIVAL_EWMA_ALPHA) * e,
+                None => sample,
+            };
+            self.arrival_ewma = Some(ewma);
+            r.gauge("serve_arrival_rate_ewma").set(ewma);
+        }
+        self.last_arrival = Some(at);
+        self.rec.instant(
+            EventKind::AdmitDefer,
+            NONE,
+            NONE,
+            self.rounds.min(u32::MAX as u64) as u32,
+            (at * 1e6) as u64,
+        );
+    }
+
     /// Releases every due arrival into the engine, stamping admissions.
     fn admit_due(&mut self) -> bool {
         let wave = self.admission.release(self.clock, self.engine.store());
@@ -183,10 +251,32 @@ impl ServeLoop {
             return false;
         }
         self.waves += 1;
+        if self.rec.on() {
+            self.obs
+                .registry()
+                .histogram("serve_wave_size")
+                .record(wave.len() as u64);
+        }
         for a in wave {
             let (at, name, seq, ts) = (a.at, a.name, a.seq, a.bind_timestamp());
             let id = a.submit(&mut self.engine, ts);
             self.engine.record_admission(id, at, self.clock);
+            if self.rec.on() {
+                // Queue wait in *virtual* microseconds — the serving
+                // clock is modeled time, not the wall.
+                let wait_us = ((self.clock - at).max(0.0) * 1e6) as u64;
+                self.obs
+                    .registry()
+                    .histogram("serve_queue_wait_us")
+                    .record(wait_us);
+                self.rec.instant(
+                    EventKind::AdmitRelease,
+                    id,
+                    NONE,
+                    self.rounds.min(u32::MAX as u64) as u32,
+                    wait_us,
+                );
+            }
             self.tracked.push((id, name, seq));
             self.open.push(id);
         }
@@ -272,11 +362,26 @@ impl ServeLoop {
                 break;
             }
             let before = self.engine.pipeline_seconds();
+            let round_t0 = self.rec.start();
             if self.engine.step_round() {
                 self.rounds += 1;
                 self.clock += (self.engine.pipeline_seconds() - before) * self.time_scale;
                 self.note_completions();
                 self.sync_journal();
+                if self.rec.on() {
+                    self.rec.complete(
+                        EventKind::ServeRound,
+                        NONE,
+                        NONE,
+                        self.rounds.min(u32::MAX as u64) as u32,
+                        round_t0,
+                        self.open.len() as u64,
+                    );
+                    self.obs
+                        .registry()
+                        .gauge("serve_open_jobs")
+                        .set(self.open.len() as f64);
+                }
                 continue;
             }
             // A faulted engine (concurrent-executor worker death) can

@@ -17,6 +17,8 @@
 //!   Erdős–Rényi, grids, …) plus the scaled-down stand-ins for the paper's
 //!   Table 1 datasets.
 //! * [`io`] — plain-text and binary edge-list round-tripping.
+//! * [`obs`] — the [`StoreObserver`] hook trait the snapshot store and
+//!   WAL report into (implemented by the engine's tracing layer).
 //! * [`snapshot`] — the incremental snapshot store for evolving graphs
 //!   (paper §3.2.1, Fig. 5).
 //! * [`wal`] — the append-only, CRC-checksummed segment format that makes
@@ -39,6 +41,7 @@ pub mod csr;
 pub mod edge;
 pub mod generate;
 pub mod io;
+pub mod obs;
 pub mod partition;
 pub mod snapshot;
 pub mod stats;
@@ -49,6 +52,7 @@ pub mod wal;
 pub use builder::GraphBuilder;
 pub use csr::Csr;
 pub use edge::{Edge, EdgeList};
+pub use obs::StoreObserver;
 pub use partition::{Partition, PartitionSet, VertexMeta};
 pub use snapshot::{
     CompactionPolicy, FootprintProfile, GraphDelta, GraphView, PlacementStats, ShardCapacity,

@@ -97,8 +97,10 @@ use std::collections::{HashMap, HashSet};
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use crate::edge::{Edge, EdgeList};
+use crate::obs::{ObsHandle, StoreObserver};
 use crate::partition::{Partition, PartitionSet};
 use crate::types::{PartitionId, VersionId, VertexId, NO_PARTITION};
 use crate::wal::{
@@ -614,6 +616,25 @@ pub struct ShardedSnapshotStore {
     /// or [`open`](Self::open) attached one (`None` = in-memory store,
     /// every pre-durability code path byte-for-byte).
     wal: Option<StoreWal>,
+    /// Observability hook (see [`crate::obs`]): applies, spills, and
+    /// footprints report here when set.  Unset (the default) costs one
+    /// branch per apply and changes nothing observable.
+    observer: ObsHandle,
+    /// Cumulative payload bytes spilled per shard since this store was
+    /// constructed/opened (feeds [`StoreObserver::footprint`]).
+    spilled_bytes: Vec<u64>,
+    /// Recovery replay stats from [`open`](Self::open), reported to the
+    /// observer when one attaches (open runs before any hook exists).
+    replay: Option<ReplayStats>,
+}
+
+/// What [`ShardedSnapshotStore::open`] replayed, held until an observer
+/// attaches.
+#[derive(Clone, Copy, Debug)]
+struct ReplayStats {
+    frames: u64,
+    bytes: u64,
+    micros: u64,
 }
 
 /// The ubiquitous single-`Arc` spelling: a [`ShardedSnapshotStore`]
@@ -661,7 +682,32 @@ impl ShardedSnapshotStore {
             apply_edges_per_worker: DEFAULT_APPLY_EDGES_PER_WORKER,
             spilled_records: 0,
             wal: None,
+            observer: ObsHandle::none(),
+            spilled_bytes: vec![0; shards],
+            replay: None,
         }
+    }
+
+    /// Attaches an observability hook (builder style).  Applies, WAL
+    /// appends/fsyncs, spills, rehydrations, and checkpoint walks
+    /// report through it from here on; pending recovery-replay stats
+    /// (if this store came from [`open`](Self::open)) are reported
+    /// immediately.  Hooks only *read* store state — no view, apply
+    /// result, or spill decision ever depends on the observer.
+    pub fn with_observer(mut self, obs: Arc<dyn StoreObserver>) -> Self {
+        self.set_observer(obs);
+        self
+    }
+
+    /// Non-consuming spelling of [`with_observer`](Self::with_observer).
+    pub fn set_observer(&mut self, obs: Arc<dyn StoreObserver>) {
+        if let Some(replay) = self.replay.take() {
+            obs.recovery_replay(replay.frames, replay.bytes, replay.micros);
+        }
+        if let Some(w) = &mut self.wal {
+            w.set_observer(Arc::clone(&obs));
+        }
+        self.observer.set(obs);
     }
 
     /// Replaces the checkpoint compaction policy (builder style).
@@ -976,6 +1022,7 @@ impl ShardedSnapshotStore {
     ///
     /// Returns the number of partitions that were re-versioned.
     pub fn apply(&mut self, timestamp: u64, delta: &GraphDelta) -> Result<usize, StoreError> {
+        let apply_t0 = self.observer.get().map(|_| Instant::now());
         if let Some(w) = &self.wal {
             w.check()?;
         }
@@ -1360,6 +1407,14 @@ impl ShardedSnapshotStore {
         // 8. Commit: from here on, pure in-memory mutation — push the
         //    shard records, fold every delta into the current index,
         //    and push the snapshot's layered record.
+        let touched: Vec<(usize, usize)> = if self.observer.get().is_some() {
+            staged
+                .iter()
+                .map(|(s, rec, _)| (*s, rec.overrides.len()))
+                .collect()
+        } else {
+            Vec::new()
+        };
         for (s, rec, arcs) in staged {
             Arc::make_mut(&mut self.shards[s]).records.push(rec);
             for (pid, part, ver) in arcs {
@@ -1384,6 +1439,13 @@ impl ShardedSnapshotStore {
         self.enforce_capacity()?;
         if let Some(w) = &mut self.wal {
             w.sync_dirty()?;
+        }
+        if let Some(obs) = self.observer.get() {
+            let micros = apply_t0.map_or(0, |t| t.elapsed().as_micros() as u64);
+            for &(s, parts) in &touched {
+                obs.apply_rebuild(s, timestamp, parts, micros);
+                obs.footprint(s, self.shard_resident_bytes(s), self.spilled_bytes[s]);
+            }
         }
         Ok(affected.len())
     }
@@ -1455,6 +1517,20 @@ impl ShardedSnapshotStore {
                     if let Some(w) = &mut self.wal {
                         w.append_store(&encode_spill_frame(s as u32, i as u64))?;
                     }
+                    // Distinct resident payload bytes this spill frees,
+                    // measured before the drop (the `Arc`s are gone
+                    // after).
+                    let freed: u64 = {
+                        let rec = &self.shards[s].records[i];
+                        let mut seen: HashSet<*const Partition> = HashSet::new();
+                        rec.overrides
+                            .values()
+                            .chain(rec.checkpoint.iter().flat_map(|cp| cp.overrides.values()))
+                            .filter_map(PayloadCell::get)
+                            .filter(|p| seen.insert(Arc::as_ptr(p)))
+                            .map(|p| p.structure_bytes())
+                            .sum()
+                    };
                     let rec = &mut Arc::make_mut(&mut self.shards[s]).records[i];
                     rec.spilled = true;
                     if self.wal.is_some() {
@@ -1468,6 +1544,10 @@ impl ShardedSnapshotStore {
                         }
                     }
                     self.spilled_records += 1;
+                    self.spilled_bytes[s] += freed;
+                    if let Some(obs) = self.observer.get() {
+                        obs.spill(s, freed);
+                    }
                 }
                 None if !*compacted => {
                     // No pre-checkpoint record left to spill: stamp
@@ -1612,6 +1692,8 @@ impl ShardedSnapshotStore {
     /// automatically every K deltas under [`CompactionPolicy::EveryK`];
     /// safe (and idempotent) to call manually at any time.
     pub fn compact(&mut self) -> Result<(), StoreError> {
+        let compact_t0 = self.observer.get().map(|_| Instant::now());
+        let mut walked: u64 = 0;
         let Some(last_idx) = self.records.len().checked_sub(1) else {
             return Ok(());
         };
@@ -1645,6 +1727,7 @@ impl ShardedSnapshotStore {
             if !needs {
                 continue;
             }
+            walked += arcs.len() as u64;
             arcs.sort_unstable_by_key(|&(pid, _, _)| pid);
             let mut cp = ShardCheckpoint::default();
             for &(pid, _, ver) in &arcs {
@@ -1675,6 +1758,9 @@ impl ShardedSnapshotStore {
                 .last_mut()
                 .expect("needs implies a record")
                 .checkpoint = Some(cp);
+        }
+        if let (Some(obs), Some(t0)) = (self.observer.get(), compact_t0) {
+            obs.checkpoint_walk(walked, t0.elapsed().as_micros() as u64);
         }
         Ok(())
     }
@@ -1777,12 +1863,11 @@ impl ShardedSnapshotStore {
         );
         let manifest = encode_manifest_frame(&self);
         let base_frames = encode_base_frames(&self.base);
-        self.wal = Some(StoreWal::create(
-            dir.as_ref(),
-            self.shards.len(),
-            &manifest,
-            &base_frames,
-        )?);
+        let mut wal = StoreWal::create(dir.as_ref(), self.shards.len(), &manifest, &base_frames)?;
+        if let Some(obs) = self.observer.clone_arc() {
+            wal.set_observer(obs);
+        }
+        self.wal = Some(wal);
         Ok(self)
     }
 
@@ -1819,6 +1904,7 @@ impl ShardedSnapshotStore {
     /// reaches them.  The commit log (`store.seg`), manifest, and base
     /// are always fully verified.
     pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let replay_t0 = Instant::now();
         let dir = dir.as_ref();
         // Manifest and base are write-once at persist time; a torn one
         // means the store never durably existed.
@@ -2097,6 +2183,16 @@ impl ShardedSnapshotStore {
             }
         }
 
+        // What this open replayed: every kept frame across the commit
+        // log and shard segments, and the committed bytes they span.
+        // Held until an observer attaches (none can exist yet).
+        let num_shards = shards.len();
+        let replay = ReplayStats {
+            frames: (store_scan.frames.len() + shard_frames.iter().map(Vec::len).sum::<usize>())
+                as u64,
+            bytes: store_cut + shard_cuts.iter().sum::<u64>(),
+            micros: replay_t0.elapsed().as_micros() as u64,
+        };
         Ok(ShardedSnapshotStore {
             base,
             shards,
@@ -2109,6 +2205,9 @@ impl ShardedSnapshotStore {
             apply_edges_per_worker: DEFAULT_APPLY_EDGES_PER_WORKER,
             spilled_records,
             wal: Some(wal),
+            observer: ObsHandle::none(),
+            spilled_bytes: vec![0; num_shards],
+            replay: Some(replay),
         })
     }
 

@@ -60,8 +60,10 @@
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, BufReader, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
+use crate::obs::{ObsHandle, StoreObserver};
 use crate::partition::Partition;
 use crate::snapshot::SnapshotError;
 
@@ -754,6 +756,10 @@ pub(crate) struct StoreWal {
     /// e.g. the `with_capacity` builder): surfaced by the next durable
     /// operation.
     poison: Option<String>,
+    /// Observability hook: appends, fsyncs, and rehydration reads
+    /// report here when set.  `None` (the default) costs one branch
+    /// per durable operation.
+    observer: ObsHandle,
 }
 
 pub(crate) fn manifest_path(dir: &Path) -> PathBuf {
@@ -831,7 +837,13 @@ impl StoreWal {
         for s in 0..shards.len() {
             readers.push(Mutex::new(File::open(shard_path(&dir, s))?));
         }
-        Ok(StoreWal { dir, store, shards, readers, poison: None })
+        Ok(StoreWal { dir, store, shards, readers, poison: None, observer: ObsHandle::none() })
+    }
+
+    /// Attaches the observability hook; durable operations from here on
+    /// report append bytes, fsync timings, and rehydration reads.
+    pub(crate) fn set_observer(&mut self, obs: Arc<dyn StoreObserver>) {
+        self.observer.set(obs);
     }
 
     pub(crate) fn dir(&self) -> &Path {
@@ -856,23 +868,48 @@ impl StoreWal {
     /// Appends a frame to the store-level segment; returns the payload
     /// offset.
     pub(crate) fn append_store(&mut self, payload: &[u8]) -> Result<u64, StoreError> {
-        self.store.append(payload)
+        let t0 = self.observer.get().map(|_| Instant::now());
+        let off = self.store.append(payload)?;
+        if let (Some(obs), Some(t0)) = (self.observer.get(), t0) {
+            obs.wal_append(None, payload.len() as u64, t0.elapsed().as_micros() as u64);
+        }
+        Ok(off)
     }
 
     /// Appends a frame to shard `s`'s segment; returns the payload
     /// offset.
     pub(crate) fn append_shard(&mut self, s: usize, payload: &[u8]) -> Result<u64, StoreError> {
-        self.shards[s].append(payload)
+        let t0 = self.observer.get().map(|_| Instant::now());
+        let off = self.shards[s].append(payload)?;
+        if let (Some(obs), Some(t0)) = (self.observer.get(), t0) {
+            obs.wal_append(
+                Some(s),
+                payload.len() as u64,
+                t0.elapsed().as_micros() as u64,
+            );
+        }
+        Ok(off)
     }
 
     /// Syncs every dirty shard segment, then the store segment — the
     /// ordering that makes a durable commit frame imply durable shard
     /// frames.
     pub(crate) fn sync_dirty(&mut self) -> Result<(), StoreError> {
-        for w in &mut self.shards {
+        for (s, w) in self.shards.iter_mut().enumerate() {
+            // `sync` is a no-op on clean segments; only real fsyncs
+            // report (matching the fsync *count* dashboards watch).
+            let t0 = (self.observer.get().is_some() && w.is_dirty()).then(Instant::now);
             w.sync()?;
+            if let (Some(obs), Some(t0)) = (self.observer.get(), t0) {
+                obs.wal_fsync(Some(s), t0.elapsed().as_micros() as u64);
+            }
         }
-        self.store.sync()
+        let t0 = (self.observer.get().is_some() && self.store.is_dirty()).then(Instant::now);
+        self.store.sync()?;
+        if let (Some(obs), Some(t0)) = (self.observer.get(), t0) {
+            obs.wal_fsync(None, t0.elapsed().as_micros() as u64);
+        }
+        Ok(())
     }
 
     /// Reads back and decodes one partition payload (read-through
@@ -880,6 +917,7 @@ impl StoreWal {
     /// was CRC-verified when the segment was scanned, so this is a raw
     /// positioned read.
     pub(crate) fn read_partition(&self, loc: PayloadLoc) -> Result<Partition, StoreError> {
+        let t0 = self.observer.get().map(|_| Instant::now());
         let mut buf = vec![0u8; loc.len as usize];
         {
             let mut f = self.readers[loc.shard as usize]
@@ -889,7 +927,15 @@ impl StoreWal {
             f.read_exact(&mut buf)?;
         }
         let mut r = WireReader::new(&buf, SegmentId::Shard(loc.shard), loc.offset);
-        Partition::decode(&mut r)
+        let part = Partition::decode(&mut r)?;
+        if let (Some(obs), Some(t0)) = (self.observer.get(), t0) {
+            obs.rehydrate(
+                loc.shard as usize,
+                loc.len as u64,
+                t0.elapsed().as_micros() as u64,
+            );
+        }
+        Ok(part)
     }
 }
 

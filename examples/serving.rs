@@ -29,11 +29,15 @@ const SECONDS_PER_HOUR: f64 = 0.02;
 
 fn row(label: &str, r: &ServeReport) -> String {
     format!(
-        "{label:>14} {:>5} {:>8.1} {:>12.2} {:>11.2} {:>7}",
+        "{label:>14} {:>5} {:>8.1} {:>12.2} {:>12.2} {:>11.2} {:>11.2} {:>6} {:>7} {:>7}",
         r.jobs.len(),
         r.throughput(),
+        r.mean_wait() * 1e3,
         r.mean_latency() * 1e3,
         r.latency_percentile(99.0) * 1e3,
+        r.makespan * 1e3,
+        r.waves,
+        r.rounds,
         r.loads,
     )
 }
@@ -57,11 +61,21 @@ fn main() {
         6.0 * SECONDS_PER_HOUR * 1e3
     );
     println!(
-        "{:>14} {:>5} {:>8} {:>12} {:>11} {:>7}",
-        "admission", "jobs", "jobs/s", "mean lat ms", "p99 lat ms", "loads"
+        "{:>14} {:>5} {:>8} {:>12} {:>12} {:>11} {:>11} {:>6} {:>7} {:>7}",
+        "admission",
+        "jobs",
+        "jobs/s",
+        "mean wait ms",
+        "mean lat ms",
+        "p99 lat ms",
+        "makespan ms",
+        "waves",
+        "rounds",
+        "loads"
     );
 
     let mut fifo_loads = 0;
+    let mut widest: Option<ServeReport> = None;
     for window in [0.0, 0.01, 0.05] {
         let engine = Engine::new(Arc::clone(&store), EngineConfig::default());
         let mut serve = ServeLoop::new(
@@ -81,12 +95,38 @@ fn main() {
             )
         };
         println!("{}", row(&label, &report));
+        widest = Some(report);
     }
 
     let stream = StreamEngine::new(Arc::clone(&store), StreamConfig::default());
     let mut baseline = FifoServe::new(stream, 1.0);
     baseline.offer_all(trace_arrivals(&trace, SECONDS_PER_HOUR, 64));
     println!("{}", row("stream-fifo", &baseline.serve()));
+
+    // The per-job view behind the aggregates: the widest window's five
+    // longest waits, straight from `ServeReport::per_job()`.
+    let widest = widest.expect("the window loop served at least once");
+    let mut jobs = widest.per_job();
+    jobs.sort_by(|a, b| b.wait.partial_cmp(&a.wait).expect("finite waits"));
+    println!(
+        "\nlongest queue waits at w={:.0}ms ({}):",
+        widest.admission_window * 1e3,
+        if widest.completed {
+            "completed"
+        } else {
+            "truncated"
+        },
+    );
+    for j in jobs.iter().take(5) {
+        println!(
+            "  job {:>3} {:>9}  arrived {:>6.2} ms  waited {:>5.2} ms  latency {:>6.2} ms",
+            j.job,
+            j.name,
+            j.arrival * 1e3,
+            j.wait * 1e3,
+            j.latency * 1e3,
+        );
+    }
 
     println!(
         "\njobs admitted in one wave start aligned and share every partition\n\

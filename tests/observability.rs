@@ -1,0 +1,344 @@
+//! Observability differential + schema suite.
+//!
+//! Four guarantees, per the `core::obs` contract:
+//!
+//! 1. **Read-only tracing** — running the executor-stress configs and a
+//!    serve loop with a live [`Observer`] changes no result bit, no
+//!    traffic counter, and no modeled-seconds bit versus the disabled
+//!    (and absent) observer.
+//! 2. **Histogram honesty** — log-bucketed quantiles stay within the
+//!    documented `[oracle, oracle * (1 + 1/16)]` envelope of the exact
+//!    nearest-rank quantile, under proptest.
+//! 3. **Bounded rings** — overflow drops the *oldest* events, keeps the
+//!    newest, and reports the loss through `dropped_events()` and the
+//!    trace export rather than silently.
+//! 4. **Export schemas** — Chrome `trace_event` JSON, JSONL, and the
+//!    metrics snapshot all round-trip through the strict JSON parser
+//!    with the fields dashboards and `about://tracing` rely on.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use cgraph::algos::{trace_arrivals, Bfs, Reachability, Sssp, Wcc};
+use cgraph::core::obs::{parse_json, EventKind, Histogram, JsonValue, NONE};
+use cgraph::core::{Engine, EngineConfig, Observer, ServeConfig, ServeLoop, ServeReport};
+use cgraph::graph::snapshot::SnapshotStore;
+use cgraph::graph::vertex_cut::VertexCutPartitioner;
+use cgraph::graph::{generate, Partitioner};
+use cgraph::memsim::{HierarchyConfig, Metrics};
+use cgraph::trace::{generate_trace, TraceConfig};
+use cgraph_bench::ingest_stream_spread;
+
+/// The executor-stress store: a 4-shard evolving chain so waves mix
+/// snapshot versions and spread across I/O lanes.
+fn shared_store() -> Arc<SnapshotStore> {
+    let el = generate::rmat(9, 4, generate::RmatParams::default(), 2024);
+    let n = el.num_vertices();
+    let ps = VertexCutPartitioner::new(16).partition(&el);
+    let mut store = SnapshotStore::with_shards(ps, 4);
+    for (i, delta) in ingest_stream_spread(n, 24, 48, 4).iter().enumerate() {
+        store
+            .apply((i as u64 + 1) * 10, delta)
+            .expect("evolving delta applies");
+    }
+    Arc::new(store)
+}
+
+fn tight_hierarchy(store: &Arc<SnapshotStore>) -> HierarchyConfig {
+    let view = store.base_view();
+    let total: u64 = (0..view.num_partitions() as u32)
+        .map(|pid| view.partition(pid).structure_bytes())
+        .sum();
+    HierarchyConfig { cache_bytes: (total / 4).max(1), memory_bytes: total * 4 }
+}
+
+/// Everything a run can observe, flattened for exact comparison (same
+/// digest as `tests/executor_stress.rs`).
+#[derive(PartialEq, Debug)]
+struct RunDigest {
+    bfs: Vec<u32>,
+    sssp: Vec<f32>,
+    wcc: Vec<u32>,
+    reach: Vec<bool>,
+    loads: u64,
+    metrics: Metrics,
+    modeled_bits: u64,
+}
+
+fn run_cfg(
+    store: &Arc<SnapshotStore>,
+    io_workers: usize,
+    depth: usize,
+    observer: Option<Arc<Observer>>,
+) -> RunDigest {
+    let mut engine = Engine::new(
+        Arc::clone(store),
+        EngineConfig {
+            workers: 2,
+            wavefront: 4,
+            prefetch_depth: depth,
+            io_workers,
+            hierarchy: tight_hierarchy(store),
+            observer,
+            ..EngineConfig::default()
+        },
+    );
+    let bfs = engine.submit_at(Bfs::new(0), 0);
+    let sssp = engine.submit_at(Sssp::new(1), 50);
+    let wcc = engine.submit_at(Wcc, 120);
+    let reach = engine.submit_at(Reachability::new(0), 180);
+    let report = engine.run();
+    assert!(report.completed, "stress run must converge");
+    RunDigest {
+        bfs: engine.results::<Bfs>(bfs).unwrap(),
+        sssp: engine.results::<Sssp>(sssp).unwrap(),
+        wcc: engine.results::<Wcc>(wcc).unwrap(),
+        reach: engine.results::<Reachability>(reach).unwrap(),
+        loads: report.loads,
+        metrics: report.metrics,
+        modeled_bits: report.modeled_seconds.to_bits(),
+    }
+}
+
+#[test]
+fn tracing_changes_no_bit_on_executor_stress_configs() {
+    let store = shared_store();
+    for (io, depth) in [(0usize, 0usize), (0, 2), (2, 2), (4, 2), (4, 4)] {
+        let plain = run_cfg(&store, io, depth, None);
+        let disabled = run_cfg(&store, io, depth, Some(Observer::disabled()));
+        let traced_obs = Observer::enabled();
+        let traced = run_cfg(&store, io, depth, Some(Arc::clone(&traced_obs)));
+        assert_eq!(
+            plain, disabled,
+            "io={io} depth={depth}: disabled observer diverged"
+        );
+        assert_eq!(
+            plain, traced,
+            "io={io} depth={depth}: live observer diverged"
+        );
+        // The traced run must actually have traced: spans in the rings,
+        // metrics in the registry.
+        let dump = traced_obs.dump();
+        assert!(
+            !dump.events.is_empty(),
+            "io={io} depth={depth}: no events captured"
+        );
+        assert!(dump.events.iter().any(|e| e.kind == EventKind::Install));
+        assert!(traced_obs.registry().counter("rounds").get() > 0);
+    }
+}
+
+fn serve_report(store: &Arc<SnapshotStore>, observer: Option<Arc<Observer>>) -> ServeReport {
+    let trace = generate_trace(&TraceConfig {
+        hours: 4,
+        base_rate: 2.0,
+        peak_rate: 6.0,
+        mean_duration: 1.0,
+        seed: 99,
+    });
+    let engine = Engine::new(
+        Arc::clone(store),
+        EngineConfig {
+            workers: 2,
+            wavefront: 4,
+            io_workers: 2,
+            hierarchy: tight_hierarchy(store),
+            observer,
+            ..EngineConfig::default()
+        },
+    );
+    let mut serve = ServeLoop::new(
+        engine,
+        ServeConfig { admission_window: 0.01, time_scale: 1.0 },
+    );
+    serve.offer_all(trace_arrivals(&trace, 0.02, 64));
+    serve.serve()
+}
+
+#[test]
+fn tracing_changes_no_bit_on_the_serve_loop() {
+    let store = shared_store();
+    let plain = serve_report(&store, None);
+    let obs = Observer::enabled();
+    let traced = serve_report(&store, Some(Arc::clone(&obs)));
+    // ServeReport is PartialEq over every field, including each job's
+    // f64 arrival/admitted/completed stamps.
+    assert_eq!(plain, traced, "live observer changed the serve outcome");
+    assert_eq!(plain.per_job(), traced.per_job());
+    // And the serve-layer signals were really recorded.
+    assert!(obs.registry().counter("serve_arrivals").get() > 0);
+    assert!(obs.registry().histogram("serve_queue_wait_us").count() > 0);
+    assert!(obs
+        .dump()
+        .events
+        .iter()
+        .any(|e| e.kind == EventKind::AdmitRelease));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Log-bucketed quantiles vs the exact sorted-sample oracle: for
+    /// any sample set and any q, the estimate brackets the nearest-rank
+    /// value within the documented 1/16 relative error.
+    #[test]
+    fn histogram_quantiles_bracket_the_oracle(
+        raw in proptest::collection::vec((0u64..(1u64 << 40), 0u32..40), 1..300),
+        qs in proptest::collection::vec(0.0f64..1.0, 1..8),
+    ) {
+        // Right-shifting by a per-sample amount mixes magnitudes from
+        // the exact unit buckets up through wide log buckets.
+        let samples: Vec<u64> = raw.iter().map(|&(v, s)| v >> s).collect();
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.max(), *sorted.last().unwrap());
+        for q in qs.iter().copied().chain([1.0]) {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let oracle = sorted[rank - 1];
+            let est = h.quantile(q);
+            prop_assert!(est >= oracle, "q={}: est {} below oracle {}", q, est, oracle);
+            prop_assert!(
+                est as f64 <= oracle as f64 * (1.0 + 1.0 / 16.0),
+                "q={}: est {} above the 1/16 envelope of oracle {}",
+                q, est, oracle
+            );
+        }
+    }
+}
+
+#[test]
+fn ring_overflow_drops_oldest_and_reports_the_loss() {
+    // Capacity rounds up to a power of two (min 8): ask for 8, push 20.
+    let obs = Observer::with_ring_capacity(8);
+    let rec = obs.recorder("burst");
+    for i in 0..20u64 {
+        rec.instant(EventKind::Push, NONE, NONE, 0, i);
+    }
+    assert_eq!(obs.dropped_events(), 12);
+    let dump = obs.dump();
+    assert_eq!(dump.dropped_events, 12);
+    assert_eq!(dump.events.len(), 8);
+    // The oldest 12 are gone; the newest 8 survive in recording order.
+    let values: Vec<u64> = dump.events.iter().map(|e| e.value).collect();
+    assert_eq!(values, (12..20).collect::<Vec<u64>>());
+    // The loss is visible in the Chrome export too.
+    let v = parse_json(&dump.chrome_json()).expect("chrome trace parses");
+    assert_eq!(
+        v.get("otherData")
+            .unwrap()
+            .get("dropped_events")
+            .unwrap()
+            .as_f64(),
+        Some(12.0)
+    );
+}
+
+/// A small traced engine run whose dump exercises every export path.
+fn traced_dump() -> (Arc<Observer>, cgraph::core::TraceDump) {
+    let store = shared_store();
+    let obs = Observer::enabled();
+    run_cfg(&store, 2, 2, Some(Arc::clone(&obs)));
+    let dump = obs.dump();
+    (obs, dump)
+}
+
+#[test]
+fn chrome_trace_json_round_trips_the_schema() {
+    let (obs, dump) = traced_dump();
+    assert!(!dump.events.is_empty());
+    let v = parse_json(&dump.chrome_json()).expect("chrome trace is valid JSON");
+    assert_eq!(v.get("displayTimeUnit").unwrap().as_str(), Some("ns"));
+    let events = v.get("traceEvents").unwrap().as_array().unwrap();
+    // One thread_name metadata record per registered thread, then one
+    // record per span.
+    assert_eq!(events.len(), dump.threads.len() + dump.events.len());
+    let mut metadata = 0;
+    for ev in events {
+        let ph = ev.get("ph").unwrap().as_str().unwrap();
+        assert!(ev.get("name").unwrap().as_str().is_some());
+        assert!(ev.get("pid").unwrap().as_f64().is_some());
+        let tid = ev.get("tid").unwrap().as_f64().unwrap() as usize;
+        assert!(
+            tid < dump.threads.len(),
+            "tid {tid} has no thread_name record"
+        );
+        match ph {
+            "M" => {
+                metadata += 1;
+                let name = ev
+                    .get("args")
+                    .unwrap()
+                    .get("name")
+                    .unwrap()
+                    .as_str()
+                    .unwrap();
+                assert_eq!(name, dump.threads[tid]);
+            }
+            "X" => {
+                assert!(ev.get("ts").unwrap().as_f64().unwrap() >= 0.0);
+                assert!(ev.get("dur").unwrap().as_f64().unwrap() >= 0.0);
+                assert!(ev
+                    .get("args")
+                    .unwrap()
+                    .get("value")
+                    .unwrap()
+                    .as_f64()
+                    .is_some());
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    assert_eq!(metadata, dump.threads.len());
+
+    // JSONL: every line parses and names a known thread and event kind.
+    for line in dump.jsonl().lines() {
+        let ev = parse_json(line).expect("jsonl line parses");
+        let thread = ev.get("thread").unwrap().as_str().unwrap();
+        assert!(dump.threads.iter().any(|t| t == thread));
+        assert!(ev.get("kind").unwrap().as_str().is_some());
+        assert!(ev.get("start_ns").unwrap().as_f64().is_some());
+    }
+
+    // Metrics snapshot: the three sections, with full quantile rows on
+    // every histogram.
+    let m = parse_json(&obs.registry().metrics_json()).expect("metrics snapshot parses");
+    let sections: Vec<&str> = m
+        .as_object()
+        .unwrap()
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .collect();
+    assert_eq!(sections, vec!["counters", "gauges", "histograms"]);
+    let hists = m.get("histograms").unwrap().as_object().unwrap();
+    assert!(!hists.is_empty());
+    for (name, h) in hists {
+        for field in ["count", "sum", "max", "mean", "p50", "p90", "p99"] {
+            assert!(
+                matches!(h.get(field), Some(JsonValue::Num(_))),
+                "histogram {name} missing numeric {field}"
+            );
+        }
+    }
+
+    // Prometheus page: every line is a comment or `name value` /
+    // `name{quantile="q"} value`.
+    let page = obs.registry().prometheus_text();
+    assert!(page.contains("# TYPE rounds counter"));
+    assert!(page.contains("install_us{quantile=\"0.99\"}"));
+    for line in page.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        let (_, value) = line.rsplit_once(' ').expect("sample line has a value");
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "non-numeric sample in {line:?}"
+        );
+    }
+}
