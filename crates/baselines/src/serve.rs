@@ -9,7 +9,7 @@
 //! batch to drain (its queue wait absorbs the batch's remaining
 //! execution), and completions resolve at batch granularity.
 
-use cgraph_core::serve::{Arrival, JobLatency, ServeReport};
+use cgraph_core::serve::{Arrival, JobLatency, JobOutcome, ServeReport};
 
 use crate::stream::StreamEngine;
 
@@ -86,6 +86,7 @@ impl FifoServe {
                     arrival: at,
                     admitted: self.clock,
                     completed: f64::NAN, // resolved after the batch drains
+                    outcome: JobOutcome::Completed,
                 });
             }
             waves += 1;

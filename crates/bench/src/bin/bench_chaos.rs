@@ -1,0 +1,215 @@
+//! The chaos differential, machine-readable.
+//!
+//! Serves the same diurnal trace twice through the CGraph `ServeLoop`:
+//! once clean and once under a seeded fault plane injecting transient
+//! fetch faults and latency spikes at 5%, with retries, per-shard
+//! circuit breakers, and admission shedding armed.  Asserts the
+//! degradation contract — zero lost jobs (every offer completes, is
+//! quarantined, or is shed), ≥99% completion at the 5% transient rate —
+//! and gates the wall-clock overhead of serving through the fault
+//! plane, writing `BENCH_chaos.json` so CI can track the trajectory.
+//!
+//! Accepts the standard `--full` / `--tiny` scale flags; `--out PATH`
+//! overrides the JSON location.
+
+use std::sync::Arc;
+
+use cgraph_bench::{
+    chaos_json, hierarchy_for, partitions_for, print_table, serve_trace_chaos, ChaosPoint, Scale,
+    WallGate,
+};
+use cgraph_core::FaultConfig;
+use cgraph_graph::generate::Dataset;
+use cgraph_graph::snapshot::SnapshotStore;
+use cgraph_trace::{generate_trace, TraceConfig};
+
+/// Virtual seconds per trace hour (matches `bench_serve`).
+const SECONDS_PER_HOUR: f64 = 0.02;
+
+/// Deterministic fault-schedule seed: same seed, same chaos, any host.
+const FAULT_SEED: u64 = 0xC0FFEE;
+
+/// Transient fault probability per fetch attempt — the paper-style
+/// "5% of I/O operations fail transiently" regime.
+const FETCH_RATE: f64 = 0.05;
+
+fn main() {
+    let scale = Scale::from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_chaos.json")
+        .to_string();
+
+    let ds = Dataset::TwitterSim;
+    let ps = partitions_for(ds, scale);
+    let h = hierarchy_for(ds, &ps);
+    let store = Arc::new(SnapshotStore::new(ps));
+
+    let hours = if scale.shrink >= 7 { 4 } else { 8 };
+    let trace_cfg =
+        TraceConfig { hours, base_rate: 2.0, peak_rate: 6.0, mean_duration: 1.0, seed: 0xFACE };
+    let trace = generate_trace(&trace_cfg);
+
+    // Shedding armed but slack (the trace never queues this deep): the
+    // degraded run pays the admission-bound bookkeeping without losing
+    // offers to it, so the completion-rate gate measures fault handling.
+    let max_backlog = 256;
+
+    let faulted_cfg = FaultConfig {
+        seed: FAULT_SEED,
+        fetch_rate: FETCH_RATE,
+        spike_rate: FETCH_RATE,
+        spike_seconds: 2e-3,
+        ..FaultConfig::default()
+    };
+
+    // Best-of-3 wall clocks, like the tracing-overhead gates.
+    let best_run = |cfg: FaultConfig| {
+        let mut best = f64::INFINITY;
+        let mut out = None;
+        for _ in 0..3 {
+            let start = std::time::Instant::now();
+            let (report, stats) = serve_trace_chaos(
+                &store,
+                2,
+                h,
+                &trace,
+                SECONDS_PER_HOUR,
+                0.01,
+                4,
+                cfg,
+                max_backlog,
+            );
+            best = best.min(start.elapsed().as_secs_f64());
+            out = Some((report, stats));
+        }
+        let (report, stats) = out.expect("three reps ran");
+        (report, stats, best)
+    };
+
+    let (clean, clean_stats, clean_wall) = best_run(FaultConfig::default());
+    let (faulted, faulted_stats, faulted_wall) = best_run(faulted_cfg);
+
+    let points = [
+        ChaosPoint::from_report("clean", trace.len(), &clean, &clean_stats, clean_wall * 1e3),
+        ChaosPoint::from_report(
+            "faulted",
+            trace.len(),
+            &faulted,
+            &faulted_stats,
+            faulted_wall * 1e3,
+        ),
+    ];
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.label.to_string(),
+                p.offered.to_string(),
+                p.completed.to_string(),
+                p.quarantined.to_string(),
+                p.rejected.to_string(),
+                p.retries.to_string(),
+                p.rerouted.to_string(),
+                p.breaker_trips.to_string(),
+                format!("{:.1}%", p.completion_rate() * 100.0),
+                format!("{:.2}", p.wall_ms),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "chaos differential ({} jobs, {:.0}% transient fetch faults)",
+            trace.len(),
+            FETCH_RATE * 100.0
+        ),
+        &[
+            "run",
+            "offered",
+            "done",
+            "quar",
+            "shed",
+            "retries",
+            "rerouted",
+            "trips",
+            "completion",
+            "wall ms",
+        ],
+        &rows,
+    );
+
+    // The degradation contract, asserted unconditionally at every scale.
+    let clean_pt = &points[0];
+    let faulted_pt = &points[1];
+    assert_eq!(
+        clean_pt.lost_jobs(),
+        0,
+        "clean run must account every offer"
+    );
+    assert_eq!(
+        faulted_pt.lost_jobs(),
+        0,
+        "faulted run must account every offer: {} offered, {} completed, \
+         {} quarantined, {} shed",
+        faulted_pt.offered,
+        faulted_pt.completed,
+        faulted_pt.quarantined,
+        faulted_pt.rejected,
+    );
+    assert_eq!(
+        clean_pt.completed, clean_pt.offered,
+        "clean run must complete everything"
+    );
+    assert_eq!(clean_pt.retries, 0, "disabled plane must draw nothing");
+    assert!(
+        faulted_pt.completion_rate() >= 0.99,
+        "must complete >=99% of jobs at a {:.0}% transient fault rate, got {:.2}%",
+        FETCH_RATE * 100.0,
+        faulted_pt.completion_rate() * 100.0
+    );
+    assert!(
+        faulted_pt.retries > 0,
+        "a 5% fault rate over this trace must burn at least one retry"
+    );
+
+    // Wall overhead of serving through the live fault plane: the
+    // degraded run may pay for retries and bookkeeping but must stay
+    // within 2x the clean wall.  Enforced only on >=4-core hosts at
+    // default scale or larger; always recorded in the JSON gates row.
+    let ratio = clean_wall / faulted_wall.max(1e-9);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "\nchaos overhead: clean {:.1} ms vs faulted {:.1} ms (ratio {:.3})",
+        clean_wall * 1e3,
+        faulted_wall * 1e3,
+        ratio
+    );
+    let gate = WallGate::resolve("chaos-overhead", 0.5, ratio, cores, scale.shrink <= 5);
+    if gate.enforced() {
+        assert!(
+            ratio >= 0.5,
+            "faulted serve must stay within 2x clean wall, got ratio {ratio:.3}"
+        );
+    } else {
+        println!(
+            "(chaos gate {}: {cores} core(s), shrink {})",
+            gate.status, scale.shrink
+        );
+    }
+
+    let json = chaos_json(
+        ds.name(),
+        scale.shrink,
+        FAULT_SEED,
+        FETCH_RATE,
+        &points,
+        &[gate],
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_chaos.json");
+    println!("wrote {out_path}");
+}

@@ -75,6 +75,7 @@ fn main() {
                 fmt_s(p.p99_latency),
                 p.loads.to_string(),
                 format!("{:.1}%", p.spared_vs_fifo * 100.0),
+                format!("{}/{}/{}", p.rejected, p.quarantined, p.retries),
             ]
         })
         .collect();
@@ -87,6 +88,7 @@ fn main() {
         fmt_s(stream.latency_percentile(99.0)),
         stream.loads.to_string(),
         "-".to_string(),
+        "0/0/0".to_string(),
     ]);
     print_table(
         &format!(
@@ -102,6 +104,7 @@ fn main() {
             "p99 lat ms",
             "loads",
             "spared",
+            "rej/quar/retry",
         ],
         &rows,
     );

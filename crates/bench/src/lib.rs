@@ -14,8 +14,8 @@ use std::sync::Arc;
 use cgraph_algos::{trace_arrivals, Bfs, PageRank, SccDriver, Sssp};
 use cgraph_baselines::{BaselinePreset, FifoServe, StreamConfig, StreamEngine};
 use cgraph_core::{
-    Engine, EngineConfig, JobEngine, JobId, Observer, SchedulerKind, ServeConfig, ServeLoop,
-    ServeReport,
+    Engine, EngineConfig, FaultConfig, FaultPlane, FaultStats, JobEngine, JobId, JobOutcome,
+    Observer, SchedulerKind, ServeConfig, ServeLoop, ServeReport,
 };
 use cgraph_graph::generate::Dataset;
 use cgraph_graph::snapshot::{CompactionPolicy, GraphDelta, SnapshotStore};
@@ -605,7 +605,7 @@ pub fn serve_trace_observed(
     );
     let mut serve = ServeLoop::new(
         engine,
-        ServeConfig { admission_window: window, time_scale: 1.0 },
+        ServeConfig { admission_window: window, time_scale: 1.0, ..ServeConfig::default() },
     );
     serve.offer_all(trace_arrivals(trace, seconds_per_hour, 64));
     serve.serve()
@@ -630,6 +630,184 @@ pub fn serve_trace_stream(
     serve.serve()
 }
 
+/// Serves the trace through the CGraph [`ServeLoop`] under a seeded
+/// fault plane with load shedding and brownout armed — the degraded
+/// half of the `bench_chaos` differential.  Pass
+/// [`FaultConfig::default()`] (all rates zero) for the clean half: the
+/// engine strips a disabled plane at construction, so the clean run is
+/// bit-identical to [`serve_trace`].  `max_backlog = 0` disables
+/// shedding.  Returns the report plus the plane's final fault stats.
+#[allow(clippy::too_many_arguments)]
+pub fn serve_trace_chaos(
+    store: &Arc<SnapshotStore>,
+    workers: usize,
+    hierarchy: HierarchyConfig,
+    trace: &[JobSpan],
+    seconds_per_hour: f64,
+    window: f64,
+    width: usize,
+    faults: FaultConfig,
+    max_backlog: usize,
+) -> (ServeReport, FaultStats) {
+    let plane = FaultPlane::new(faults);
+    let engine = Engine::new(
+        Arc::clone(store),
+        EngineConfig {
+            workers,
+            hierarchy,
+            wavefront: width,
+            faults: Some(Arc::clone(&plane)),
+            ..EngineConfig::default()
+        },
+    );
+    let mut serve = ServeLoop::new(
+        engine,
+        ServeConfig {
+            admission_window: window,
+            time_scale: 1.0,
+            max_backlog,
+            brownout_backlog: if max_backlog > 0 { max_backlog / 2 } else { 0 },
+            ..ServeConfig::default()
+        },
+    );
+    serve.offer_all(trace_arrivals(trace, seconds_per_hour, 64));
+    let report = serve.serve();
+    (report, plane.stats())
+}
+
+/// One half (clean or faulted) of the chaos differential.
+#[derive(Clone, Debug)]
+pub struct ChaosPoint {
+    /// Row label (`"clean"` / `"faulted"`).
+    pub label: &'static str,
+    /// Jobs the trace offered.
+    pub offered: usize,
+    /// Jobs that ran to convergence.
+    pub completed: usize,
+    /// Jobs quarantined after retry/reroute exhaustion.
+    pub quarantined: u64,
+    /// Offers shed at admission.
+    pub rejected: u64,
+    /// Fetch retries burned.
+    pub retries: u64,
+    /// Fetches rerouted by open breakers.
+    pub rerouted: u64,
+    /// Breaker trips.
+    pub breaker_trips: u64,
+    /// Jobs per virtual second of makespan.
+    pub throughput: f64,
+    /// Mean end-to-end latency over completed jobs (virtual seconds).
+    pub mean_latency: f64,
+    /// Partition loads performed.
+    pub loads: u64,
+    /// Wall-clock milliseconds of the serve run.
+    pub wall_ms: f64,
+}
+
+impl ChaosPoint {
+    /// Distills a serve report plus fault stats into one chaos row.
+    pub fn from_report(
+        label: &'static str,
+        offered: usize,
+        report: &ServeReport,
+        stats: &FaultStats,
+        wall_ms: f64,
+    ) -> ChaosPoint {
+        let rows = report.per_job();
+        let done: Vec<_> = rows
+            .iter()
+            .filter(|r| r.outcome == JobOutcome::Completed)
+            .collect();
+        let mean_latency = if done.is_empty() {
+            0.0
+        } else {
+            done.iter().map(|r| r.latency).sum::<f64>() / done.len() as f64
+        };
+        ChaosPoint {
+            label,
+            offered,
+            completed: done.len(),
+            quarantined: report.quarantined,
+            rejected: report.rejected,
+            retries: report.retries,
+            rerouted: stats.rerouted,
+            breaker_trips: stats.breaker_trips,
+            throughput: report.throughput(),
+            mean_latency,
+            loads: report.loads,
+            wall_ms,
+        }
+    }
+
+    /// Fraction of offered jobs that completed.
+    pub fn completion_rate(&self) -> f64 {
+        if self.offered == 0 {
+            1.0
+        } else {
+            self.completed as f64 / self.offered as f64
+        }
+    }
+
+    /// Every offered job must be accounted for exactly once:
+    /// completed, quarantined, or shed.  A shortfall is a lost job.
+    pub fn lost_jobs(&self) -> i64 {
+        self.offered as i64 - self.completed as i64 - self.quarantined as i64 - self.rejected as i64
+    }
+}
+
+/// Serializes the chaos differential as the machine-readable
+/// `BENCH_chaos.json` tracked by CI (hand-rolled like
+/// [`serve_sweep_json`]: the workspace is offline, no serde).
+pub fn chaos_json(
+    dataset: &str,
+    scale_shrink: u32,
+    fault_seed: u64,
+    fetch_rate: f64,
+    points: &[ChaosPoint],
+    gates: &[WallGate],
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"dataset\": \"{dataset}\",\n"));
+    s.push_str(&format!("  \"scale_shrink\": {scale_shrink},\n"));
+    s.push_str(&format!("  \"fault_seed\": {fault_seed},\n"));
+    s.push_str(&format!("  \"fetch_rate\": {fetch_rate:.6},\n"));
+    s.push_str(&format!(
+        "  \"cores\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    s.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"label\": \"{}\", \"offered\": {}, \"completed\": {}, \
+             \"quarantined\": {}, \"rejected\": {}, \"retries\": {}, \
+             \"rerouted\": {}, \"breaker_trips\": {}, \
+             \"completion_rate\": {:.6}, \"lost_jobs\": {}, \
+             \"throughput\": {:.6}, \"mean_latency\": {:.6}, \
+             \"loads\": {}, \"wall_ms\": {:.3}}}{}\n",
+            p.label,
+            p.offered,
+            p.completed,
+            p.quarantined,
+            p.rejected,
+            p.retries,
+            p.rerouted,
+            p.breaker_trips,
+            p.completion_rate(),
+            p.lost_jobs(),
+            p.throughput,
+            p.mean_latency,
+            p.loads,
+            p.wall_ms,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&gates_json(gates));
+    s.push_str("\n}\n");
+    s
+}
+
 /// One measured point of the serving sweep.
 #[derive(Clone, Copy, Debug)]
 pub struct ServePoint {
@@ -651,6 +829,12 @@ pub struct ServePoint {
     pub loads: u64,
     /// Fraction of the same-wavefront FIFO (window 0) run's loads spared.
     pub spared_vs_fifo: f64,
+    /// Offers shed at admission (always 0 without a backlog bound).
+    pub rejected: u64,
+    /// Jobs quarantined by the fault plane (always 0 without faults).
+    pub quarantined: u64,
+    /// Fetch retries burned by the fault plane (always 0 without faults).
+    pub retries: u64,
     /// Wall-clock milliseconds of the serve run.
     pub wall_ms: f64,
 }
@@ -716,6 +900,9 @@ pub fn serve_sweep(
                 p99_latency: report.latency_percentile(99.0),
                 loads: report.loads,
                 spared_vs_fifo,
+                rejected: report.rejected,
+                quarantined: report.quarantined,
+                retries: report.retries,
                 wall_ms,
             }
         })
@@ -746,7 +933,9 @@ pub fn serve_sweep_json(
             "    {{\"admission_window\": {:.6}, \"wavefront\": {}, \"jobs\": {}, \
              \"throughput\": {:.6}, \"mean_latency\": {:.6}, \"mean_wait\": {:.6}, \
              \"p99_latency\": {:.6}, \
-             \"loads\": {}, \"spared_vs_fifo\": {:.6}, \"wall_ms\": {:.3}}}{}\n",
+             \"loads\": {}, \"spared_vs_fifo\": {:.6}, \
+             \"rejected\": {}, \"quarantined\": {}, \"retries\": {}, \
+             \"wall_ms\": {:.3}}}{}\n",
             p.admission_window,
             p.wavefront,
             p.jobs,
@@ -756,6 +945,9 @@ pub fn serve_sweep_json(
             p.p99_latency,
             p.loads,
             p.spared_vs_fifo,
+            p.rejected,
+            p.quarantined,
+            p.retries,
             p.wall_ms,
             if i + 1 < points.len() { "," } else { "" }
         ));

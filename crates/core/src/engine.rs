@@ -15,7 +15,9 @@ use crate::exec::crew::{ExecCrew, ExecError};
 use crate::exec::ledger::JobTiming;
 use crate::exec::wavefront::RoundBuffers;
 use crate::exec::{ChargeLedger, PrefetchQueue, SlotPlanner};
+use crate::fault::{FaultError, FaultPlane};
 use crate::job::{JobId, JobRuntime, TypedJob};
+use crate::obs::event::{EventKind, NONE};
 use crate::obs::{Observer, Recorder};
 use crate::program::VertexProgram;
 use crate::scheduler::{OrderScheduler, PriorityScheduler, Scheduler};
@@ -132,6 +134,20 @@ pub struct EngineConfig {
     /// results — so enabling it changes no modeled figure and no
     /// algorithm output (pinned by `tests/observability.rs`).
     pub observer: Option<Arc<Observer>>,
+    /// Seeded fault plane threaded through every I/O boundary
+    /// ([`crate::fault`]).  `None` (the default) — or an explicit
+    /// [`FaultPlane::disabled`] — reduces every injection site to one
+    /// branch, keeping results bit-identical to a fault-free engine
+    /// (pinned by `tests/chaos.rs`).  When set and enabled, every
+    /// planned slot fetch is admitted through the plane before its
+    /// round executes: transient faults retry under the plane's
+    /// [`RetryPolicy`](crate::fault::RetryPolicy) (retries priced into
+    /// the ledger as disk re-reads, modeled backoff folded into
+    /// pipeline time), exhausted budgets *quarantine* the slot's jobs
+    /// — typed [`FaultError`], [`Engine::job_fault`] — instead of
+    /// aborting the engine, and per-lane circuit breakers reroute
+    /// fetch storms to always-succeeding disk re-fetch pricing.
+    pub faults: Option<Arc<FaultPlane>>,
 }
 
 impl Default for EngineConfig {
@@ -152,6 +168,7 @@ impl Default for EngineConfig {
             io_workers: 0,
             channel_capacity: 2,
             observer: None,
+            faults: None,
         }
     }
 }
@@ -181,6 +198,10 @@ pub(crate) struct JobEntry {
     /// interior mutability, and the engine remains the only scheduler.
     pub(crate) runtime: Arc<dyn JobRuntime>,
     pub(crate) done: bool,
+    /// Set when fault admission exhausted a fetch's retry budget while
+    /// this job was interested in the slot: the job was retired without
+    /// converging (`done` stays false) and carries its typed error.
+    pub(crate) quarantined: Option<FaultError>,
 }
 
 /// The concurrent iterative graph-processing engine.
@@ -221,6 +242,11 @@ pub struct Engine {
     /// disconnected channel): the crew has been shut down gracefully and
     /// the engine refuses further rounds.  See [`Engine::exec_error`].
     pub(crate) fault: Option<ExecError>,
+    /// The seeded fault plane, when the config carried one
+    /// ([`crate::fault`]); `None` keeps admission a single branch.
+    pub(crate) faults: Option<Arc<FaultPlane>>,
+    /// Jobs quarantined by fault admission so far.
+    pub(crate) quarantines: u64,
     /// The resolved observer (the config's, or the shared disabled one).
     pub(crate) obs: Arc<Observer>,
     /// Main-thread event recorder: fetch-issue / reorder-wait / install
@@ -252,6 +278,9 @@ impl Engine {
         let ledger = ChargeLedger::new(config.hierarchy);
         let obs = config.observer.clone().unwrap_or_else(Observer::disabled);
         let rec = obs.recorder("main");
+        // A disabled plane is the same as no plane: drop it here so the
+        // per-round admission check stays a single `None` branch.
+        let faults = config.faults.clone().filter(|plane| plane.is_enabled());
         Engine {
             config,
             store,
@@ -265,6 +294,8 @@ impl Engine {
             pipeline_seconds: 0.0,
             crew: None,
             fault: None,
+            faults,
+            quarantines: 0,
             obs,
             rec,
             round_no: 0,
@@ -287,6 +318,7 @@ impl Engine {
                     self.config.channel_capacity.max(1),
                     self.prefetch.depth() + 1,
                     &self.obs,
+                    self.faults.clone(),
                 )
             }
         }
@@ -311,7 +343,7 @@ impl Engine {
         let runtime = TypedJob::new(id, program, view);
         let done = runtime.is_converged();
         self.jobs
-            .push(JobEntry { runtime: Arc::new(runtime), done });
+            .push(JobEntry { runtime: Arc::new(runtime), done, quarantined: None });
         self.ledger.register_job();
         let runtime = &*self.jobs[id as usize].runtime;
         self.planner.track_job(id as usize, runtime, !done);
@@ -382,10 +414,121 @@ impl Engine {
                 self.scheduler.plan(&infos, width)
             }
         };
+        // Fault admission: every planned slot fetch passes through the
+        // plane on the main thread, before the round dispatches — the
+        // same gate for the fork-join and concurrent-crew paths.
+        if !self.admit_fetches(&picks) {
+            // A fetch exhausted its budget: its jobs were quarantined
+            // (mutating the planner, so this round's plan is stale) and
+            // the round is skipped.  The round counter still advances so
+            // fault draws keyed on it stay unique.
+            self.round_no = self.round_no.wrapping_add(1);
+            return;
+        }
         let round_seconds = self.exec_round(&picks);
         self.pipeline_seconds += round_seconds;
         self.loads += picks.len() as u64;
         self.round_no = self.round_no.wrapping_add(1);
+    }
+
+    /// Runs the planned slots' fetches through the fault plane.  Returns
+    /// `true` when the round may execute; `false` when at least one slot
+    /// drew an unrecoverable fault and its interested jobs were
+    /// quarantined.  Retries and breaker reroutes are priced into the
+    /// ledger as disk re-fetches and their modeled backoff/timeout delay
+    /// folded into pipeline time.
+    fn admit_fetches(&mut self, picks: &[usize]) -> bool {
+        let Some(plane) = self.faults.clone() else {
+            return true;
+        };
+        let round = self.round_no;
+        // Pass 1: read every planned slot *before* any retirement —
+        // quarantining dirties the planner's slot index, which would
+        // skew later reads of this round's (already stale) indices.
+        let mut quarantine: Vec<(Vec<usize>, FaultError)> = Vec::new();
+        let mut injected_delay = 0.0;
+        let trips_before = if self.rec.on() {
+            plane.stats().breaker_trips
+        } else {
+            0
+        };
+        for &idx in picks {
+            let ((pid, version), jobs) = self.planner.slot(idx);
+            let jobs = jobs.to_vec();
+            let lane = self.prefetch.lane_of(pid);
+            match plane.admit_fetch(lane, pid as u64, version as u64, round as u64) {
+                Ok(adm) => {
+                    injected_delay += adm.delay_seconds;
+                    let round_trips = adm.retries as u64 + adm.rerouted as u64;
+                    if round_trips > 0 {
+                        // Each retry (and a breaker reroute) re-reads the
+                        // slot's structure from disk; charge the slot's
+                        // first interested job, like the planner's own
+                        // representative-job convention.
+                        let job = jobs[0];
+                        let bytes = self.jobs[job]
+                            .runtime
+                            .view()
+                            .partition(pid)
+                            .structure_bytes();
+                        self.ledger.charge_retry_fetch(
+                            lane,
+                            job,
+                            bytes.saturating_mul(round_trips),
+                        );
+                        if self.rec.on() {
+                            self.rec.instant(
+                                EventKind::FaultRetry,
+                                job as u32,
+                                lane as u32,
+                                round,
+                                round_trips,
+                            );
+                            let r = self.obs.registry();
+                            r.counter("fault_retries").add(adm.retries as u64);
+                            if adm.rerouted {
+                                r.counter("fault_reroutes").inc();
+                            }
+                        }
+                    }
+                }
+                Err(err) => quarantine.push((jobs, err)),
+            }
+        }
+        if self.rec.on() {
+            let tripped = plane.stats().breaker_trips - trips_before;
+            for _ in 0..tripped {
+                self.rec
+                    .instant(EventKind::BreakerTrip, NONE, NONE, round, 0);
+            }
+            if tripped > 0 {
+                self.obs.registry().counter("breaker_trips").add(tripped);
+            }
+        }
+        self.pipeline_seconds += injected_delay;
+        if quarantine.is_empty() {
+            return true;
+        }
+        // Pass 2: quarantine every job interested in a failed slot —
+        // retired from the planner and ledger like a finished job, but
+        // `done` stays false and the typed error is kept.
+        for (jobs, err) in quarantine {
+            for j in jobs {
+                if self.jobs[j].done || self.jobs[j].quarantined.is_some() {
+                    continue;
+                }
+                self.jobs[j].quarantined = Some(err);
+                self.quarantines += 1;
+                self.ledger.evict_job(j as u32);
+                self.planner.retire_job(j);
+                if self.rec.on() {
+                    self.rec
+                        .instant(EventKind::FaultQuarantine, j as u32, NONE, round, 0);
+                    self.obs.registry().counter("fault_quarantines").inc();
+                }
+            }
+        }
+        false
     }
 
     /// Runs all submitted jobs to convergence (Alg. 3): `while
@@ -451,6 +594,23 @@ impl Engine {
     /// Whether the job has converged.
     pub fn job_done(&self, job: JobId) -> bool {
         self.jobs.get(job as usize).map(|e| e.done).unwrap_or(false)
+    }
+
+    /// The typed fault that quarantined the job, if fault admission
+    /// retired it before convergence (`None` for healthy or unknown
+    /// jobs).  Quarantined jobs are never [`job_done`](Self::job_done).
+    pub fn job_fault(&self, job: JobId) -> Option<FaultError> {
+        self.jobs.get(job as usize).and_then(|e| e.quarantined)
+    }
+
+    /// Jobs quarantined by fault admission so far.
+    pub fn quarantined_count(&self) -> u64 {
+        self.quarantines
+    }
+
+    /// The engine's fault plane, when one was configured and enabled.
+    pub fn fault_plane(&self) -> Option<&Arc<FaultPlane>> {
+        self.faults.as_ref()
     }
 
     /// Iterations the job ran (counted as Push stages).
@@ -544,6 +704,13 @@ impl Engine {
     /// [`shard_fetch_bytes`](Self::shard_fetch_bytes)).
     pub fn spill_fetch_bytes(&self) -> &[u64] {
         self.ledger.spill_fetch_bytes()
+    }
+
+    /// Fault-retry / breaker-reroute re-fetch bytes per lane — the
+    /// priced round-trips fault admission injected (a subset of
+    /// [`shard_fetch_bytes`](Self::shard_fetch_bytes)).
+    pub fn retry_fetch_bytes(&self) -> &[u64] {
+        self.ledger.retry_fetch_bytes()
     }
 
     /// Disk fetch bytes jobs pulled from outside their home shards (the

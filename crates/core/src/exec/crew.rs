@@ -76,6 +76,7 @@ use std::time::Duration;
 
 use cgraph_graph::PartitionId;
 
+use crate::fault::FaultPlane;
 use crate::job::{JobRuntime, ProcessStats};
 use crate::obs::{EventKind, Observer, Recorder, NONE};
 
@@ -272,12 +273,17 @@ impl ExecCrew {
     /// [`Recorder`] from `obs` (permanently off on a disabled
     /// observer), created here on the spawning thread and moved into
     /// the worker — recorders are single-writer by construction.
+    /// `faults` (the engine's fault plane, if any) arms the injected
+    /// worker-death drill: a trigger worker panics on the plane's
+    /// configured `(partition, chunk)` exactly as crashing user code
+    /// would, exercising the typed-failure path end to end.
     pub(crate) fn spawn(
         nio: usize,
         compute: usize,
         capacity: usize,
         window: usize,
         obs: &Observer,
+        faults: Option<Arc<FaultPlane>>,
     ) -> Self {
         let nio = nio.max(1);
         let compute = compute.max(1);
@@ -308,10 +314,11 @@ impl ExecCrew {
             let queue = Arc::clone(&chunks);
             let state = Arc::clone(&round);
             let rec = obs.recorder(&format!("cgraph-trigger-{w}"));
+            let plane = faults.clone();
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("cgraph-trigger-{w}"))
-                    .spawn(move || compute_loop(queue, state, rec))
+                    .spawn(move || compute_loop(queue, state, rec, plane))
                     .expect("spawn trigger worker"),
             );
         }
@@ -473,12 +480,25 @@ fn io_loop(rx: Receiver<FetchMsg>, done_tx: SyncSender<FetchMsg>, rec: Recorder)
     }
 }
 
-fn compute_loop(queue: Arc<ChunkQueue>, round: Arc<RoundState>, rec: Recorder) {
+fn compute_loop(
+    queue: Arc<ChunkQueue>,
+    round: Arc<RoundState>,
+    rec: Recorder,
+    faults: Option<Arc<FaultPlane>>,
+) {
     while let Some(msg) = queue.pop() {
         // Armed across the user-code call: a panic inside
         // `process_chunk` unwinds through the guard, which settles the
         // chunk and marks the round failed before the thread dies.
         let guard = ChunkPanicGuard { round: &round };
+        if let Some(plane) = &faults {
+            // The injected worker-death drill panics behind the armed
+            // guard, so it travels the same path as crashing user code.
+            assert!(
+                !plane.should_panic_chunk(msg.pid, msg.chunk),
+                "injected fault-plane chunk panic"
+            );
+        }
         let t0 = rec.start();
         let stats = msg.runtime.process_chunk(msg.pid, msg.chunk, msg.nchunks);
         std::mem::forget(guard);
@@ -504,7 +524,7 @@ mod tests {
 
     #[test]
     fn idle_crew_shuts_down() {
-        let crew = ExecCrew::spawn(2, 2, 1, 1, &crate::obs::Observer::disabled());
+        let crew = ExecCrew::spawn(2, 2, 1, 1, &crate::obs::Observer::disabled(), None);
         assert_eq!(crew.nio, 2);
         assert_eq!(crew.window(), 1);
         drop(crew);
@@ -512,7 +532,7 @@ mod tests {
 
     #[test]
     fn crew_clamps_degenerate_parameters() {
-        let crew = ExecCrew::spawn(0, 0, 0, 0, &crate::obs::Observer::disabled());
+        let crew = ExecCrew::spawn(0, 0, 0, 0, &crate::obs::Observer::disabled(), None);
         assert_eq!(crew.nio, 1);
         assert_eq!(crew.window(), 1);
     }
@@ -579,7 +599,7 @@ mod tests {
         // round must come back with a typed error (not wedge on the
         // condvar, not abort the test process) and the crew must still
         // drop cleanly afterwards.
-        let mut crew = ExecCrew::spawn(1, 2, 1, 1, &crate::obs::Observer::disabled());
+        let mut crew = ExecCrew::spawn(1, 2, 1, 1, &crate::obs::Observer::disabled(), None);
         crew.begin_round(1);
         let runtime: Arc<dyn JobRuntime> = Arc::new(FaultyRuntime { panic_on: 2 });
         for chunk in 0..4 {
@@ -596,7 +616,7 @@ mod tests {
 
     #[test]
     fn clean_chunks_still_fold_after_guard_refactor() {
-        let mut crew = ExecCrew::spawn(1, 2, 1, 1, &crate::obs::Observer::disabled());
+        let mut crew = ExecCrew::spawn(1, 2, 1, 1, &crate::obs::Observer::disabled(), None);
         crew.begin_round(2);
         let runtime: Arc<dyn JobRuntime> = Arc::new(FaultyRuntime { panic_on: usize::MAX });
         for chunk in 0..3 {

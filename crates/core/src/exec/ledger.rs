@@ -55,6 +55,10 @@ pub struct ChargeLedger {
     /// Disk bytes re-fetched from (modeled) spill storage per lane — the
     /// capacity-eviction round-trips, a subset of `shard_fetch_bytes`.
     spill_fetch_bytes: Vec<u64>,
+    /// Disk bytes re-fetched because the fault plane retried or rerouted
+    /// a fetch — injected-failure round-trips, a subset of
+    /// `shard_fetch_bytes` (disjoint from `spill_fetch_bytes`).
+    retry_fetch_bytes: Vec<u64>,
     /// Per job: disk bytes fetched through each lane (parallel to
     /// `job_metrics`; inner vectors grown on demand).  A job's dominant
     /// lane is its *home shard*; everything else is cross-shard traffic.
@@ -78,6 +82,7 @@ impl ChargeLedger {
             timings: Vec::new(),
             shard_fetch_bytes: Vec::new(),
             spill_fetch_bytes: Vec::new(),
+            retry_fetch_bytes: Vec::new(),
             job_lane_fetch: Vec::new(),
         }
     }
@@ -167,6 +172,24 @@ impl ChargeLedger {
         }
     }
 
+    /// Charges the disk traffic of one fault-plane retry or breaker
+    /// reroute: `bytes` re-read over shard lane `shard` on behalf of
+    /// `job`.  Priced exactly like a spill re-fetch (disk counter, job
+    /// attribution, lane figure) but tracked in
+    /// [`retry_fetch_bytes`](Self::retry_fetch_bytes) so injected-failure
+    /// pricing stays separately observable from eviction pricing.
+    pub fn charge_retry_fetch(&mut self, shard: usize, job: usize, bytes: u64) {
+        self.hierarchy.metrics_mut().bytes_disk_to_mem += bytes;
+        if let Some(jm) = self.job_metrics.get_mut(job) {
+            jm.attributed_bytes += bytes as f64;
+        }
+        bump_lane(&mut self.shard_fetch_bytes, shard, bytes);
+        bump_lane(&mut self.retry_fetch_bytes, shard, bytes);
+        if let Some(lanes) = self.job_lane_fetch.get_mut(job) {
+            bump_lane(lanes, shard, bytes);
+        }
+    }
+
     /// Disk bytes fetched per shard lane (index = shard id).  Shorter
     /// than the shard count when the tail lanes never saw disk traffic.
     pub fn shard_fetch_bytes(&self) -> &[u64] {
@@ -177,6 +200,12 @@ impl ChargeLedger {
     /// [`shard_fetch_bytes`](Self::shard_fetch_bytes)).
     pub fn spill_fetch_bytes(&self) -> &[u64] {
         &self.spill_fetch_bytes
+    }
+
+    /// Fault-retry / breaker-reroute re-fetch bytes per shard lane (a
+    /// subset of [`shard_fetch_bytes`](Self::shard_fetch_bytes)).
+    pub fn retry_fetch_bytes(&self) -> &[u64] {
+        &self.retry_fetch_bytes
     }
 
     /// One job's disk fetch bytes per lane (empty if the job never hit

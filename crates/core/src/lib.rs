@@ -29,6 +29,10 @@
 //! * [`obs`] — zero-cost-when-disabled tracing and metrics: per-thread
 //!   lock-free event rings, a counter/gauge/histogram registry, and
 //!   Chrome-trace / JSONL / Prometheus exporters.
+//! * [`fault`] — the seeded, deterministic fault plane: typed
+//!   transient/permanent faults and modeled latency spikes injected at
+//!   every I/O boundary from a reproducible schedule, with retries,
+//!   per-lane circuit breakers, and quarantine instead of engine abort.
 //!
 //! Concrete algorithms (PageRank, SSSP, BFS, WCC, SCC, …) live in
 //! `cgraph-algos`; baseline engines that drive the *same* job runtimes with
@@ -37,6 +41,7 @@
 pub mod api;
 pub mod engine;
 pub mod exec;
+pub mod fault;
 pub mod job;
 pub mod obs;
 pub mod program;
@@ -48,11 +53,15 @@ pub mod workers;
 pub use api::JobEngine;
 pub use engine::{Engine, EngineConfig, RunReport, SchedulerKind, SyncStrategy};
 pub use exec::{ChargeLedger, ExecError, JobTiming, PrefetchQueue, SlotPlanner};
+pub use fault::{
+    BreakerConfig, FaultBoundary, FaultConfig, FaultError, FaultKind, FaultPlane, FaultStats,
+    FetchAdmission, RetryPolicy,
+};
 pub use job::{JobId, JobRuntime, ProcessStats, PushStats, TypedJob};
 pub use obs::{Observer, Recorder, Registry, TraceDump};
 pub use program::{EdgeDirection, VertexInfo, VertexProgram};
 pub use scheduler::{OrderScheduler, PriorityScheduler, Scheduler, SlotInfo};
 pub use serve::{
-    AdmissionController, Arrival, JobLatency, JobRow, ServeConfig, ServeJournal, ServeLoop,
-    ServeReport,
+    AdmissionController, Arrival, JobLatency, JobOutcome, JobRow, ServeConfig, ServeJournal,
+    ServeLoop, ServeReport,
 };

@@ -51,6 +51,17 @@ pub enum EventKind {
     Checkpoint = 14,
     /// Crash-recovery WAL replay.
     RecoveryReplay = 15,
+    /// The fault plane retried an operation after a transient fault
+    /// (value = retries burned by that operation).
+    FaultRetry = 16,
+    /// A slot fetch exhausted its retry budget (or drew a permanent
+    /// fault) and its interested jobs were quarantined.
+    FaultQuarantine = 17,
+    /// A lane's fetch circuit breaker opened.
+    BreakerTrip = 18,
+    /// Serve-loop load shedding rejected an arrival at the admission
+    /// door (value = backlog depth at rejection).
+    AdmitShed = 19,
 }
 
 impl EventKind {
@@ -73,6 +84,10 @@ impl EventKind {
             EventKind::ServeRound => "serve_round",
             EventKind::Checkpoint => "checkpoint",
             EventKind::RecoveryReplay => "recovery_replay",
+            EventKind::FaultRetry => "fault_retry",
+            EventKind::FaultQuarantine => "fault_quarantine",
+            EventKind::BreakerTrip => "breaker_trip",
+            EventKind::AdmitShed => "admit_shed",
         }
     }
 
@@ -96,6 +111,10 @@ impl EventKind {
             13 => EventKind::ServeRound,
             14 => EventKind::Checkpoint,
             15 => EventKind::RecoveryReplay,
+            16 => EventKind::FaultRetry,
+            17 => EventKind::FaultQuarantine,
+            18 => EventKind::BreakerTrip,
+            19 => EventKind::AdmitShed,
             _ => return None,
         })
     }

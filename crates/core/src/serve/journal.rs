@@ -123,7 +123,7 @@ impl ServeJournal {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cgraph_graph::wal::fault;
+    use cgraph_graph::fault;
 
     fn dir(tag: &str) -> std::path::PathBuf {
         let d =

@@ -38,5 +38,5 @@ pub mod serve_loop;
 
 pub use admission::{AdmissionController, Arrival};
 pub use journal::{JournalEntry, ServeJournal};
-pub use report::{JobLatency, JobRow, ServeReport};
+pub use report::{JobLatency, JobOutcome, JobRow, ServeReport};
 pub use serve_loop::{ServeConfig, ServeLoop};

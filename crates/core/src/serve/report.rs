@@ -2,6 +2,32 @@
 
 use crate::job::JobId;
 
+/// How a served job's lifecycle ended.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// The job converged normally.
+    #[default]
+    Completed,
+    /// Serving stopped (load valve / executor failure) before the job
+    /// converged; its completion stamp is the stop time.
+    Truncated,
+    /// Fault admission quarantined the job: a fetch it depended on
+    /// exhausted its retry budget, and the job was retired with a typed
+    /// error instead of aborting the engine.
+    Quarantined,
+}
+
+impl JobOutcome {
+    /// Stable lowercase name for tables and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobOutcome::Completed => "completed",
+            JobOutcome::Truncated => "truncated",
+            JobOutcome::Quarantined => "quarantined",
+        }
+    }
+}
+
 /// One served job's virtual-time lifecycle, fully resolved.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct JobLatency {
@@ -15,6 +41,8 @@ pub struct JobLatency {
     pub admitted: f64,
     /// Convergence.
     pub completed: f64,
+    /// How the lifecycle ended (completed / truncated / quarantined).
+    pub outcome: JobOutcome,
 }
 
 impl JobLatency {
@@ -44,6 +72,8 @@ pub struct JobRow {
     pub wait: f64,
     /// End-to-end latency: convergence minus arrival.
     pub latency: f64,
+    /// How the lifecycle ended (completed / truncated / quarantined).
+    pub outcome: JobOutcome,
 }
 
 /// Summary of one serving run over an arrival stream.
@@ -69,6 +99,14 @@ pub struct ServeReport {
     /// job converged — truncated jobs carry the stop-time as their
     /// completion, so latency figures understate them.
     pub completed: bool,
+    /// Arrivals the serve loop shed at the admission door (bounded
+    /// backlog overflow); they never became jobs and are not in `jobs`.
+    pub rejected: u64,
+    /// Admitted jobs quarantined by fault admission (also flagged on
+    /// their rows via [`JobOutcome::Quarantined`]).
+    pub quarantined: u64,
+    /// Fault-plane retries burned over the run (0 without a plane).
+    pub retries: u64,
 }
 
 impl ServeReport {
@@ -100,7 +138,20 @@ impl ServeReport {
             modeled_seconds,
             makespan,
             completed,
+            rejected: 0,
+            quarantined: 0,
+            retries: 0,
         }
+    }
+
+    /// Attaches the degradation counters (load-shed rejections,
+    /// quarantined jobs, fault-plane retries) to a report built with
+    /// [`new`](Self::new) — zero for engines without a fault plane.
+    pub fn with_counts(mut self, rejected: u64, quarantined: u64, retries: u64) -> Self {
+        self.rejected = rejected;
+        self.quarantined = quarantined;
+        self.retries = retries;
+        self
     }
 
     /// Per-job wait/latency rows, in admission order — the one-stop
@@ -115,6 +166,7 @@ impl ServeReport {
                 arrival: j.arrival,
                 wait: j.wait(),
                 latency: j.latency(),
+                outcome: j.outcome,
             })
             .collect()
     }
@@ -171,7 +223,14 @@ mod tests {
     use super::*;
 
     fn job(arrival: f64, admitted: f64, completed: f64) -> JobLatency {
-        JobLatency { job: 0, name: "j", arrival, admitted, completed }
+        JobLatency {
+            job: 0,
+            name: "j",
+            arrival,
+            admitted,
+            completed,
+            outcome: JobOutcome::Completed,
+        }
     }
 
     fn report(jobs: Vec<JobLatency>, loads: u64) -> ServeReport {

@@ -10,7 +10,7 @@ use crate::job::JobId;
 use crate::obs::{EventKind, Observer, Recorder, NONE};
 use crate::serve::admission::{AdmissionController, Arrival};
 use crate::serve::journal::{JournalEntry, ServeJournal};
-use crate::serve::report::{JobLatency, ServeReport};
+use crate::serve::report::{JobLatency, JobOutcome, ServeReport};
 
 /// Smoothing factor of the arrival-rate EWMA gauge: each new
 /// inter-arrival sample carries 20% weight, so the gauge tracks bursts
@@ -27,11 +27,33 @@ pub struct ServeConfig {
     /// (1.0 = the engine's cost model *is* the wall clock; larger
     /// values model an arrival stream slow relative to execution).
     pub time_scale: f64,
+    /// Bounded backlog: offers arriving while this many arrivals are
+    /// already queued are *shed* — counted as rejected in the report,
+    /// never submitted, never journaled.  0 (the default) = unbounded,
+    /// the pre-existing behavior.
+    pub max_backlog: usize,
+    /// Brownout threshold: when the backlog reaches this depth — or a
+    /// job is quarantined by fault admission — the loop enters brownout
+    /// and widens the admission window by
+    /// [`brownout_factor`](Self::brownout_factor), trading admission
+    /// latency for bigger, better-shared waves; it exits (restoring the
+    /// configured window) once the backlog drains to half the
+    /// threshold.  0 (the default) disables brownout.
+    pub brownout_backlog: usize,
+    /// Multiplier applied to the admission window during brownout
+    /// (clamped to ≥ 1).
+    pub brownout_factor: f64,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { admission_window: 0.0, time_scale: 1.0 }
+        ServeConfig {
+            admission_window: 0.0,
+            time_scale: 1.0,
+            max_backlog: 0,
+            brownout_backlog: 0,
+            brownout_factor: 4.0,
+        }
     }
 }
 
@@ -86,6 +108,23 @@ pub struct ServeLoop {
     last_arrival: Option<f64>,
     /// Smoothed arrival rate in jobs per virtual second.
     arrival_ewma: Option<f64>,
+    /// Backlog bound for load shedding (0 = unbounded).
+    max_backlog: usize,
+    /// Brownout entry threshold (0 = brownout disabled).
+    brownout_backlog: usize,
+    /// Window multiplier while browned out.
+    brownout_factor: f64,
+    /// The configured admission window, restored on brownout exit.
+    base_window: f64,
+    /// Whether the loop is currently browned out.
+    brownout: bool,
+    /// Offers shed at the admission door since construction.
+    rejected: u64,
+    /// Sheds already attributed to an earlier report — offers are shed
+    /// at *offer* time, which happens between `serve` calls, so each
+    /// report covers every shed since the previous one rather than
+    /// only those during its own loop.
+    reported_rejected: u64,
 }
 
 impl ServeLoop {
@@ -119,6 +158,13 @@ impl ServeLoop {
             rec,
             last_arrival: None,
             arrival_ewma: None,
+            max_backlog: config.max_backlog,
+            brownout_backlog: config.brownout_backlog,
+            brownout_factor: config.brownout_factor.max(1.0),
+            base_window: config.admission_window,
+            brownout: false,
+            rejected: 0,
+            reported_rejected: 0,
         }
     }
 
@@ -155,7 +201,11 @@ impl ServeLoop {
     /// Queues one arrival.  Under a journal
     /// ([`with_journal`](Self::with_journal)), an offer a previous
     /// incarnation completed is consumed here instead: its journaled
-    /// lifecycle goes straight to the next report.
+    /// lifecycle goes straight to the next report.  With a bounded
+    /// backlog ([`ServeConfig::max_backlog`]), an offer arriving over a
+    /// full queue is *shed*: counted as rejected, never submitted, never
+    /// journaled.  Shed offers still consume their offer-order sequence
+    /// number, so journal identity is stable across restarts.
     pub fn offer(&mut self, arrival: Arrival) {
         if self.rec.on() {
             self.note_arrival(arrival.at);
@@ -170,10 +220,27 @@ impl ServeLoop {
                     arrival: entry.arrival,
                     admitted: entry.admitted,
                     completed: entry.completed,
+                    outcome: JobOutcome::Completed,
                 });
                 self.resumed_count += 1;
                 return;
             }
+        }
+        if self.max_backlog > 0 && self.admission.pending() >= self.max_backlog {
+            self.rejected += 1;
+            if self.rec.on() {
+                self.rec.instant(
+                    EventKind::AdmitShed,
+                    NONE,
+                    NONE,
+                    self.rounds.min(u32::MAX as u64) as u32,
+                    self.admission.pending() as u64,
+                );
+                self.obs.registry().counter("serve_shed").inc();
+            }
+            return;
+        }
+        if self.journal.is_some() {
             let mut arrival = arrival;
             arrival.seq = Some(seq);
             self.admission.offer(arrival);
@@ -198,6 +265,18 @@ impl ServeLoop {
     /// already completed them.
     pub fn resumed(&self) -> u64 {
         self.resumed_count
+    }
+
+    /// Offers shed at the admission door since construction (bounded
+    /// backlog overflow).
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Whether the loop is currently browned out (admission window
+    /// widened under backlog or fault pressure).
+    pub fn browned_out(&self) -> bool {
+        self.brownout
     }
 
     /// The first journal I/O failure, if journaling had to stop (the
@@ -244,6 +323,38 @@ impl ServeLoop {
         );
     }
 
+    /// Brownout hysteresis: enter when the backlog reaches the
+    /// threshold or fault admission has quarantined a job (the window
+    /// widens by the configured factor, so waves batch harder and the
+    /// engine catches up); exit — restoring the configured window —
+    /// once the backlog drains to half the threshold.
+    fn update_brownout(&mut self) {
+        if self.brownout_backlog == 0 {
+            return;
+        }
+        let pending = self.admission.pending();
+        if !self.brownout
+            && (pending >= self.brownout_backlog || self.engine.quarantined_count() > 0)
+        {
+            self.brownout = true;
+            // A zero base window widens to nothing: brownout is a
+            // batching lever, so it needs a window to widen (shedding
+            // still bounds a FIFO loop).
+            self.admission
+                .set_window(self.base_window * self.brownout_factor);
+            if self.rec.on() {
+                self.obs.registry().counter("serve_brownouts").inc();
+                self.obs.registry().gauge("serve_brownout").set(1.0);
+            }
+        } else if self.brownout && pending <= self.brownout_backlog / 2 {
+            self.brownout = false;
+            self.admission.set_window(self.base_window);
+            if self.rec.on() {
+                self.obs.registry().gauge("serve_brownout").set(0.0);
+            }
+        }
+    }
+
     /// Releases every due arrival into the engine, stamping admissions.
     fn admit_due(&mut self) -> bool {
         let wave = self.admission.release(self.clock, self.engine.store());
@@ -283,8 +394,10 @@ impl ServeLoop {
         true
     }
 
-    /// Stamps completion for every open job that has converged, and
-    /// journals the genuinely converged (never valve-truncated) ones.
+    /// Stamps completion for every open job that has converged — or was
+    /// quarantined by fault admission (stamped at the quarantine clock,
+    /// never journaled: only genuine convergence may be skipped on
+    /// restart) — and journals the genuinely converged ones.
     fn note_completions(&mut self) {
         let clock = self.clock;
         let mut finished: Vec<JobId> = Vec::new();
@@ -293,6 +406,9 @@ impl ServeLoop {
             if engine.job_done(id) {
                 engine.record_completion(id, clock);
                 finished.push(id);
+                false
+            } else if engine.job_fault(id).is_some() {
+                engine.record_completion(id, clock);
                 false
             } else {
                 true
@@ -350,8 +466,15 @@ impl ServeLoop {
         let (start_waves, start_rounds) = (self.waves, self.rounds);
         let report_from = self.tracked.len();
         let max_loads = self.engine.config().max_loads;
+        let start_quarantined = self.engine.quarantined_count();
+        let start_retries = self
+            .engine
+            .fault_plane()
+            .map(|p| p.stats().retries)
+            .unwrap_or(0);
         let mut completed = true;
         loop {
+            self.update_brownout();
             if self.admit_due() {
                 // Jobs converged at submission complete with zero
                 // execution latency.
@@ -415,23 +538,46 @@ impl ServeLoop {
         let mut jobs: Vec<JobLatency> = std::mem::take(&mut self.resumed);
         jobs.extend(self.tracked[report_from..].iter().map(|&(id, name, _)| {
             let t = self.engine.job_timing(id).expect("admitted jobs are timed");
+            let outcome = if self.engine.job_fault(id).is_some() {
+                JobOutcome::Quarantined
+            } else if self.engine.job_done(id) {
+                JobOutcome::Completed
+            } else {
+                JobOutcome::Truncated
+            };
             JobLatency {
                 job: id,
                 name,
                 arrival: t.arrival,
                 admitted: t.admitted,
                 completed: t.completed.expect("served jobs are complete"),
+                outcome,
             }
         }));
+        let retries = self
+            .engine
+            .fault_plane()
+            .map(|p| p.stats().retries)
+            .unwrap_or(0)
+            - start_retries;
+        // Offer-time sheds since the previous report (see
+        // `reported_rejected`): the offer phase precedes the loop.
+        let rejected = self.rejected - self.reported_rejected;
+        self.reported_rejected = self.rejected;
         ServeReport::new(
             "cgraph-serve",
-            self.admission.window(),
+            self.base_window,
             jobs,
             self.waves - start_waves,
             self.rounds - start_rounds,
             self.engine.total_loads() - start_loads,
             self.engine.pipeline_seconds() - start_pipeline,
             completed,
+        )
+        .with_counts(
+            rejected,
+            self.engine.quarantined_count() - start_quarantined,
+            retries,
         )
     }
 }

@@ -1,0 +1,243 @@
+//! The store-side half of the shared fault plane.
+//!
+//! Fault injection in this workspace lives in two layers.  This module
+//! is the lower one: everything the *graph* crate needs to model I/O
+//! failure without depending on the engine above it.
+//!
+//! * [`FaultInjector`] — the runtime hook the snapshot store and WAL
+//!   notify at every durable I/O boundary (appends, fsyncs, spilled-
+//!   payload rehydration, apply rebuilds).  It mirrors
+//!   [`crate::obs::StoreObserver`]: one `Option<Arc<dyn FaultInjector>>`
+//!   per store, every call site one branch on an always-`None` option
+//!   when no injector is attached (the default).  The engine's
+//!   `FaultPlane` (`cgraph_core::fault`) implements this trait; tests
+//!   can implement it directly.
+//! * The *file* fault harness ([`FaultPlan`], [`FaultyFile`],
+//!   [`truncate_at`], [`flip_bit`], [`file_len`]) — programmed
+//!   failpoint writers and post-hoc file mutators for crash and
+//!   corruption testing, promoted here from `wal::fault` so crash tests
+//!   and runtime injection share one module.
+//!
+//! # Fail-open semantics
+//!
+//! Store boundaries are notification-only: the injector is told an
+//! operation happened (and deterministically decides whether it *would*
+//! have faulted, accounting retries and modeled latency), but the
+//! operation itself always proceeds.  Read paths
+//! ([`GraphView::partition`](crate::GraphView::partition)) are
+//! infallible by contract, and failing an apply mid-mutation would risk
+//! an inconsistent in-memory index — permanent WAL faults model
+//! *crashes*, which the recovery suite covers with the file harness
+//! below.  The fallible boundary with typed errors and quarantine is
+//! the engine's shard fetch, which lives above this crate.
+//!
+//! # Threading
+//!
+//! Appends, fsyncs, and apply rebuilds fire on the thread calling
+//! [`ShardedSnapshotStore::apply`](crate::snapshot::ShardedSnapshotStore::apply)
+//! and are serial per store.  [`StoreFaultBoundary::Rehydrate`] fires on
+//! whatever thread faults a spilled payload back in — implementations
+//! must be `Send + Sync` and key decisions on the stable `(shard, key)`
+//! coordinates, never on call order.
+
+use std::fs::OpenOptions;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Which store-side I/O boundary a [`FaultInjector`] notification
+/// came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StoreFaultBoundary {
+    /// A WAL segment append (store-level manifest when `shard` is
+    /// `None`).
+    WalAppend,
+    /// A WAL segment fsync that actually reached the disk (clean
+    /// segments are skipped, exactly like the observer's fsync count).
+    WalFsync,
+    /// A spilled or lazily-recovered payload read back through the
+    /// shard segment.  Concurrent.
+    Rehydrate,
+    /// One snapshot-store `apply`: record append plus current-index
+    /// rebuild.
+    ApplyRebuild,
+}
+
+impl StoreFaultBoundary {
+    /// Stable human-readable name for reports and stats.
+    pub fn name(self) -> &'static str {
+        match self {
+            StoreFaultBoundary::WalAppend => "wal_append",
+            StoreFaultBoundary::WalFsync => "wal_fsync",
+            StoreFaultBoundary::Rehydrate => "rehydrate",
+            StoreFaultBoundary::ApplyRebuild => "apply_rebuild",
+        }
+    }
+}
+
+/// Runtime fault hook the snapshot store and WAL notify at every
+/// durable I/O boundary.  Fail-open: implementations account faults,
+/// retries, and modeled latency, but the notified operation always
+/// proceeds (see the module docs for why).
+///
+/// `shard` is the segment's shard index (`None` for the store-level
+/// manifest segment); `key` is a boundary-specific stable coordinate
+/// (payload length for appends, payload offset for rehydrates, the
+/// delta timestamp for applies) so decisions replay bit-for-bit
+/// regardless of thread interleaving.
+pub trait FaultInjector: Send + Sync {
+    /// One store-side I/O operation is about to run.
+    fn store_op(&self, boundary: StoreFaultBoundary, shard: Option<usize>, key: u64);
+}
+
+/// Crate-internal spelling of "maybe an injector": wraps
+/// `Option<Arc<dyn FaultInjector>>` so holders keep deriving `Debug`
+/// (mirrors [`crate::obs`]'s `ObsHandle`).
+pub(crate) struct FaultHandle(Option<std::sync::Arc<dyn FaultInjector>>);
+
+impl FaultHandle {
+    pub(crate) fn none() -> FaultHandle {
+        FaultHandle(None)
+    }
+
+    pub(crate) fn set(&mut self, inj: std::sync::Arc<dyn FaultInjector>) {
+        self.0 = Some(inj);
+    }
+
+    /// One-branch notification: forwards to the injector when set.
+    #[inline]
+    pub(crate) fn notify(&self, boundary: StoreFaultBoundary, shard: Option<usize>, key: u64) {
+        if let Some(inj) = self.0.as_deref() {
+            inj.store_op(boundary, shard, key);
+        }
+    }
+}
+
+impl std::fmt::Debug for FaultHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "FaultHandle(set)"
+        } else {
+            "FaultHandle(unset)"
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// File fault harness (crash / corruption testing).
+// ---------------------------------------------------------------------
+
+/// What a [`FaultyFile`] does to the byte stream passing through it.
+#[derive(Clone, Copy, Debug)]
+pub enum FaultPlan {
+    /// Silently drop every byte at stream offset `>= at` (a cached
+    /// write the kernel never made durable).
+    DropFrom {
+        /// First stream offset dropped.
+        at: u64,
+    },
+    /// Drop bytes at offset `>= at` and fail the *next* write after
+    /// the cut (the process died mid-append).
+    TruncateAt {
+        /// First stream offset cut.
+        at: u64,
+    },
+    /// Flip bit `bit` of the byte at stream offset `at` (media bit
+    /// rot).
+    FlipBitAt {
+        /// Stream offset of the corrupted byte.
+        at: u64,
+        /// Which bit (0–7) flips.
+        bit: u8,
+    },
+}
+
+/// A `Write` wrapper with one programmed failpoint, for unit-testing
+/// the frame codec against dropped, truncated, and bit-flipped
+/// writes without touching a real filesystem.
+#[derive(Debug)]
+pub struct FaultyFile<W> {
+    inner: W,
+    written: u64,
+    plan: FaultPlan,
+    tripped: bool,
+}
+
+impl<W: Write> FaultyFile<W> {
+    /// Wraps `inner` with the given failpoint.
+    pub fn new(inner: W, plan: FaultPlan) -> Self {
+        FaultyFile { inner, written: 0, plan, tripped: false }
+    }
+
+    /// The wrapped writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+
+    /// Whether the failpoint has fired.
+    pub fn tripped(&self) -> bool {
+        self.tripped
+    }
+}
+
+impl<W: Write> Write for FaultyFile<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let start = self.written;
+        self.written += buf.len() as u64;
+        match self.plan {
+            FaultPlan::DropFrom { at } | FaultPlan::TruncateAt { at } => {
+                let fail_after = matches!(self.plan, FaultPlan::TruncateAt { .. });
+                if start >= at {
+                    if fail_after && self.tripped {
+                        return Err(io::Error::other("faulty file: torn off"));
+                    }
+                    self.tripped = true;
+                    return Ok(buf.len());
+                }
+                let keep = ((at - start) as usize).min(buf.len());
+                self.inner.write_all(&buf[..keep])?;
+                if keep < buf.len() {
+                    self.tripped = true;
+                }
+                Ok(buf.len())
+            }
+            FaultPlan::FlipBitAt { at, bit } => {
+                if start <= at && at < start + buf.len() as u64 {
+                    let mut owned = buf.to_vec();
+                    owned[(at - start) as usize] ^= 1 << (bit & 7);
+                    self.tripped = true;
+                    self.inner.write_all(&owned)?;
+                } else {
+                    self.inner.write_all(buf)?;
+                }
+                Ok(buf.len())
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Truncates the file at `path` to `len` bytes (simulated kill
+/// point: everything after `len` was never made durable).
+pub fn truncate_at(path: &Path, len: u64) -> io::Result<()> {
+    OpenOptions::new().write(true).open(path)?.set_len(len)
+}
+
+/// Flips bit `bit` of the byte at `offset` in the file at `path`
+/// (simulated media corruption).
+pub fn flip_bit(path: &Path, offset: u64, bit: u8) -> io::Result<()> {
+    let mut f = OpenOptions::new().read(true).write(true).open(path)?;
+    let mut b = [0u8; 1];
+    f.seek(SeekFrom::Start(offset))?;
+    f.read_exact(&mut b)?;
+    b[0] ^= 1 << (bit & 7);
+    f.seek(SeekFrom::Start(offset))?;
+    f.write_all(&b)
+}
+
+/// File length in bytes.
+pub fn file_len(path: &Path) -> io::Result<u64> {
+    Ok(std::fs::metadata(path)?.len())
+}

@@ -19,6 +19,10 @@
 //! * [`io`] — plain-text and binary edge-list round-tripping.
 //! * [`obs`] — the [`StoreObserver`] hook trait the snapshot store and
 //!   WAL report into (implemented by the engine's tracing layer).
+//! * [`fault`] — the store-side half of the shared fault plane: the
+//!   [`FaultInjector`] hook the store and WAL notify at every durable
+//!   I/O boundary, plus the file fault harness (failpoint writers,
+//!   truncate/flip mutators) the crash-recovery suites drive.
 //! * [`snapshot`] — the incremental snapshot store for evolving graphs
 //!   (paper §3.2.1, Fig. 5).
 //! * [`wal`] — the append-only, CRC-checksummed segment format that makes
@@ -39,6 +43,7 @@ pub mod builder;
 pub mod core_subgraph;
 pub mod csr;
 pub mod edge;
+pub mod fault;
 pub mod generate;
 pub mod io;
 pub mod obs;
@@ -52,6 +57,7 @@ pub mod wal;
 pub use builder::GraphBuilder;
 pub use csr::Csr;
 pub use edge::{Edge, EdgeList};
+pub use fault::{FaultInjector, StoreFaultBoundary};
 pub use obs::StoreObserver;
 pub use partition::{Partition, PartitionSet, VertexMeta};
 pub use snapshot::{

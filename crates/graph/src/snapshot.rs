@@ -100,6 +100,7 @@ use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use crate::edge::{Edge, EdgeList};
+use crate::fault::{FaultHandle, FaultInjector, StoreFaultBoundary};
 use crate::obs::{ObsHandle, StoreObserver};
 use crate::partition::{Partition, PartitionSet};
 use crate::types::{PartitionId, VersionId, VertexId, NO_PARTITION};
@@ -616,6 +617,11 @@ pub struct ShardedSnapshotStore {
     /// or [`open`](Self::open) attached one (`None` = in-memory store,
     /// every pre-durability code path byte-for-byte).
     wal: Option<StoreWal>,
+    /// Fault-plane hook (see [`crate::fault`]): applies, WAL boundaries,
+    /// and rehydrations notify it when set.  Fail-open — injection
+    /// accounts retries and modeled latency but never changes what any
+    /// view observes.
+    faults: FaultHandle,
     /// Observability hook (see [`crate::obs`]): applies, spills, and
     /// footprints report here when set.  Unset (the default) costs one
     /// branch per apply and changes nothing observable.
@@ -683,6 +689,7 @@ impl ShardedSnapshotStore {
             spilled_records: 0,
             wal: None,
             observer: ObsHandle::none(),
+            faults: FaultHandle::none(),
             spilled_bytes: vec![0; shards],
             replay: None,
         }
@@ -708,6 +715,24 @@ impl ShardedSnapshotStore {
             w.set_observer(Arc::clone(&obs));
         }
         self.observer.set(obs);
+    }
+
+    /// Attaches a fault-plane hook (builder style).  Applies, WAL
+    /// appends/fsyncs, and rehydrations notify it from here on (see
+    /// [`crate::fault`]).  Injection at these boundaries is fail-open:
+    /// the injector accounts faults, retries, and modeled latency, but
+    /// no view, apply result, or spill decision ever changes.
+    pub fn with_faults(mut self, inj: Arc<dyn FaultInjector>) -> Self {
+        self.set_faults(inj);
+        self
+    }
+
+    /// Non-consuming spelling of [`with_faults`](Self::with_faults).
+    pub fn set_faults(&mut self, inj: Arc<dyn FaultInjector>) {
+        if let Some(w) = &mut self.wal {
+            w.set_faults(Arc::clone(&inj));
+        }
+        self.faults.set(inj);
     }
 
     /// Replaces the checkpoint compaction policy (builder style).
@@ -1022,6 +1047,8 @@ impl ShardedSnapshotStore {
     ///
     /// Returns the number of partitions that were re-versioned.
     pub fn apply(&mut self, timestamp: u64, delta: &GraphDelta) -> Result<usize, StoreError> {
+        self.faults
+            .notify(StoreFaultBoundary::ApplyRebuild, None, timestamp);
         let apply_t0 = self.observer.get().map(|_| Instant::now());
         if let Some(w) = &self.wal {
             w.check()?;
@@ -2206,6 +2233,7 @@ impl ShardedSnapshotStore {
             spilled_records,
             wal: Some(wal),
             observer: ObsHandle::none(),
+            faults: FaultHandle::none(),
             spilled_bytes: vec![0; num_shards],
             replay: Some(replay),
         })

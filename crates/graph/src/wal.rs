@@ -63,6 +63,7 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use crate::fault::{FaultHandle, FaultInjector, StoreFaultBoundary};
 use crate::obs::{ObsHandle, StoreObserver};
 use crate::partition::Partition;
 use crate::snapshot::SnapshotError;
@@ -760,6 +761,9 @@ pub(crate) struct StoreWal {
     /// report here when set.  `None` (the default) costs one branch
     /// per durable operation.
     observer: ObsHandle,
+    /// Fault-plane hook: every durable boundary notifies it (fail-open;
+    /// see [`crate::fault`]).  Same one-branch default as the observer.
+    faults: FaultHandle,
 }
 
 pub(crate) fn manifest_path(dir: &Path) -> PathBuf {
@@ -837,13 +841,27 @@ impl StoreWal {
         for s in 0..shards.len() {
             readers.push(Mutex::new(File::open(shard_path(&dir, s))?));
         }
-        Ok(StoreWal { dir, store, shards, readers, poison: None, observer: ObsHandle::none() })
+        Ok(StoreWal {
+            dir,
+            store,
+            shards,
+            readers,
+            poison: None,
+            observer: ObsHandle::none(),
+            faults: FaultHandle::none(),
+        })
     }
 
     /// Attaches the observability hook; durable operations from here on
     /// report append bytes, fsync timings, and rehydration reads.
     pub(crate) fn set_observer(&mut self, obs: Arc<dyn StoreObserver>) {
         self.observer.set(obs);
+    }
+
+    /// Attaches the fault-plane hook; every durable boundary notifies
+    /// it from here on (fail-open, see [`crate::fault`]).
+    pub(crate) fn set_faults(&mut self, inj: Arc<dyn FaultInjector>) {
+        self.faults.set(inj);
     }
 
     pub(crate) fn dir(&self) -> &Path {
@@ -868,6 +886,8 @@ impl StoreWal {
     /// Appends a frame to the store-level segment; returns the payload
     /// offset.
     pub(crate) fn append_store(&mut self, payload: &[u8]) -> Result<u64, StoreError> {
+        self.faults
+            .notify(StoreFaultBoundary::WalAppend, None, payload.len() as u64);
         let t0 = self.observer.get().map(|_| Instant::now());
         let off = self.store.append(payload)?;
         if let (Some(obs), Some(t0)) = (self.observer.get(), t0) {
@@ -879,6 +899,8 @@ impl StoreWal {
     /// Appends a frame to shard `s`'s segment; returns the payload
     /// offset.
     pub(crate) fn append_shard(&mut self, s: usize, payload: &[u8]) -> Result<u64, StoreError> {
+        self.faults
+            .notify(StoreFaultBoundary::WalAppend, Some(s), payload.len() as u64);
         let t0 = self.observer.get().map(|_| Instant::now());
         let off = self.shards[s].append(payload)?;
         if let (Some(obs), Some(t0)) = (self.observer.get(), t0) {
@@ -898,11 +920,17 @@ impl StoreWal {
         for (s, w) in self.shards.iter_mut().enumerate() {
             // `sync` is a no-op on clean segments; only real fsyncs
             // report (matching the fsync *count* dashboards watch).
+            if w.is_dirty() {
+                self.faults.notify(StoreFaultBoundary::WalFsync, Some(s), 0);
+            }
             let t0 = (self.observer.get().is_some() && w.is_dirty()).then(Instant::now);
             w.sync()?;
             if let (Some(obs), Some(t0)) = (self.observer.get(), t0) {
                 obs.wal_fsync(Some(s), t0.elapsed().as_micros() as u64);
             }
+        }
+        if self.store.is_dirty() {
+            self.faults.notify(StoreFaultBoundary::WalFsync, None, 0);
         }
         let t0 = (self.observer.get().is_some() && self.store.is_dirty()).then(Instant::now);
         self.store.sync()?;
@@ -917,6 +945,11 @@ impl StoreWal {
     /// was CRC-verified when the segment was scanned, so this is a raw
     /// positioned read.
     pub(crate) fn read_partition(&self, loc: PayloadLoc) -> Result<Partition, StoreError> {
+        self.faults.notify(
+            StoreFaultBoundary::Rehydrate,
+            Some(loc.shard as usize),
+            loc.offset,
+        );
         let t0 = self.observer.get().map(|_| Instant::now());
         let mut buf = vec![0u8; loc.len as usize];
         {
@@ -939,140 +972,10 @@ impl StoreWal {
     }
 }
 
-// ---------------------------------------------------------------------
-// Fault injection (test harness).
-// ---------------------------------------------------------------------
-
-/// Failpoint writers and post-hoc file mutators for crash and
-/// corruption testing.  Public so the integration suites and
-/// `bench_durability` can drive kill-and-recover scenarios; not used by
-/// any production path.
-pub mod fault {
-    use std::fs::OpenOptions;
-    use std::io::{self, Read, Seek, SeekFrom, Write};
-    use std::path::Path;
-
-    /// What a [`FaultyFile`] does to the byte stream passing through it.
-    #[derive(Clone, Copy, Debug)]
-    pub enum FaultPlan {
-        /// Silently drop every byte at stream offset `>= at` (a cached
-        /// write the kernel never made durable).
-        DropFrom {
-            /// First stream offset dropped.
-            at: u64,
-        },
-        /// Drop bytes at offset `>= at` and fail the *next* write after
-        /// the cut (the process died mid-append).
-        TruncateAt {
-            /// First stream offset cut.
-            at: u64,
-        },
-        /// Flip bit `bit` of the byte at stream offset `at` (media bit
-        /// rot).
-        FlipBitAt {
-            /// Stream offset of the corrupted byte.
-            at: u64,
-            /// Which bit (0–7) flips.
-            bit: u8,
-        },
-    }
-
-    /// A `Write` wrapper with one programmed failpoint, for unit-testing
-    /// the frame codec against dropped, truncated, and bit-flipped
-    /// writes without touching a real filesystem.
-    #[derive(Debug)]
-    pub struct FaultyFile<W> {
-        inner: W,
-        written: u64,
-        plan: FaultPlan,
-        tripped: bool,
-    }
-
-    impl<W: Write> FaultyFile<W> {
-        /// Wraps `inner` with the given failpoint.
-        pub fn new(inner: W, plan: FaultPlan) -> Self {
-            FaultyFile { inner, written: 0, plan, tripped: false }
-        }
-
-        /// The wrapped writer.
-        pub fn into_inner(self) -> W {
-            self.inner
-        }
-
-        /// Whether the failpoint has fired.
-        pub fn tripped(&self) -> bool {
-            self.tripped
-        }
-    }
-
-    impl<W: Write> Write for FaultyFile<W> {
-        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-            let start = self.written;
-            self.written += buf.len() as u64;
-            match self.plan {
-                FaultPlan::DropFrom { at } | FaultPlan::TruncateAt { at } => {
-                    let fail_after = matches!(self.plan, FaultPlan::TruncateAt { .. });
-                    if start >= at {
-                        if fail_after && self.tripped {
-                            return Err(io::Error::other("faulty file: torn off"));
-                        }
-                        self.tripped = true;
-                        return Ok(buf.len());
-                    }
-                    let keep = ((at - start) as usize).min(buf.len());
-                    self.inner.write_all(&buf[..keep])?;
-                    if keep < buf.len() {
-                        self.tripped = true;
-                    }
-                    Ok(buf.len())
-                }
-                FaultPlan::FlipBitAt { at, bit } => {
-                    if start <= at && at < start + buf.len() as u64 {
-                        let mut owned = buf.to_vec();
-                        owned[(at - start) as usize] ^= 1 << (bit & 7);
-                        self.tripped = true;
-                        self.inner.write_all(&owned)?;
-                    } else {
-                        self.inner.write_all(buf)?;
-                    }
-                    Ok(buf.len())
-                }
-            }
-        }
-
-        fn flush(&mut self) -> io::Result<()> {
-            self.inner.flush()
-        }
-    }
-
-    /// Truncates the file at `path` to `len` bytes (simulated kill
-    /// point: everything after `len` was never made durable).
-    pub fn truncate_at(path: &Path, len: u64) -> io::Result<()> {
-        OpenOptions::new().write(true).open(path)?.set_len(len)
-    }
-
-    /// Flips bit `bit` of the byte at `offset` in the file at `path`
-    /// (simulated media corruption).
-    pub fn flip_bit(path: &Path, offset: u64, bit: u8) -> io::Result<()> {
-        let mut f = OpenOptions::new().read(true).write(true).open(path)?;
-        let mut b = [0u8; 1];
-        f.seek(SeekFrom::Start(offset))?;
-        f.read_exact(&mut b)?;
-        b[0] ^= 1 << (bit & 7);
-        f.seek(SeekFrom::Start(offset))?;
-        f.write_all(&b)
-    }
-
-    /// File length in bytes.
-    pub fn file_len(path: &Path) -> io::Result<u64> {
-        Ok(std::fs::metadata(path)?.len())
-    }
-}
-
 #[cfg(test)]
 mod tests {
-    use super::fault::{FaultPlan, FaultyFile};
     use super::*;
+    use crate::fault::{self, FaultPlan, FaultyFile};
     use std::io::Write;
 
     fn temp_dir(tag: &str) -> PathBuf {

@@ -59,7 +59,7 @@ fn main() {
     );
     let mut serve = ServeLoop::new(
         engine,
-        ServeConfig { admission_window: 0.01, time_scale: 1.0 },
+        ServeConfig { admission_window: 0.01, time_scale: 1.0, ..ServeConfig::default() },
     );
     serve.offer_all(trace_arrivals(&trace, SECONDS_PER_HOUR, 64));
     let report = serve.serve();

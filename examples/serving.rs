@@ -80,7 +80,7 @@ fn main() {
         let engine = Engine::new(Arc::clone(&store), EngineConfig::default());
         let mut serve = ServeLoop::new(
             engine,
-            ServeConfig { admission_window: window, time_scale: 1.0 },
+            ServeConfig { admission_window: window, time_scale: 1.0, ..ServeConfig::default() },
         );
         serve.offer_all(trace_arrivals(&trace, SECONDS_PER_HOUR, 64));
         let report = serve.serve();

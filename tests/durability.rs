@@ -24,11 +24,11 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 
+use cgraph::graph::fault;
 use cgraph::graph::snapshot::{
     CompactionPolicy, GraphDelta, ShardCapacity, ShardPlacement, ShardedSnapshotStore,
 };
 use cgraph::graph::vertex_cut::VertexCutPartitioner;
-use cgraph::graph::wal::fault;
 use cgraph::graph::{Edge, EdgeList, Partitioner, StoreError};
 
 const N: u32 = 24;

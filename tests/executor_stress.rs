@@ -14,7 +14,7 @@
 use std::sync::Arc;
 
 use cgraph::algos::{Bfs, Reachability, Sssp, Wcc};
-use cgraph::core::{Engine, EngineConfig};
+use cgraph::core::{Engine, EngineConfig, ExecError, FaultConfig, FaultPlane};
 use cgraph::graph::snapshot::SnapshotStore;
 use cgraph::graph::vertex_cut::VertexCutPartitioner;
 use cgraph::graph::{generate, Partitioner};
@@ -188,4 +188,50 @@ fn width_one_waves_stay_on_the_legacy_path() {
         )
     };
     assert_eq!(run(8), run(0));
+}
+
+#[test]
+fn injected_worker_panic_surfaces_typed_without_hanging() {
+    // The fault plane's worker-death drill: a panic injected into the
+    // crew's trigger stage at a fixed (partition, chunk) coordinate must
+    // travel the same unwind-guard path as crashing user code — a typed
+    // `ExecError::WorkerPanic` parked on the engine, run not completed,
+    // no hang even at channel capacity 1 (CI's per-binary timeout is the
+    // deadlock detector).
+    let store = shared_store();
+    let plane = FaultPlane::new(FaultConfig {
+        // Chunk 0 of partition 0 is processed by every run that touches
+        // the partition, so the drill always fires.
+        panic_chunk: Some((0, 0)),
+        ..FaultConfig::default()
+    });
+    let mut engine = Engine::new(
+        Arc::clone(&store),
+        EngineConfig {
+            workers: 2,
+            wavefront: 4,
+            io_workers: 2,
+            channel_capacity: 1,
+            hierarchy: tight_hierarchy(&store),
+            faults: Some(plane),
+            ..EngineConfig::default()
+        },
+    );
+    engine.submit_at(Bfs::new(0), 0);
+    engine.submit_at(Sssp::new(1), 50);
+    let report = engine.run();
+    assert!(
+        !report.completed,
+        "a dead worker must not report completion"
+    );
+    assert_eq!(
+        engine.exec_error(),
+        Some(ExecError::WorkerPanic(
+            "process_chunk panicked in a trigger worker"
+        )),
+        "the injected panic must surface as the typed crew fault"
+    );
+    // The engine parked the fault: further stepping refuses instead of
+    // hanging or re-panicking over the half-dead pipeline.
+    assert!(!engine.step_round(), "faulted engine must refuse rounds");
 }

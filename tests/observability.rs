@@ -150,7 +150,7 @@ fn serve_report(store: &Arc<SnapshotStore>, observer: Option<Arc<Observer>>) -> 
     );
     let mut serve = ServeLoop::new(
         engine,
-        ServeConfig { admission_window: 0.01, time_scale: 1.0 },
+        ServeConfig { admission_window: 0.01, time_scale: 1.0, ..ServeConfig::default() },
     );
     serve.offer_all(trace_arrivals(&trace, 0.02, 64));
     serve.serve()

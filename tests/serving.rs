@@ -49,7 +49,7 @@ fn serve(store: &Arc<SnapshotStore>, trace: &[JobSpan], window: f64) -> (ServeRe
     let engine = Engine::new(Arc::clone(store), EngineConfig::default());
     let mut sl = ServeLoop::new(
         engine,
-        ServeConfig { admission_window: window, time_scale: 1.0 },
+        ServeConfig { admission_window: window, time_scale: 1.0, ..ServeConfig::default() },
     );
     sl.offer_all(trace_arrivals(trace, SPH, 64));
     let report = sl.serve();
@@ -216,7 +216,10 @@ fn deferred_jobs_keep_their_arrival_snapshot() {
     // 1 trace hour = 1 virtual second here so arrivals land at ts 0 and 2.
     let (report, engine) = {
         let e = Engine::new(Arc::clone(&st), EngineConfig::default());
-        let mut sl = ServeLoop::new(e, ServeConfig { admission_window: 10.0, time_scale: 1.0 });
+        let mut sl = ServeLoop::new(
+            e,
+            ServeConfig { admission_window: 10.0, time_scale: 1.0, ..ServeConfig::default() },
+        );
         sl.offer_all(trace_arrivals(&tr, 1.0, 1));
         let r = sl.serve();
         (r, sl.into_engine())
@@ -263,7 +266,7 @@ fn serve_honors_max_loads_valve() {
     );
     let mut sl = ServeLoop::new(
         engine,
-        ServeConfig { admission_window: 0.0, time_scale: 1.0 },
+        ServeConfig { admission_window: 0.0, time_scale: 1.0, ..ServeConfig::default() },
     );
     sl.offer_all(trace_arrivals(&tr, SPH, 64));
     let report = sl.serve();
@@ -442,7 +445,7 @@ fn placement_serves_identically() {
 /// report covers the whole trace exactly once.
 #[test]
 fn killed_serve_loop_resumes_without_rerunning_finished_jobs() {
-    use cgraph::graph::wal::fault;
+    use cgraph::graph::fault;
 
     let st = store();
     let tr = trace();
@@ -450,7 +453,7 @@ fn killed_serve_loop_resumes_without_rerunning_finished_jobs() {
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("journal.seg");
-    let cfg = ServeConfig { admission_window: 0.0, time_scale: 1.0 };
+    let cfg = ServeConfig { admission_window: 0.0, time_scale: 1.0, ..ServeConfig::default() };
 
     // Reference: one uninterrupted serve, no journal.
     let (full, _) = serve(&st, &tr, 0.0);
