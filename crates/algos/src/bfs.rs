@@ -1,6 +1,6 @@
 //! Breadth-first search: minimum hop counts from a source.
 
-use cgraph_core::{VertexInfo, VertexProgram};
+use cgraph_core::{IncrementalProgram, VertexInfo, VertexProgram};
 use cgraph_graph::{VertexId, Weight};
 
 /// BFS job: hop distance from `source` along out-edges.
@@ -56,6 +56,11 @@ impl VertexProgram for Bfs {
         basis.saturating_add(1)
     }
 }
+
+/// Monotone: levels only ever shrink under the min `acc`, and added
+/// edges can only create shorter paths, so a converged level map
+/// seeds a resumed run on a grown graph.
+impl IncrementalProgram for Bfs {}
 
 #[cfg(test)]
 mod tests {

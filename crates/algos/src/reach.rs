@@ -1,6 +1,6 @@
 //! Forward reachability closure from a source vertex.
 
-use cgraph_core::{VertexInfo, VertexProgram};
+use cgraph_core::{IncrementalProgram, VertexInfo, VertexProgram};
 use cgraph_graph::{VertexId, Weight};
 
 /// Reachability job: `true` for every vertex reachable from `source`.
@@ -48,6 +48,11 @@ impl VertexProgram for Reachability {
         basis
     }
 }
+
+/// Monotone: reachability only ever flips `false -> true`, and `acc`
+/// is boolean-or — added edges can only reach more vertices, so a
+/// converged result seeds a resumed run on a grown graph.
+impl IncrementalProgram for Reachability {}
 
 #[cfg(test)]
 mod tests {

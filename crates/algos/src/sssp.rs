@@ -1,6 +1,6 @@
 //! Single-source shortest paths (the paper's Fig. 7(b) instantiation).
 
-use cgraph_core::{VertexInfo, VertexProgram};
+use cgraph_core::{IncrementalProgram, VertexInfo, VertexProgram};
 use cgraph_graph::{VertexId, Weight};
 
 /// SSSP job: min-plus relaxation from a source vertex.
@@ -58,6 +58,11 @@ impl VertexProgram for Sssp {
         basis + weight
     }
 }
+
+/// Monotone: distances only ever shrink under the min `acc`, and
+/// added edges can only create shorter paths, so a converged
+/// distance map seeds a resumed run on a grown graph.
+impl IncrementalProgram for Sssp {}
 
 #[cfg(test)]
 mod tests {

@@ -1,6 +1,6 @@
 //! Single-source widest paths (max-min capacity).
 
-use cgraph_core::{VertexInfo, VertexProgram};
+use cgraph_core::{IncrementalProgram, VertexInfo, VertexProgram};
 use cgraph_graph::{VertexId, Weight};
 
 /// SSWP job: the widest-path capacity from `source` to every vertex, where
@@ -57,6 +57,11 @@ impl VertexProgram for Sswp {
         basis.min(weight)
     }
 }
+
+/// Monotone: path widths only ever grow under the max `acc`, and
+/// added edges can only create wider paths, so a converged width map
+/// seeds a resumed run on a grown graph.
+impl IncrementalProgram for Sswp {}
 
 #[cfg(test)]
 mod tests {

@@ -1,6 +1,6 @@
 //! Weakly connected components via undirected min-label propagation.
 
-use cgraph_core::{EdgeDirection, VertexInfo, VertexProgram};
+use cgraph_core::{EdgeDirection, IncrementalProgram, VertexInfo, VertexProgram};
 use cgraph_graph::Weight;
 
 /// WCC job: every vertex converges to the minimum vertex id in its weakly
@@ -50,6 +50,11 @@ impl VertexProgram for Wcc {
         basis
     }
 }
+
+/// Monotone: component labels only ever shrink under the min `acc`,
+/// and added edges can only merge components (shrink labels further),
+/// so a converged labelling seeds a resumed run on a grown graph.
+impl IncrementalProgram for Wcc {}
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,233 @@
+//! Incremental-recomputation bench: standing jobs at O(Δ).
+//!
+//! A 200-delta **additions-only** stream (each delta adds 4 scattered
+//! edges) is driven over an R-MAT base graph two ways:
+//!
+//! 1. **scratch** — every snapshot version binds a fresh from-scratch
+//!    BFS, the way a naive standing job would recompute.
+//! 2. **resumed** — the chain bootstraps once from scratch at the base
+//!    snapshot, then every later version resumes from the previous
+//!    version's converged result via `Engine::submit_resumed_at`; each
+//!    inter-version range is monotone-safe, so every resubmission must
+//!    take the seeded O(Δ) path.
+//!
+//! Both passes use identical engines and are checked bit-for-bit equal
+//! at the final version.  The gate: chained resume must be **≥5×**
+//! faster in total wall time than per-version scratch on a small-delta
+//! stream.  Wall gates are enforced only on hosts with ≥4 cores (and
+//! at gate scale); elsewhere the measured ratio is recorded-and-skipped
+//! in the JSON, never asserted.
+//!
+//! Prints the table and writes `BENCH_incremental.json`.  Accepts the
+//! standard `--full` / `--tiny` scale flags; `--out PATH` overrides the
+//! JSON location.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use cgraph_algos::Bfs;
+use cgraph_bench::{
+    growth_stream, incremental_json, print_table, IncrementalPoint, IncrementalSummary, Scale,
+    WallGate,
+};
+use cgraph_core::{Engine, EngineConfig};
+use cgraph_graph::snapshot::SnapshotStore;
+use cgraph_graph::vertex_cut::VertexCutPartitioner;
+use cgraph_graph::{generate, Partitioner};
+
+const DELTAS: usize = 200;
+const PER_DELTA: usize = 4;
+const SHARDS: usize = 4;
+const GATE: f64 = 5.0;
+
+fn ms(since: Instant) -> f64 {
+    since.elapsed().as_secs_f64() * 1e3
+}
+
+fn config() -> EngineConfig {
+    EngineConfig { workers: 2, wavefront: 4, io_workers: 2, ..EngineConfig::default() }
+}
+
+/// From-scratch run bound at `ts`; returns (results, wall ms, loads).
+fn scratch(
+    store: &Arc<SnapshotStore>,
+    ts: u64,
+) -> (Vec<<Bfs as cgraph_core::VertexProgram>::Value>, f64, u64) {
+    let mut e = Engine::new(Arc::clone(store), config());
+    let id = e.submit_at(Bfs::new(0), ts);
+    let t = Instant::now();
+    let report = e.run();
+    let wall = ms(t);
+    assert!(report.completed, "scratch run drains");
+    (
+        e.results::<Bfs>(id).expect("scratch results"),
+        wall,
+        report.loads,
+    )
+}
+
+/// Resumed run bound at `ts` from `prior`; returns (results, wall ms,
+/// loads, seeded).
+fn resumed(
+    store: &Arc<SnapshotStore>,
+    ts: u64,
+    prior_ts: u64,
+    prior: &[<Bfs as cgraph_core::VertexProgram>::Value],
+) -> (
+    Vec<<Bfs as cgraph_core::VertexProgram>::Value>,
+    f64,
+    u64,
+    bool,
+) {
+    let mut e = Engine::new(Arc::clone(store), config());
+    let rs = e.submit_resumed_at(Bfs::new(0), ts, prior_ts, prior);
+    let t = Instant::now();
+    let report = e.run();
+    let wall = ms(t);
+    assert!(report.completed, "resumed run drains");
+    (
+        e.results::<Bfs>(rs.job).expect("resumed results"),
+        wall,
+        report.loads,
+        rs.seeded,
+    )
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_incremental.json")
+        .to_string();
+
+    let rmat_scale = 17u32.saturating_sub(scale.shrink).clamp(10, 15);
+    let el = generate::rmat(rmat_scale, 8, generate::RmatParams::default(), 2026);
+    let n = el.num_vertices();
+    let partitions = (n as usize / 512).clamp(8, 32);
+    let ps = VertexCutPartitioner::new(partitions).partition(&el);
+    let mut store = SnapshotStore::with_shards(ps, SHARDS);
+    for (i, d) in growth_stream(n, DELTAS, PER_DELTA).iter().enumerate() {
+        store.apply((i as u64 + 1) * 10, d).expect("delta applies");
+    }
+    let store = Arc::new(store);
+
+    let versions: Vec<u64> = (0..=DELTAS as u64).map(|i| i * 10).collect();
+
+    // --- scratch pass: every version from scratch ---
+    let mut scratch_wall = 0.0;
+    let mut scratch_loads = 0u64;
+    let mut per_version: Vec<(f64, u64)> = Vec::with_capacity(versions.len());
+    let mut scratch_last = Vec::new();
+    for &ts in &versions {
+        let (values, wall, loads) = scratch(&store, ts);
+        scratch_wall += wall;
+        scratch_loads += loads;
+        per_version.push((wall, loads));
+        scratch_last = values;
+    }
+
+    // --- resumed pass: bootstrap once, then chain at O(Δ) ---
+    let mut resumed_wall = 0.0;
+    let mut resumed_loads = 0u64;
+    let mut seeded = 0usize;
+    let mut points: Vec<IncrementalPoint> = Vec::new();
+    let (mut prior, boot_wall, boot_loads) = scratch(&store, versions[0]);
+    resumed_wall += boot_wall;
+    resumed_loads += boot_loads;
+    points.push(IncrementalPoint {
+        version: versions[0],
+        scratch_ms: per_version[0].0,
+        resumed_ms: boot_wall,
+        scratch_loads: per_version[0].1,
+        resumed_loads: boot_loads,
+    });
+    let mut prior_ts = versions[0];
+    for (i, &ts) in versions.iter().enumerate().skip(1) {
+        let (values, wall, loads, took_seed) = resumed(&store, ts, prior_ts, &prior);
+        resumed_wall += wall;
+        resumed_loads += loads;
+        seeded += usize::from(took_seed);
+        if i % 20 == 0 {
+            points.push(IncrementalPoint {
+                version: ts,
+                scratch_ms: per_version[i].0,
+                resumed_ms: wall,
+                scratch_loads: per_version[i].1,
+                resumed_loads: loads,
+            });
+        }
+        prior = values;
+        prior_ts = ts;
+    }
+    assert_eq!(
+        prior, scratch_last,
+        "chained resume must match scratch bit-for-bit at the head"
+    );
+    assert_eq!(
+        seeded, DELTAS,
+        "every addition-only resume must take the seeded path"
+    );
+
+    let summary = IncrementalSummary {
+        vertices: n,
+        deltas: DELTAS,
+        per_delta: PER_DELTA,
+        program: "bfs".to_string(),
+        seeded,
+        scratch_wall_ms: scratch_wall,
+        resumed_wall_ms: resumed_wall,
+        scratch_loads,
+        resumed_loads,
+    };
+
+    print_table(
+        &format!("incremental resume ({n} vertices, {DELTAS} deltas x {PER_DELTA} edges, bfs)"),
+        &["mode", "wall ms", "loads"],
+        &[
+            vec![
+                "scratch".to_string(),
+                format!("{scratch_wall:.1}"),
+                scratch_loads.to_string(),
+            ],
+            vec![
+                "resumed".to_string(),
+                format!("{resumed_wall:.1}"),
+                resumed_loads.to_string(),
+            ],
+            vec![
+                "speedup".to_string(),
+                format!("{:.2}x", summary.speedup()),
+                format!("{:.2}x", scratch_loads as f64 / resumed_loads.max(1) as f64),
+            ],
+        ],
+    );
+
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let gate = WallGate::resolve(
+        "incremental-resume",
+        GATE,
+        summary.speedup(),
+        cores,
+        scale.shrink <= 5,
+    );
+    println!(
+        "gate {}: threshold {:.1}x, measured {:.2}x [{}]",
+        gate.name, gate.threshold, gate.measured, gate.status
+    );
+    if gate.enforced() {
+        assert!(
+            gate.measured >= gate.threshold,
+            "chained resume must be >={GATE}x faster than per-version scratch \
+             (measured {:.2}x)",
+            gate.measured
+        );
+    }
+
+    let json = incremental_json("rmat-growth", scale.shrink, &summary, &points, &[gate]);
+    std::fs::write(&out_path, json).expect("write bench json");
+    println!("wrote {out_path}");
+}

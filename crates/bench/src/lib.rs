@@ -1067,6 +1067,140 @@ pub fn ingest_stream_spread(
         .collect()
 }
 
+/// An **additions-only** delta stream for the incremental-resume
+/// benchmark: every delta adds `per_delta` edges and removes nothing,
+/// so each inter-version range is monotone-safe and a resumed job may
+/// take the seeded O(Δ) path ([`ingest_stream`] removes the previous
+/// delta's edges and would force the from-scratch fallback on every
+/// version).  Sources and destinations are scattered over the whole
+/// vertex range so deltas touch different partitions each version.
+pub fn growth_stream(n: u32, deltas: usize, per_delta: usize) -> Vec<GraphDelta> {
+    let edge = |i: usize, j: usize| -> Edge {
+        let k = (i * per_delta + j) as u32;
+        let src = k.wrapping_mul(2246822519) % n;
+        let mut dst = k.wrapping_mul(2654435761) % n;
+        if dst == src {
+            dst = (dst + 1) % n;
+        }
+        Edge::unit(src, dst)
+    };
+    (0..deltas)
+        .map(|i| GraphDelta {
+            additions: (0..per_delta).map(|j| edge(i, j)).collect(),
+            removals: Vec::new(),
+        })
+        .collect()
+}
+
+/// One sampled version of the incremental-resume benchmark: the same
+/// snapshot bound from scratch and resumed from the previous version's
+/// converged result.
+#[derive(Clone, Debug)]
+pub struct IncrementalPoint {
+    /// Snapshot timestamp this version bound.
+    pub version: u64,
+    /// From-scratch wall time for this version, ms.
+    pub scratch_ms: f64,
+    /// Resumed wall time for this version, ms.
+    pub resumed_ms: f64,
+    /// Partition loads the from-scratch run performed.
+    pub scratch_loads: u64,
+    /// Partition loads the resumed run performed.
+    pub resumed_loads: u64,
+}
+
+/// Whole-stream totals of the incremental-resume benchmark.
+#[derive(Clone, Debug)]
+pub struct IncrementalSummary {
+    /// Vertices in the base graph.
+    pub vertices: u32,
+    /// Deltas in the stream (versions beyond the base snapshot).
+    pub deltas: usize,
+    /// Edges added per delta.
+    pub per_delta: usize,
+    /// Program driven over the stream.
+    pub program: String,
+    /// Resubmissions that took the seeded O(Δ) path.
+    pub seeded: usize,
+    /// Total from-scratch wall across every version, ms.
+    pub scratch_wall_ms: f64,
+    /// Total chained-resume wall across every version, ms.
+    pub resumed_wall_ms: f64,
+    /// Total from-scratch partition loads.
+    pub scratch_loads: u64,
+    /// Total chained-resume partition loads.
+    pub resumed_loads: u64,
+}
+
+impl IncrementalSummary {
+    /// From-scratch wall over chained-resume wall (the gated figure).
+    pub fn speedup(&self) -> f64 {
+        if self.resumed_wall_ms <= 0.0 {
+            return 0.0;
+        }
+        self.scratch_wall_ms / self.resumed_wall_ms
+    }
+}
+
+/// Serializes the incremental-resume run as `BENCH_incremental.json`
+/// (hand-rolled like [`wavefront_sweep_json`]: the workspace is
+/// offline, no serde).
+pub fn incremental_json(
+    dataset: &str,
+    scale_shrink: u32,
+    summary: &IncrementalSummary,
+    points: &[IncrementalPoint],
+    gates: &[WallGate],
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"dataset\": \"{dataset}\",\n"));
+    s.push_str(&format!("  \"scale_shrink\": {scale_shrink},\n"));
+    s.push_str(&format!(
+        "  \"cores\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    s.push_str(&format!("  \"vertices\": {},\n", summary.vertices));
+    s.push_str(&format!("  \"deltas\": {},\n", summary.deltas));
+    s.push_str(&format!("  \"per_delta\": {},\n", summary.per_delta));
+    s.push_str(&format!("  \"program\": \"{}\",\n", summary.program));
+    s.push_str(&format!("  \"seeded\": {},\n", summary.seeded));
+    s.push_str(&format!(
+        "  \"scratch_wall_ms\": {:.3},\n",
+        summary.scratch_wall_ms
+    ));
+    s.push_str(&format!(
+        "  \"resumed_wall_ms\": {:.3},\n",
+        summary.resumed_wall_ms
+    ));
+    s.push_str(&format!(
+        "  \"scratch_loads\": {},\n",
+        summary.scratch_loads
+    ));
+    s.push_str(&format!(
+        "  \"resumed_loads\": {},\n",
+        summary.resumed_loads
+    ));
+    s.push_str(&format!("  \"speedup\": {:.3},\n", summary.speedup()));
+    s.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"version\": {}, \"scratch_ms\": {:.3}, \"resumed_ms\": {:.3}, \
+             \"scratch_loads\": {}, \"resumed_loads\": {}}}{}\n",
+            p.version,
+            p.scratch_ms,
+            p.resumed_ms,
+            p.scratch_loads,
+            p.resumed_loads,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&gates_json(gates));
+    s.push_str("\n}\n");
+    s
+}
+
 /// One sampled point of an ingest run: state after `chain_len` deltas.
 #[derive(Clone, Debug)]
 pub struct IngestPoint {

@@ -16,6 +16,7 @@ use crate::exec::ledger::JobTiming;
 use crate::exec::wavefront::RoundBuffers;
 use crate::exec::{ChargeLedger, PrefetchQueue, SlotPlanner};
 use crate::fault::{FaultError, FaultPlane};
+use crate::incr::{IncrementalProgram, ResumeSubmit};
 use crate::job::{JobId, JobRuntime, TypedJob};
 use crate::obs::event::{EventKind, NONE};
 use crate::obs::{Observer, Recorder};
@@ -348,6 +349,61 @@ impl Engine {
         let runtime = &*self.jobs[id as usize].runtime;
         self.planner.track_job(id as usize, runtime, !done);
         id
+    }
+
+    /// Submits a job bound to the newest snapshot, seeding it from a
+    /// prior converged result when the delta range allows (see
+    /// [`submit_resumed_at`](Self::submit_resumed_at)).
+    pub fn submit_resumed<P: IncrementalProgram>(
+        &mut self,
+        program: P,
+        prior_ts: u64,
+        prior: &[P::Value],
+    ) -> ResumeSubmit {
+        let ts = self.store.latest_timestamp();
+        self.submit_resumed_at(program, ts, prior_ts, prior)
+    }
+
+    /// Submits a job arriving at time `ts` that may resume from a prior
+    /// result converged against the snapshot bound at `prior_ts`.
+    ///
+    /// The store's [`delta_summary`](SnapshotStore::delta_summary)
+    /// between the two binds decides the path: an addition-only range
+    /// seeds the job via [`TypedJob::resume_from`] with the frontier set
+    /// to the vertices the deltas touched; a range with removals (which
+    /// can shrink monotone values), a backwards range, or a prior whose
+    /// vertex count no longer matches falls back to the ordinary
+    /// from-scratch [`submit_at`](Self::submit_at).  Either path yields
+    /// bit-identical results; only the cost differs.
+    pub fn submit_resumed_at<P: IncrementalProgram>(
+        &mut self,
+        program: P,
+        ts: u64,
+        prior_ts: u64,
+        prior: &[P::Value],
+    ) -> ResumeSubmit {
+        let summary = self.store.delta_summary(prior_ts, ts);
+        let seedable = match &summary {
+            Some(s) => s.monotone_safe(),
+            None => false,
+        };
+        if !seedable {
+            return ResumeSubmit { job: self.submit_at(program, ts), seeded: false };
+        }
+        let id = self.jobs.len() as JobId;
+        let view = self.store.view_at(ts);
+        if prior.len() != view.num_vertices() as usize {
+            return ResumeSubmit { job: self.submit_at(program, ts), seeded: false };
+        }
+        let summary = summary.expect("seedable implies Some");
+        let runtime = TypedJob::resume_from(id, program, view, prior, &summary.touched);
+        let done = runtime.is_converged();
+        self.jobs
+            .push(JobEntry { runtime: Arc::new(runtime), done, quarantined: None });
+        self.ledger.register_job();
+        let runtime = &*self.jobs[id as usize].runtime;
+        self.planner.track_job(id as usize, runtime, !done);
+        ResumeSubmit { job: id, seeded: true }
     }
 
     /// Retires jobs that converged outside a Push of their own (kept

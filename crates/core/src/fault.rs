@@ -692,6 +692,47 @@ mod tests {
     }
 
     #[test]
+    fn half_open_probe_that_faults_again_reopens_the_breaker() {
+        // Every drawn op faults permanently, so no probe can ever
+        // succeed: the lane must cycle Open → reroutes → HalfOpen →
+        // failed probe → Open again, counting a fresh trip each time
+        // and never a recovery.
+        let p = FaultPlane::new(FaultConfig {
+            seed: 5,
+            permanent_rate: 1.0,
+            breaker: BreakerConfig { trip_after: 1, cooldown_ops: 2 },
+            ..FaultConfig::default()
+        });
+        // op 0 draws, faults, trips the lane.
+        let err = p.admit_fetch(0, 0, 1, 0).unwrap_err();
+        assert_eq!(err.kind, FaultKind::Permanent);
+        assert_eq!(p.stats().breaker_trips, 1);
+        // Two cooldown ops reroute without drawing.
+        for op in 1..3u64 {
+            let adm = p.admit_fetch(0, op, 1, op).expect("open lane reroutes");
+            assert!(adm.rerouted, "op {op} must reroute");
+            assert_eq!(adm.retries, 0, "a reroute never draws the schedule");
+        }
+        // The half-open probe draws, faults again: the breaker re-opens
+        // (a second trip), and no recovery is ever counted.
+        let err = p.admit_fetch(0, 3, 1, 3).unwrap_err();
+        assert_eq!(err.kind, FaultKind::Permanent);
+        let st = p.stats();
+        assert_eq!(st.breaker_trips, 2, "the failed probe must re-trip");
+        assert_eq!(st.breaker_recoveries, 0, "a failed probe is no recovery");
+        // The re-opened lane reroutes its next op exactly like the
+        // first cooldown — the cycle repeats.
+        assert!(p.admit_fetch(0, 4, 1, 4).unwrap().rerouted);
+        // Breaker state is per lane: while lane 0 is open, a fresh lane
+        // still *draws* (and here faults) rather than rerouting — open
+        // state and reroute pricing never bleed across lanes.
+        let err = p.admit_fetch(1, 5, 1, 5).unwrap_err();
+        assert_eq!(err.kind, FaultKind::Permanent);
+        assert_eq!(p.stats().breaker_trips, 3, "lane 1 trips on its own");
+        assert_eq!(p.stats().rerouted, 3, "lane 1's first op never rerouted");
+    }
+
+    #[test]
     fn store_ops_are_fail_open_but_accounted() {
         let p =
             FaultPlane::new(FaultConfig { seed: 11, store_rate: 0.5, ..FaultConfig::default() });

@@ -162,6 +162,83 @@ impl<P: VertexProgram> TypedJob<P> {
         job
     }
 
+    /// Creates the runtime seeded from a prior converged result instead
+    /// of [`VertexProgram::init`]: `frontier` vertices (sorted, deduped;
+    /// the endpoints of the delta's edges) start at `(bottom, prior)` —
+    /// active, re-scattering their prior value along every local edge —
+    /// while all other vertices start at `(prior, identity)`, inactive
+    /// until an improvement reaches them.  See the [`crate::incr`]
+    /// module docs for why this converges to the from-scratch fixpoint
+    /// on addition-only deltas.
+    pub fn resume_from(
+        id: JobId,
+        program: P,
+        view: GraphView,
+        prior: &[P::Value],
+        frontier: &[VertexId],
+    ) -> Self
+    where
+        P: crate::incr::IncrementalProgram,
+    {
+        assert_eq!(
+            prior.len(),
+            view.num_vertices() as usize,
+            "prior result must cover every vertex of the resumed view"
+        );
+        debug_assert!(
+            frontier.windows(2).all(|w| w[0] < w[1]),
+            "frontier sorted+deduped"
+        );
+        let np = view.num_partitions();
+        let identity = program.identity();
+        let bottom = program.bottom();
+        let mut infos = Vec::with_capacity(np);
+        let mut parts = Vec::with_capacity(np);
+        for pid in 0..np as PartitionId {
+            let part = view.partition(pid);
+            let info: Vec<VertexInfo> = part
+                .vertex_ids()
+                .iter()
+                .map(|&vid| {
+                    let (out_degree, in_degree) = view.degree_of(vid);
+                    VertexInfo { vid, out_degree, in_degree }
+                })
+                .collect();
+            let mut st = PartState::new(info.len(), identity);
+            for (li, vi) in info.iter().enumerate() {
+                if frontier.binary_search(&vi.vid).is_ok() {
+                    // Frontier replica: re-derive and re-scatter the prior.
+                    st.values[li] = bottom;
+                    st.deltas[li] = prior[vi.vid as usize];
+                } else {
+                    st.values[li] = prior[vi.vid as usize];
+                    st.deltas[li] = identity;
+                }
+            }
+            infos.push(info);
+            parts.push(Mutex::new(st));
+        }
+
+        let job = TypedJob {
+            id,
+            program,
+            view,
+            infos,
+            parts,
+            pending: Mutex::new(PendingSet::new(np)),
+            change: Mutex::new(vec![0.0; np]),
+            iteration: AtomicU64::new(0),
+            converged: AtomicBool::new(false),
+        };
+        job.recompute_activation((0..np as PartitionId).collect());
+        if !job.pending.lock().any_active() {
+            job.converged.store(true, Ordering::SeqCst);
+        } else {
+            job.iteration.store(1, Ordering::SeqCst);
+        }
+        job
+    }
+
     /// The wrapped program.
     pub fn program(&self) -> &P {
         &self.program

@@ -26,6 +26,9 @@
 //! * [`serve`] — the online serving layer: an admission-controlled
 //!   arrival stream released as version-keyed waves, interleaved with
 //!   execution round by round through [`Engine::step_round`].
+//! * [`incr`] — incremental recomputation: monotone programs resume
+//!   from a prior converged result at O(Δ) cost, and [`Standing`] jobs
+//!   re-emit one result per store version through the serve loop.
 //! * [`obs`] — zero-cost-when-disabled tracing and metrics: per-thread
 //!   lock-free event rings, a counter/gauge/histogram registry, and
 //!   Chrome-trace / JSONL / Prometheus exporters.
@@ -42,6 +45,7 @@ pub mod api;
 pub mod engine;
 pub mod exec;
 pub mod fault;
+pub mod incr;
 pub mod job;
 pub mod obs;
 pub mod program;
@@ -57,6 +61,7 @@ pub use fault::{
     BreakerConfig, FaultBoundary, FaultConfig, FaultError, FaultKind, FaultPlane, FaultStats,
     FetchAdmission, RetryPolicy,
 };
+pub use incr::{IncrementalProgram, ResumeSubmit, Standing, StandingRunner};
 pub use job::{JobId, JobRuntime, ProcessStats, PushStats, TypedJob};
 pub use obs::{Observer, Recorder, Registry, TraceDump};
 pub use program::{EdgeDirection, VertexInfo, VertexProgram};

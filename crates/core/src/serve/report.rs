@@ -180,29 +180,53 @@ impl ServeReport {
         self.jobs.len() as f64 / self.makespan
     }
 
-    /// Mean end-to-end latency (0 when no jobs were served).
+    /// Rows that genuinely completed.  Latency statistics are computed
+    /// over these only: a quarantined or truncated job's `completed`
+    /// stamp is the quarantine/stop clock, not a real completion, and
+    /// would silently skew means and percentiles.
+    fn completed_rows(&self) -> impl Iterator<Item = &JobLatency> {
+        self.jobs
+            .iter()
+            .filter(|j| j.outcome == JobOutcome::Completed)
+    }
+
+    /// Mean end-to-end latency over completed jobs (0 when none
+    /// completed).
     pub fn mean_latency(&self) -> f64 {
-        if self.jobs.is_empty() {
-            return 0.0;
+        let (mut sum, mut n) = (0.0, 0usize);
+        for j in self.completed_rows() {
+            sum += j.latency();
+            n += 1;
         }
-        self.jobs.iter().map(JobLatency::latency).sum::<f64>() / self.jobs.len() as f64
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
     }
 
-    /// Mean queue wait.
+    /// Mean queue wait over completed jobs.
     pub fn mean_wait(&self) -> f64 {
-        if self.jobs.is_empty() {
-            return 0.0;
+        let (mut sum, mut n) = (0.0, 0usize);
+        for j in self.completed_rows() {
+            sum += j.wait();
+            n += 1;
         }
-        self.jobs.iter().map(JobLatency::wait).sum::<f64>() / self.jobs.len() as f64
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
     }
 
-    /// The `p`-th percentile (0–100) of end-to-end latency, by nearest
-    /// rank over the sorted latencies (0 when no jobs were served).
+    /// The `p`-th percentile (0–100) of end-to-end latency over
+    /// completed jobs, by nearest rank over the sorted latencies (0
+    /// when none completed).
     pub fn latency_percentile(&self, p: f64) -> f64 {
-        if self.jobs.is_empty() {
+        let mut lat: Vec<f64> = self.completed_rows().map(JobLatency::latency).collect();
+        if lat.is_empty() {
             return 0.0;
         }
-        let mut lat: Vec<f64> = self.jobs.iter().map(JobLatency::latency).collect();
         lat.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
         let rank = (p.clamp(0.0, 100.0) / 100.0 * (lat.len() - 1) as f64).round() as usize;
         lat[rank]

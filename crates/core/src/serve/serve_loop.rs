@@ -6,6 +6,7 @@ use std::sync::Arc;
 use cgraph_graph::StoreError;
 
 use crate::engine::Engine;
+use crate::incr::StandingRunner;
 use crate::job::JobId;
 use crate::obs::{EventKind, Observer, Recorder, NONE};
 use crate::serve::admission::{AdmissionController, Arrival};
@@ -125,6 +126,14 @@ pub struct ServeLoop {
     /// report covers every shed since the previous one rather than
     /// only those during its own loop.
     reported_rejected: u64,
+    /// Standing jobs: each re-emits one result per store version (the
+    /// base view plus every applied snapshot), resuming incrementally
+    /// where the delta range allows.
+    standing: Vec<Box<dyn StandingRunner>>,
+    /// Per-runner index into the version list of the next emission.
+    standing_next: Vec<usize>,
+    /// Standing emissions not yet resolved: (runner, job, bind ts).
+    standing_open: Vec<(usize, JobId, u64)>,
 }
 
 impl ServeLoop {
@@ -165,6 +174,9 @@ impl ServeLoop {
             brownout: false,
             rejected: 0,
             reported_rejected: 0,
+            standing: Vec::new(),
+            standing_next: Vec::new(),
+            standing_open: Vec::new(),
         }
     }
 
@@ -254,6 +266,123 @@ impl ServeLoop {
         for a in arrivals {
             self.offer(a);
         }
+    }
+
+    /// Registers a standing job: the runner re-emits one result per
+    /// store version — the base view, then every applied snapshot as
+    /// the virtual clock reaches its timestamp — resuming from the
+    /// previous emission's harvested result where the delta range is
+    /// addition-only (O(Δ)), and from scratch otherwise.
+    ///
+    /// Emissions flow through the ordinary serve machinery: they are
+    /// tracked and reported like offered arrivals (named after the
+    /// runner), and under a journal each emission consumes an
+    /// offer-order sequence number exactly like an offer, so a
+    /// restarted loop (same offers, same runners, same order) skips
+    /// journaled emissions verbatim.  A skipped emission's *result* is
+    /// unknown to the new incarnation, so the runner's prior is
+    /// invalidated and its next live emission recomputes from scratch.
+    ///
+    /// Restart discipline: register standing runners in the same order
+    /// across incarnations, before the first `serve` call.
+    pub fn add_standing(&mut self, runner: Box<dyn StandingRunner>) {
+        self.standing.push(runner);
+        self.standing_next.push(0);
+    }
+
+    /// Read access to a registered standing runner (emission counters).
+    pub fn standing(&self, idx: usize) -> &dyn StandingRunner {
+        &*self.standing[idx]
+    }
+
+    /// Number of registered standing runners.
+    pub fn standing_count(&self) -> usize {
+        self.standing.len()
+    }
+
+    /// The version timeline standing jobs emit against: the base view
+    /// (timestamp 0) plus every applied snapshot.  Recomputed on each
+    /// use so deltas applied between serve calls extend the timeline.
+    fn standing_versions(&self) -> Vec<u64> {
+        let mut versions = vec![0u64];
+        versions.extend(self.engine.store().snapshot_timestamps());
+        versions
+    }
+
+    /// Whether every standing runner has emitted every version
+    /// currently in the store.
+    fn standing_exhausted(&self) -> bool {
+        if self.standing.is_empty() {
+            return true;
+        }
+        let len = self.standing_versions().len();
+        self.standing_next.iter().all(|&n| n >= len)
+    }
+
+    /// The earliest version timestamp any standing runner still has to
+    /// emit (the standing analogue of the admission deadline).
+    fn next_standing_due(&self) -> Option<f64> {
+        if self.standing.is_empty() {
+            return None;
+        }
+        let versions = self.standing_versions();
+        self.standing_next
+            .iter()
+            .filter_map(|&next| versions.get(next).map(|&ts| ts as f64))
+            .fold(None, |m, t| Some(m.map_or(t, |m: f64| m.min(t))))
+    }
+
+    /// Emits every due standing emission, in `(version, runner)` order —
+    /// lexicographic and clock-independent, so journal sequence numbers
+    /// assign identically across incarnations regardless of round
+    /// pacing.  Returns whether anything was submitted.
+    fn emit_standing(&mut self) -> bool {
+        if self.standing.is_empty() {
+            return false;
+        }
+        let versions = self.standing_versions();
+        let mut emitted = false;
+        loop {
+            let mut pick: Option<(u64, usize)> = None;
+            for (r, &next) in self.standing_next.iter().enumerate() {
+                if next < versions.len() && versions[next] as f64 <= self.clock {
+                    let key = (versions[next], r);
+                    if pick.is_none_or(|p| key < p) {
+                        pick = Some(key);
+                    }
+                }
+            }
+            let Some((ts, r)) = pick else { break };
+            self.standing_next[r] += 1;
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            if let Some(journal) = &self.journal {
+                if let Some(entry) = journal.entry(seq) {
+                    self.resumed.push(JobLatency {
+                        job: seq as JobId,
+                        name: self.standing[r].name(),
+                        arrival: entry.arrival,
+                        admitted: entry.admitted,
+                        completed: entry.completed,
+                        outcome: JobOutcome::Completed,
+                    });
+                    self.resumed_count += 1;
+                    // The replayed emission's result is unknown to this
+                    // incarnation: drop the prior so the next live
+                    // emission recomputes from scratch.
+                    self.standing[r].invalidate();
+                    continue;
+                }
+            }
+            let id = self.standing[r].resubmit(&mut self.engine, ts);
+            self.engine.record_admission(id, ts as f64, self.clock);
+            let seq = self.journal.is_some().then_some(seq);
+            self.tracked.push((id, self.standing[r].name(), seq));
+            self.open.push(id);
+            self.standing_open.push((r, id, ts));
+            emitted = true;
+        }
+        emitted
     }
 
     /// The current virtual time.
@@ -401,19 +530,36 @@ impl ServeLoop {
     fn note_completions(&mut self) {
         let clock = self.clock;
         let mut finished: Vec<JobId> = Vec::new();
+        let mut resolved: Vec<JobId> = Vec::new();
         let engine = &mut self.engine;
         self.open.retain(|&id| {
             if engine.job_done(id) {
                 engine.record_completion(id, clock);
                 finished.push(id);
+                resolved.push(id);
                 false
             } else if engine.job_fault(id).is_some() {
                 engine.record_completion(id, clock);
+                resolved.push(id);
                 false
             } else {
                 true
             }
         });
+        // Harvest resolved standing emissions: a converged one becomes
+        // the runner's next prior; a quarantined one leaves the last
+        // good prior in place (resuming over a longer addition-only
+        // range is still exact, and any removal forces the fallback).
+        if !self.standing_open.is_empty() {
+            for &id in &resolved {
+                if let Some(pos) = self.standing_open.iter().position(|&(_, j, _)| j == id) {
+                    let (r, job, ts) = self.standing_open.swap_remove(pos);
+                    if self.engine.job_done(job) {
+                        self.standing[r].harvest(&self.engine, job, ts);
+                    }
+                }
+            }
+        }
         if self.journal.is_some() {
             for id in finished {
                 self.journal_completion(id);
@@ -475,13 +621,16 @@ impl ServeLoop {
         let mut completed = true;
         loop {
             self.update_brownout();
-            if self.admit_due() {
+            let admitted = self.admit_due();
+            let emitted = self.emit_standing();
+            if admitted || emitted {
                 // Jobs converged at submission complete with zero
                 // execution latency.
                 self.note_completions();
             }
             if self.engine.total_loads() - start_loads >= max_loads {
-                completed = self.open.is_empty() && self.admission.is_empty();
+                completed =
+                    self.open.is_empty() && self.admission.is_empty() && self.standing_exhausted();
                 break;
             }
             let before = self.engine.pipeline_seconds();
@@ -514,9 +663,15 @@ impl ServeLoop {
                 completed = false;
                 break;
             }
-            // Engine idle: jump to the next admission deadline, or stop
-            // once the stream is exhausted.
-            match self.admission.next_deadline() {
+            // Engine idle: jump to the next admission deadline or the
+            // next pending standing version (everything due is already
+            // emitted, so the jump strictly advances), or stop once both
+            // streams are exhausted.
+            let deadline = match (self.admission.next_deadline(), self.next_standing_due()) {
+                (Some(a), Some(s)) => Some(a.min(s)),
+                (a, s) => a.or(s),
+            };
+            match deadline {
                 Some(t) => self.clock = self.clock.max(t),
                 None => break,
             }
@@ -532,6 +687,9 @@ impl ServeLoop {
             self.engine.record_completion(id, clock);
         }
         self.open.clear();
+        // Truncated standing emissions are never harvested: the runner
+        // keeps its last *converged* prior.
+        self.standing_open.clear();
         // Journal-resumed offers lead the report (their lifecycles are a
         // previous incarnation's, so they sort before this serve's), so
         // the combined job list covers the whole re-offered trace.

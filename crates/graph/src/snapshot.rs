@@ -218,6 +218,12 @@ struct SnapshotRecord {
     master_delta: HashMap<VertexId, PartitionId>,
     replica_delta: HashMap<VertexId, Vec<PartitionId>>,
     degree_delta: HashMap<VertexId, (u32, u32)>,
+    /// How many edge *removals* this delta carried.  Persisted with the
+    /// record (and through the WAL) because incremental recomputation
+    /// needs it: a monotone resume is only sound over addition-only
+    /// deltas, so [`ShardedSnapshotStore::delta_summary`] reports any
+    /// removal in the resumed range as a from-scratch fallback signal.
+    removals: u64,
     /// Full cumulative vertex state as of this record, when compaction
     /// materialized one here.  A backward walk stops at the first
     /// checkpoint it meets.
@@ -1423,6 +1429,7 @@ impl ShardedSnapshotStore {
             master_delta,
             replica_delta,
             degree_delta,
+            removals: delta.removals.len() as u64,
             checkpoint: None,
         };
         // The store-level commit frame: once this is appended, recovery
@@ -2257,6 +2264,73 @@ impl ShardedSnapshotStore {
         let idx = self.records.partition_point(|r| r.timestamp <= ts);
         GraphView { store: Arc::clone(self), record: idx.checked_sub(1) }
     }
+
+    /// Every applied snapshot's timestamp, ascending (the base at
+    /// timestamp 0 is implicit and not listed).  The serve layer's
+    /// standing jobs walk this list to emit one result per version.
+    pub fn snapshot_timestamps(&self) -> Vec<u64> {
+        self.records.iter().map(|r| r.timestamp).collect()
+    }
+
+    /// Summarizes every delta applied strictly after the snapshot bound
+    /// at `from_ts` up to and including the one bound at `to_ts` — the
+    /// O(Δ) seed of an incremental resume.  Both arguments are *arrival*
+    /// timestamps resolved with the same inclusive partition point as
+    /// [`view_at`](Self::view_at) / [`snapshot_at`](Self::snapshot_at),
+    /// so a resume binds exactly the version a from-scratch submission
+    /// at `to_ts` would.
+    ///
+    /// Returns `None` when `from_ts` binds a *newer* snapshot than
+    /// `to_ts` (a prior result cannot seed a run backwards in time).
+    /// Equal binds yield an empty summary: nothing changed, the prior
+    /// result already is the answer.
+    pub fn delta_summary(&self, from_ts: u64, to_ts: u64) -> Option<DeltaSummary> {
+        let from = self.records.partition_point(|r| r.timestamp <= from_ts);
+        let to = self.records.partition_point(|r| r.timestamp <= to_ts);
+        if from > to {
+            return None;
+        }
+        let mut touched: Vec<VertexId> = Vec::new();
+        let mut removals = 0u64;
+        for rec in &self.records[from..to] {
+            // `apply` keys an entry for *every* endpoint of every added
+            // and removed edge (even when the net degree change is 0),
+            // so the key set is exactly the incident-vertex frontier.
+            touched.extend(rec.degree_delta.keys().copied());
+            removals += rec.removals;
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        Some(DeltaSummary { touched, removals, deltas: (to - from) as u64 })
+    }
+}
+
+/// What changed between two snapshot bind points — the seed of an
+/// incremental resume (see [`ShardedSnapshotStore::delta_summary`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DeltaSummary {
+    /// Every vertex incident to an added or removed edge in the range,
+    /// sorted ascending and deduplicated.
+    pub touched: Vec<VertexId>,
+    /// Total edge removals in the range.  Any removal can shrink a
+    /// monotone program's fixpoint, so a nonzero count means the resume
+    /// must fall back to from-scratch evaluation.
+    pub removals: u64,
+    /// Number of snapshot records the range spans.
+    pub deltas: u64,
+}
+
+impl DeltaSummary {
+    /// Whether the range carried no edge changes at all.
+    pub fn is_empty(&self) -> bool {
+        self.touched.is_empty() && self.removals == 0
+    }
+
+    /// Whether a monotone program may resume from the prior result
+    /// (addition-only range; removals force from-scratch).
+    pub fn monotone_safe(&self) -> bool {
+        self.removals == 0
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -2482,6 +2556,7 @@ fn encode_apply_frame(rec: &SnapshotRecord) -> Vec<u8> {
     put_master_map(&mut out, &rec.master_delta);
     put_replica_map(&mut out, &rec.replica_delta);
     put_degree_map(&mut out, &rec.degree_delta);
+    wal::put_u64(&mut out, rec.removals);
     out
 }
 
@@ -2566,6 +2641,7 @@ fn parse_store_frame(frame: usize, f: &Frame) -> Result<StoreEvent, StoreError> 
             let master_delta = read_master_map(&mut r)?;
             let replica_delta = read_replica_map(&mut r)?;
             let degree_delta = read_degree_map(&mut r)?;
+            let removals = r.u64()?;
             StoreEvent::Apply(
                 Box::new(SnapshotRecord {
                     timestamp,
@@ -2573,6 +2649,7 @@ fn parse_store_frame(frame: usize, f: &Frame) -> Result<StoreEvent, StoreError> 
                     master_delta,
                     replica_delta,
                     degree_delta,
+                    removals,
                     checkpoint: None,
                 }),
                 f.end_offset,
@@ -3298,6 +3375,105 @@ mod tests {
                 assert!(rec.overrides.len() <= 2, "one-edge delta, tiny override");
             }
         }
+    }
+
+    // ---- bind-point boundaries and delta summaries ----
+
+    /// The `view_at` / `snapshot_at` boundary is *inclusive*: an arrival
+    /// timestamp exactly equal to a snapshot's timestamp binds that
+    /// snapshot, one tick earlier binds the previous one.  (PR 4 swapped
+    /// an `rposition` for a `partition_point`; this pins the semantics
+    /// incremental resume relies on to bind the same version as a
+    /// from-scratch submission.)
+    #[test]
+    fn view_at_timestamp_boundary_is_inclusive() {
+        let mut s = store_mut();
+        s.apply(5, &GraphDelta::adding([Edge::unit(0, 3)])).unwrap();
+        s.apply(10, &GraphDelta::adding([Edge::unit(1, 4)]))
+            .unwrap();
+        let s = Arc::new(s);
+        for (ts, bound) in [(0, 0), (4, 0), (5, 5), (9, 5), (10, 10), (u64::MAX, 10)] {
+            assert_eq!(s.snapshot_at(ts), bound, "snapshot_at({ts})");
+            assert_eq!(s.view_at(ts).timestamp(), bound, "view_at({ts})");
+        }
+        // The bind is observable, not just a label: an arrival exactly
+        // at ts 5 sees the 0→3 edge (out-degree of 0 grew), at 4 not.
+        assert_eq!(s.view_at(4).degree_of(0), s.base_view().degree_of(0));
+        assert_eq!(
+            s.view_at(5).degree_of(0).0,
+            s.base_view().degree_of(0).0 + 1
+        );
+        // And equal-bind arrivals share every partition version.
+        let (a, b) = (s.view_at(5), s.view_at(9));
+        assert_eq!(a.shared_fraction(&b), 1.0);
+    }
+
+    /// `delta_summary` resolves its endpoints with the same inclusive
+    /// bind as `view_at`, lists exactly the incident vertices, counts
+    /// removals, and refuses backwards ranges.
+    #[test]
+    fn delta_summary_spans_exactly_the_bound_range() {
+        let mut s = store_mut();
+        s.apply(5, &GraphDelta::adding([Edge::unit(0, 3)])).unwrap();
+        s.apply(10, &GraphDelta::adding([Edge::unit(1, 4)]))
+            .unwrap();
+        s.apply(15, &GraphDelta::removing([(0, 3)])).unwrap();
+
+        // Equal binds (including mid-gap timestamps binding the same
+        // record) are an empty, monotone-safe summary.
+        for (a, b) in [(0, 4), (5, 9), (5, 5), (10, 14), (17, 99)] {
+            let d = s.delta_summary(a, b).expect("forward range");
+            assert!(d.is_empty() && d.monotone_safe(), "({a},{b}): {d:?}");
+        }
+        // A range crossing one addition lists both endpoints only.
+        let d = s.delta_summary(4, 5).unwrap();
+        assert_eq!(d.touched, vec![0, 3]);
+        assert_eq!((d.removals, d.deltas), (0, 1));
+        assert!(d.monotone_safe());
+        // Crossing both additions: union of endpoints, sorted, deduped.
+        let d = s.delta_summary(0, 12).unwrap();
+        assert_eq!(d.touched, vec![0, 1, 3, 4]);
+        assert_eq!((d.removals, d.deltas), (0, 2));
+        // Removal endpoints are frontier vertices too, and the removal
+        // count flags the monotone fallback.
+        let d = s.delta_summary(10, 15).unwrap();
+        assert_eq!(d.touched, vec![0, 3]);
+        assert_eq!(d.removals, 1);
+        assert!(!d.monotone_safe() && !d.is_empty());
+        // Backwards ranges (prior newer than target) are refused.
+        assert_eq!(s.delta_summary(10, 9), None);
+        assert_eq!(s.delta_summary(15, 0), None);
+        // The implicit base at 0 and the timestamp list line up.
+        assert_eq!(s.snapshot_timestamps(), vec![5, 10, 15]);
+    }
+
+    /// Removal counts survive the WAL: a recovered store answers
+    /// `delta_summary` identically to the survivor, so a resumed
+    /// standing job makes the same seed-vs-fallback decision after a
+    /// crash as before it.
+    #[test]
+    fn delta_summary_survives_recovery() {
+        let dir =
+            std::env::temp_dir().join(format!("cgraph-snapshot-removals-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut s = store_mut().persist_to(&dir).unwrap();
+        s.apply(5, &GraphDelta::adding([Edge::unit(0, 3)])).unwrap();
+        s.apply(10, &GraphDelta::removing([(0, 3)])).unwrap();
+        let survivor: Vec<_> = [(0, 5), (0, 10), (5, 10)]
+            .iter()
+            .map(|&(a, b)| s.delta_summary(a, b).unwrap())
+            .collect();
+        drop(s);
+        let r = SnapshotStore::open(&dir).unwrap();
+        for (i, &(a, b)) in [(0, 5), (0, 10), (5, 10)].iter().enumerate() {
+            assert_eq!(
+                r.delta_summary(a, b).unwrap(),
+                survivor[i],
+                "recovered delta_summary({a},{b})"
+            );
+        }
+        assert_eq!(r.delta_summary(5, 10).unwrap().removals, 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     // ---- placement, capacity, and concurrent apply ----

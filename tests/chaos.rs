@@ -407,3 +407,88 @@ fn journaled_and_plain_serving_agree_under_chaos() {
         "every offer completes, quarantines, or sheds — none lost"
     );
 }
+
+/// ISSUE 10 satellite: a half-open probe that faults *again* re-opens
+/// the breaker (trips keep counting past recoveries), and rerouted
+/// pricing stays lane-correct — reroute re-fetch charges only ever land
+/// on lanes that actually carried the job's traffic, deterministically.
+#[test]
+fn refaulting_probe_reopens_and_reroute_pricing_stays_lane_correct() {
+    let store = shared_store(2); // 4 shards = 4 breaker lanes
+    let run = || {
+        // Hair-trigger breaker over a moderate transient rate with a
+        // budget that usually-but-not-always survives: lanes trip on
+        // retried-but-successful ops (keeping their jobs alive), cool
+        // down for one rerouted op, and probe into the same hostile
+        // schedule — so some probes fault again and re-open.
+        let plane = FaultPlane::new(FaultConfig {
+            seed: 41,
+            fetch_rate: 0.35,
+            retry: RetryPolicy { max_attempts: 2, ..RetryPolicy::default() },
+            breaker: cgraph::core::BreakerConfig { trip_after: 1, cooldown_ops: 1 },
+            ..FaultConfig::default()
+        });
+        let mut engine = Engine::new(
+            Arc::clone(store),
+            EngineConfig {
+                workers: 2,
+                wavefront: 4,
+                io_workers: 2,
+                hierarchy: tight_hierarchy(store),
+                faults: Some(Arc::clone(&plane)),
+                ..EngineConfig::default()
+            },
+        );
+        let bfs = engine.submit_at(Bfs::new(0), 0);
+        let sssp = engine.submit_at(Sssp::new(1), 40);
+        let wcc = engine.submit_at(Wcc, 80);
+        let reach = engine.submit_at(Reachability::new(0), 110);
+        assert!(engine.run().completed, "chaos must drain, never hang");
+        (plane.stats(), engine, [bfs, sssp, wcc, reach])
+    };
+    let (stats, engine, jobs) = run();
+
+    // The probe-fails-again path: more trips than recoveries means at
+    // least one trip happened on a lane that was not freshly closed —
+    // i.e. a half-open probe faulted and re-opened, or a lane re-tripped
+    // after recovering — while reroutes prove cooldown traffic flowed.
+    assert!(stats.breaker_trips >= 2, "stats: {stats:?}");
+    assert!(
+        stats.breaker_trips > stats.breaker_recoveries,
+        "some probe must fault again (trips {} vs recoveries {})",
+        stats.breaker_trips,
+        stats.breaker_recoveries
+    );
+    assert!(stats.rerouted > 0, "open lanes must have rerouted ops");
+
+    // Lane-correct pricing: reroute/retry re-fetch charges are indexed
+    // by lane, and a lane that carried no fetch traffic at all may
+    // never be charged for a reroute.
+    let retry_bytes = engine.retry_fetch_bytes();
+    assert!(
+        retry_bytes.iter().sum::<u64>() > 0,
+        "rerouted fetches must be priced"
+    );
+    let mut lane_traffic = vec![0u64; retry_bytes.len()];
+    for &job in &jobs {
+        for (lane, &bytes) in engine.job_fetch_by_lane(job).iter().enumerate() {
+            lane_traffic[lane] += bytes;
+        }
+    }
+    for (lane, &charged) in retry_bytes.iter().enumerate() {
+        assert!(
+            charged == 0 || lane_traffic[lane] > 0,
+            "lane {lane} priced a reroute without carrying traffic"
+        );
+    }
+
+    // Deterministic replay: the same seed prices the same lanes with
+    // the same bytes — reroute charges never wander across lanes.
+    let (stats2, engine2, _) = run();
+    assert_eq!(stats, stats2, "same seed, same damage");
+    assert_eq!(
+        retry_bytes,
+        engine2.retry_fetch_bytes(),
+        "lane pricing must replay bit-for-bit"
+    );
+}

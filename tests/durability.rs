@@ -400,3 +400,212 @@ fn manifest_restores_configuration() {
     assert_eq!(r.capacity(), ShardCapacity::bytes(1 << 20));
     std::fs::remove_dir_all(&dir).ok();
 }
+
+// ---- serve-journal identity across restarts (ISSUE 10 satellites) ----
+
+/// Regression (ISSUE 10 satellite): journal sequence numbers are
+/// assigned by **offer order** — before the journal-replay check and
+/// before the shed check — so a killed-and-resumed `ServeLoop` with a
+/// *different* `max_backlog` still skips exactly the journaled
+/// completions and never misaligns the seq→offer mapping.  Shed offers
+/// consume their sequence number without journaling, which is what
+/// keeps the identity stable when the backlog bound changes between
+/// incarnations.
+#[test]
+fn journal_seq_survives_a_different_max_backlog() {
+    use cgraph::algos::Bfs;
+    use cgraph::core::{Arrival, Engine, EngineConfig, ServeConfig, ServeLoop};
+
+    let el = cgraph::graph::generate::cycle(N);
+    let store = Arc::new(ShardedSnapshotStore::new(base(&el)));
+    let dir = temp_dir("seq-backlog");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("journal.seg");
+
+    const OFFERS: usize = 12;
+    let ats: Vec<f64> = (0..OFFERS).map(|i| i as f64 * 0.001).collect();
+    let arrivals = |ats: &[f64]| -> Vec<Arrival> {
+        ats.iter()
+            .map(|&at| {
+                Arrival::new(at, "bfs", move |e: &mut Engine, ts| {
+                    e.submit_at(Bfs::new(0), ts)
+                })
+            })
+            .collect()
+    };
+    let cfg = |max_backlog| ServeConfig {
+        admission_window: 0.0,
+        time_scale: 1.0,
+        max_backlog,
+        ..ServeConfig::default()
+    };
+
+    // Incarnation 1, backlog 4: the whole trace is offered up front, so
+    // offers 4..12 are shed under backlog pressure (they still consume
+    // seqs 4..12); offers 0..4 are admitted, complete, and journal.
+    let engine = Engine::new(Arc::clone(&store), EngineConfig::default());
+    let mut sl = ServeLoop::with_journal(engine, cfg(4), &path).unwrap();
+    sl.offer_all(arrivals(&ats));
+    assert_eq!(sl.rejected(), (OFFERS - 4) as u64, "backlog sheds the tail");
+    let first = sl.serve();
+    assert!(first.completed);
+    assert!(sl.journal_error().is_none());
+    assert_eq!(sl.engine().num_jobs(), 4);
+    drop(sl);
+
+    // Incarnation 2, backlog 8: journaled seqs 0..4 replay (the journal
+    // check precedes the shed check, so a tiny backlog could never shed
+    // them), and the previously shed seqs 4..12 now all fit.
+    let engine = Engine::new(Arc::clone(&store), EngineConfig::default());
+    let mut sl = ServeLoop::with_journal(engine, cfg(8), &path).unwrap();
+    sl.offer_all(arrivals(&ats));
+    assert_eq!(sl.resumed(), 4, "exactly the journaled completions skip");
+    assert_eq!(sl.rejected(), 0, "the wider backlog admits the rest");
+    let second = sl.serve();
+    assert!(second.completed);
+    assert_eq!(
+        second.jobs.len(),
+        OFFERS,
+        "whole trace covered exactly once"
+    );
+    assert_eq!(
+        sl.engine().num_jobs(),
+        OFFERS - 4,
+        "no journaled job re-runs"
+    );
+    // Seq→offer alignment: every replayed lifecycle carries the arrival
+    // stamp of *its own* offer index, not a shifted neighbor's.
+    for replayed in &second.jobs[..4] {
+        assert_eq!(
+            replayed.arrival, ats[replayed.job as usize],
+            "seq {} must map to its original offer",
+            replayed.job
+        );
+    }
+    drop(sl);
+
+    // Incarnation 3, backlog 2 (smaller than either): everything is
+    // journaled now, so the whole trace replays — the backlog bound
+    // never touches journal-skipped offers.
+    let engine = Engine::new(Arc::clone(&store), EngineConfig::default());
+    let mut sl = ServeLoop::with_journal(engine, cfg(2), &path).unwrap();
+    sl.offer_all(arrivals(&ats));
+    assert_eq!(sl.resumed(), OFFERS as u64);
+    assert_eq!(sl.rejected(), 0);
+    let third = sl.serve();
+    assert_eq!(third.jobs.len(), OFFERS);
+    assert_eq!(sl.engine().num_jobs(), 0, "pure replay runs no engine work");
+    for (replayed, &at) in third.jobs.iter().zip(&ats) {
+        assert_eq!(replayed.arrival, at);
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A standing job survives kill-and-recover: a valve-truncated serve
+/// journals its finished emissions; a restarted loop (same runner, same
+/// journal) replays them verbatim, invalidates the prior it never saw,
+/// recomputes the first live emission from scratch, and resumes
+/// incrementally from there — every live emission bit-identical to a
+/// from-scratch run at its version.
+#[test]
+fn standing_job_survives_kill_and_recover() {
+    use cgraph::algos::Bfs;
+    use cgraph::core::{Engine, EngineConfig, ServeConfig, ServeLoop, Standing};
+
+    let el = cgraph::graph::generate::cycle(N);
+    let deltas = [
+        GraphDelta::adding([Edge::unit(0, 12)]),
+        GraphDelta::adding([Edge::unit(3, 17), Edge::unit(8, 1)]),
+        GraphDelta::adding([Edge::unit(17, 4)]),
+    ];
+    let build_store = || {
+        let mut s = ShardedSnapshotStore::new(base(&el));
+        for (i, d) in deltas.iter().enumerate() {
+            s.apply((i as u64 + 1) * 10, d).unwrap();
+        }
+        Arc::new(s)
+    };
+    let store = build_store();
+    let versions = [0u64, 10, 20, 30];
+    let scratch = |ts: u64| -> Vec<u32> {
+        let mut e = Engine::new(Arc::clone(&store), EngineConfig::default());
+        let id = e.submit_at(Bfs::new(0), ts);
+        assert!(e.run().completed);
+        e.results::<Bfs>(id).unwrap()
+    };
+    let cfg = ServeConfig { time_scale: 1e4, ..ServeConfig::default() };
+    let dir = temp_dir("standing");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("journal.seg");
+
+    // Reference: all four emissions uninterrupted, to size the valve.
+    let full_loads = {
+        let engine = Engine::new(Arc::clone(&store), EngineConfig::default());
+        let mut sl = ServeLoop::new(engine, cfg);
+        sl.add_standing(Standing::new("standing-bfs", Bfs::new(0)).boxed());
+        let report = sl.serve();
+        assert!(report.completed);
+        report.loads
+    };
+
+    // Incarnation 1: the load valve kills the loop mid-emissions.
+    let engine = Engine::new(
+        Arc::clone(&store),
+        EngineConfig { max_loads: full_loads / 2, ..EngineConfig::default() },
+    );
+    let mut sl = ServeLoop::with_journal(engine, cfg, &path).unwrap();
+    sl.add_standing(Standing::new("standing-bfs", Bfs::new(0)).boxed());
+    let first = sl.serve();
+    assert!(!first.completed, "the valve must truncate this serve");
+    assert!(sl.journal_error().is_none());
+    drop(sl);
+
+    // Incarnation 2: fresh engine, same journal, same standing runner.
+    let engine = Engine::new(Arc::clone(&store), EngineConfig::default());
+    let mut sl = ServeLoop::with_journal(engine, cfg, &path).unwrap();
+    sl.add_standing(Standing::new("standing-bfs", Bfs::new(0)).boxed());
+    let second = sl.serve();
+    assert!(second.completed, "restart must finish the emissions");
+    let resumed = sl.resumed() as usize;
+    assert!(
+        resumed > 0 && resumed < versions.len(),
+        "valve must land mid-emissions (resumed {resumed} of {})",
+        versions.len()
+    );
+    assert_eq!(
+        second.jobs.len(),
+        versions.len(),
+        "combined report covers every version exactly once"
+    );
+    let live = versions.len() - resumed;
+    assert_eq!(
+        sl.engine().num_jobs(),
+        live,
+        "no journaled emission re-runs"
+    );
+    let runner = sl.standing(0);
+    assert_eq!(runner.emitted(), live as u64);
+    assert_eq!(
+        runner.seeded(),
+        live as u64 - 1,
+        "the first live emission recomputes from scratch (invalidated \
+         prior); every later one resumes seeded"
+    );
+    // Replayed emissions bind their own version timestamps, in order.
+    for (replayed, &ts) in second.jobs.iter().zip(&versions) {
+        assert_eq!(replayed.arrival, ts as f64, "emission seq alignment");
+    }
+    // Every live emission is bit-identical to from-scratch at its
+    // version — the incremental path never leaks stale prior state
+    // across the crash.
+    for (i, &ts) in versions[resumed..].iter().enumerate() {
+        assert_eq!(
+            sl.engine().results::<Bfs>(i as u32).unwrap(),
+            scratch(ts),
+            "live emission@{ts}"
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

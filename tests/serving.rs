@@ -6,7 +6,9 @@ use std::sync::Arc;
 
 use cgraph::algos::{trace_arrivals, Bfs, PageRank, Sssp, Wcc};
 use cgraph::baselines::{FifoServe, StreamConfig, StreamEngine};
-use cgraph::core::{Engine, EngineConfig, JobEngine, ServeConfig, ServeLoop, ServeReport};
+use cgraph::core::{
+    Engine, EngineConfig, JobEngine, JobLatency, JobOutcome, ServeConfig, ServeLoop, ServeReport,
+};
 use cgraph::graph::snapshot::{GraphDelta, SnapshotStore};
 use cgraph::graph::vertex_cut::VertexCutPartitioner;
 use cgraph::graph::{generate, Edge, Partitioner, ShardCapacity, ShardPlacement};
@@ -537,4 +539,54 @@ fn killed_serve_loop_resumes_without_rerunning_finished_jobs() {
     assert_eq!(third.loads, 0);
 
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Regression (ISSUE 10 satellite): latency statistics must be computed
+/// over **completed** rows only.  A quarantined or truncated job's
+/// `completed` field is the quarantine/stop clock — treating it as a
+/// real completion silently skews means and percentiles (here the
+/// quarantined row's stamp would dominate every percentile).
+#[test]
+fn latency_stats_exclude_quarantined_and_truncated_rows() {
+    let row = |job, latency: f64, outcome| JobLatency {
+        job,
+        name: "row",
+        arrival: 0.0,
+        admitted: latency / 2.0,
+        completed: latency,
+        outcome,
+    };
+    let jobs = vec![
+        row(0, 1.0, JobOutcome::Completed),
+        row(1, 2.0, JobOutcome::Completed),
+        row(2, 3.0, JobOutcome::Completed),
+        row(3, 1000.0, JobOutcome::Quarantined),
+        row(4, 500.0, JobOutcome::Truncated),
+    ];
+    let report = ServeReport::new("test", 0.0, jobs, 1, 1, 0, 0.0, false);
+
+    assert_eq!(report.mean_latency(), 2.0, "mean over completed rows only");
+    assert_eq!(report.mean_wait(), 1.0, "wait over completed rows only");
+    assert_eq!(report.latency_percentile(50.0), 2.0);
+    assert_eq!(
+        report.latency_percentile(99.0),
+        3.0,
+        "p99 must not see the quarantine stamp"
+    );
+
+    // No completed rows at all: every statistic is 0, never a stale
+    // stamp and never a divide-by-zero.
+    let report = ServeReport::new(
+        "test",
+        0.0,
+        vec![row(0, 7.0, JobOutcome::Quarantined)],
+        1,
+        1,
+        0,
+        0.0,
+        false,
+    );
+    assert_eq!(report.mean_latency(), 0.0);
+    assert_eq!(report.mean_wait(), 0.0);
+    assert_eq!(report.latency_percentile(99.0), 0.0);
 }
